@@ -1,0 +1,13 @@
+"""Ablation A1 — one braid per BEU (paper policy) vs queueing braids behind
+each other in the BEU FIFO.
+
+Queueing suffers head-of-line blocking: a braid stuck behind a long-latency
+braid cannot issue even when its operands are ready.
+"""
+
+from repro.harness import abl_beu_occupancy
+
+
+def test_abl_beu_occupancy(run_experiment):
+    result = run_experiment(abl_beu_occupancy)
+    assert result.averages["queued"] < result.averages["single"]

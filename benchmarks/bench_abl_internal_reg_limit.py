@@ -1,0 +1,16 @@
+"""Ablation A2 — the internal register working-set limit.
+
+Paper: 8 internal registers suffice (breaking affects ~2% of braids).  The
+sweep shows performance at limits 4/8/16 and how many braids each limit
+breaks.
+"""
+
+from repro.harness import abl_internal_reg_limit
+
+
+def test_abl_internal_reg_limit(run_experiment):
+    result = run_experiment(abl_internal_reg_limit)
+    assert result.averages["ipc-8"] == 1.0
+    assert result.averages["ipc-16"] <= 1.1
+    assert result.averages["ipc-4"] <= 1.05
+    assert result.averages["splits-16"] <= result.averages["splits-4"]

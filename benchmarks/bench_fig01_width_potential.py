@@ -1,0 +1,16 @@
+"""Figure 1 — potential performance of 8- and 16-wide out-of-order designs
+over a 4-wide design, with perfect branch prediction and perfect caches.
+
+Paper: average speedup of 44% at 8-wide and 83% at 16-wide; crafty, vpr and
+mgrid approach 3x at 16-wide.
+"""
+
+from repro.harness import fig1_width_potential
+
+
+def test_fig1_width_potential(run_experiment):
+    result = run_experiment(fig1_width_potential)
+    assert result.averages["4w"] == 1.0
+    # Shape: substantial speedup at 8-wide, more at 16-wide.
+    assert result.averages["8w"] > 1.15
+    assert result.averages["16w"] > result.averages["8w"]

@@ -1,0 +1,12 @@
+"""Figure 7 — braid performance vs external register file ports.
+
+Paper: 6 read / 3 write ports stay within 0.5% of a full 16/8 port set.
+"""
+
+from repro.harness import fig7_braid_rf_ports
+
+
+def test_fig7_braid_rf_ports(run_experiment):
+    result = run_experiment(fig7_braid_rf_ports)
+    assert result.averages["6,3"] > 0.98
+    assert result.averages["4,2"] <= result.averages["16,8"] + 1e-9

@@ -1,0 +1,13 @@
+"""Figure 8 — braid performance vs bypass paths per cycle.
+
+Paper: supporting 2 bypass values per cycle is within 1% of a full bypass
+network, because internal values never touch the network.
+"""
+
+from repro.harness import fig8_braid_bypass
+
+
+def test_fig8_braid_bypass(run_experiment):
+    result = run_experiment(fig8_braid_bypass)
+    assert result.averages["2"] > 0.97
+    assert result.averages["1"] <= result.averages["8"] + 1e-9

@@ -1,0 +1,16 @@
+"""Figure 9 — braid performance vs number of BEUs (normalized to the 8-wide
+out-of-order baseline).
+
+Paper: performance rises steadily with BEU count — there are more ready
+braids than BEUs, and extra BEUs let ready braids slip past stalled ones.
+"""
+
+from repro.harness import fig9_braid_beus
+
+
+def test_fig9_braid_beus(run_experiment):
+    result = run_experiment(fig9_braid_beus)
+    assert result.averages["1"] < result.averages["2"]
+    assert result.averages["2"] < result.averages["4"]
+    assert result.averages["4"] < result.averages["8"]
+    assert result.averages["16"] >= result.averages["8"] * 0.98

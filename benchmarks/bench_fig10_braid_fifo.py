@@ -1,0 +1,13 @@
+"""Figure 10 — braid performance vs FIFO entries per BEU.
+
+Paper: 32 entries capture almost all performance because 99% of braids have
+32 instructions or fewer; smaller FIFOs stall braid distribution.
+"""
+
+from repro.harness import fig10_braid_fifo
+
+
+def test_fig10_braid_fifo(run_experiment):
+    result = run_experiment(fig10_braid_fifo)
+    assert result.averages["4"] < result.averages["32"]
+    assert result.averages["64"] <= result.averages["32"] * 1.03

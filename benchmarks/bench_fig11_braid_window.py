@@ -1,0 +1,13 @@
+"""Figure 11 — braid performance vs FIFO scheduling window size.
+
+Paper: steep rise from 1 to 2, then a plateau — ready instructions sit at
+the head of the FIFO.
+"""
+
+from repro.harness import fig11_braid_window
+
+
+def test_fig11_braid_window(run_experiment):
+    result = run_experiment(fig11_braid_window)
+    assert result.averages["1"] <= result.averages["2"] + 1e-9
+    assert result.averages["8"] <= result.averages["2"] * 1.15

@@ -1,0 +1,14 @@
+"""Figure 12 — braid performance vs window size and functional units varied
+together.
+
+Paper: the same plateau as Figure 11 — braid instruction-level parallelism
+is about 2, so more than 2 functional units per BEU buys little.
+"""
+
+from repro.harness import fig12_braid_window_fus
+
+
+def test_fig12_braid_window_fus(run_experiment):
+    result = run_experiment(fig12_braid_window_fus)
+    assert result.averages["1"] <= result.averages["2"] + 1e-9
+    assert result.averages["8"] <= result.averages["2"] * 1.15

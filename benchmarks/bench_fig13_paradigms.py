@@ -1,0 +1,21 @@
+"""Figure 13 — in-order, dependence-steering, braid, and out-of-order
+microarchitectures at 4-, 8-, and 16-wide (normalized to 8-wide
+out-of-order).
+
+Paper: (1) significant performance remains at wider widths; (2) braid lands
+within ~9% of the aggressive 8-wide out-of-order design; (3) the braid/
+out-of-order gap narrows as width grows.
+"""
+
+from repro.harness import fig13_paradigms
+
+
+def test_fig13_paradigms(run_experiment):
+    result = run_experiment(fig13_paradigms)
+    assert result.averages["ooo-8"] == 1.0
+    # ordering at 8-wide: in-order clearly below everything else
+    assert result.averages["io-8"] < 0.6
+    # braid close to the aggressive out-of-order design
+    assert result.averages["braid-8"] > 0.75
+    # wider machines still gain
+    assert result.averages["ooo-16"] > result.averages["ooo-8"]

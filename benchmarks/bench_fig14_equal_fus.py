@@ -1,0 +1,13 @@
+"""Figure 14 — braid configurations with equal functional unit budgets.
+
+Paper: with 8 total FUs, 8 BEUs x 1 FU beats 4 BEUs x 2 FUs — braid-level
+parallelism matters more than intra-braid width.
+"""
+
+from repro.harness import fig14_equal_fus
+
+
+def test_fig14_equal_fus(run_experiment):
+    result = run_experiment(fig14_equal_fus)
+    assert result.averages["8x1"] > result.averages["4x2"]
+    assert result.averages["8x2"] == 1.0

@@ -1,0 +1,15 @@
+"""Section 1.1 — value fanout and lifetime characterization.
+
+Paper: over 70% of values are used only once, ~90% at most twice, ~4% are
+never used, and ~80% live 32 instructions or fewer.
+"""
+
+from repro.harness import sec1_value_characterization
+
+
+def test_sec1_value_characterization(run_experiment):
+    result = run_experiment(sec1_value_characterization)
+    assert result.averages["single"] > 0.60
+    assert result.averages["le2"] > 0.85
+    assert result.averages["unused"] < 0.10
+    assert result.averages["life32"] > 0.75

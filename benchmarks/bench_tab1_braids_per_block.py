@@ -1,0 +1,14 @@
+"""Table 1 — braids per basic block.
+
+Paper: integer programs average 2.8 braids per block (1.1 excluding
+single-instruction braids); floating point averages 3.8 (1.5 excluding).
+"""
+
+from repro.harness import tab1_braids_per_block
+
+
+def test_tab1_braids_per_block(run_experiment):
+    result = run_experiment(tab1_braids_per_block)
+    assert 1.5 <= result.averages["braids/bb"] <= 6.0
+    assert result.averages["excl-single"] < result.averages["braids/bb"]
+    assert 0.8 <= result.averages["excl-single"] <= 2.5

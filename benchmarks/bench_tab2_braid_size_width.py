@@ -1,0 +1,14 @@
+"""Table 2 — braid size and width.
+
+Paper: integer braids average 2.5 instructions (4.7 excluding singles),
+floating point 3.6 (7.6); width stays near 1.1 for both.
+"""
+
+from repro.harness import tab2_braid_size_width
+
+
+def test_tab2_braid_size_width(run_experiment):
+    result = run_experiment(tab2_braid_size_width)
+    assert 2.0 <= result.averages["size"] <= 5.5
+    assert result.averages["size*"] > result.averages["size"]
+    assert 1.0 <= result.averages["width"] <= 1.4

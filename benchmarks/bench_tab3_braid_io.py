@@ -1,0 +1,15 @@
+"""Table 3 — braid internal values and external inputs/outputs.
+
+Paper: integer braids carry ~1.7 internal values with 1.7 external inputs
+and 0.7 external outputs; floating point 3.0 / 2.2 / 0.8.  External traffic
+per braid resembles a two-source compute instruction.
+"""
+
+from repro.harness import tab3_braid_io
+
+
+def test_tab3_braid_io(run_experiment):
+    result = run_experiment(tab3_braid_io)
+    assert result.averages["ext-out"] < 1.5
+    assert result.averages["ext-in"] < 3.5
+    assert result.averages["internal"] > result.averages["ext-out"]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper: it
+runs the corresponding experiment from :mod:`repro.harness`, prints the
+rendered table (rows per benchmark, columns per sweep point — the same
+series the paper reports), and asserts the paper's qualitative shape.
+
+Environment knobs:
+
+* ``REPRO_BENCHMARKS=quick`` — run on the four-program subset (fast);
+* ``REPRO_BENCHMARKS=<names>`` — explicit comma-separated list;
+* ``REPRO_SCALE=<float>`` — scale benchmark dynamic length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One shared experiment context: programs/compilations/workloads are
+    prepared once and reused by every sweep point."""
+    return ExperimentContext()
+
+
+@pytest.fixture
+def run_experiment(benchmark, ctx):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+
+    def runner(experiment, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment(ctx, *args, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

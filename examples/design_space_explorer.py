@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Design-space explorer: sweep the braid execution core's parameters.
+
+Reproduces the paper's section 4.3 methodology on one benchmark: start from
+the default braid machine (8 BEUs, 32-entry FIFOs, 2-entry windows, 2 FUs
+per BEU) and vary one parameter at a time, reporting IPC normalized to the
+8-wide out-of-order baseline.
+
+Run with::
+
+    python examples/design_space_explorer.py [benchmark] [scale]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.core import braidify
+from repro.sim import braid_config, ooo_config, prepare_workload, simulate
+from repro.workloads import ALL_BENCHMARKS, build_program
+
+
+def sweep(title, baseline_ipc, workload, configs):
+    print(f"\n--- {title} ---")
+    for label, config in configs:
+        result = simulate(workload, config)
+        bar = "#" * int(40 * result.ipc / baseline_ipc)
+        print(f"  {label:>10s}  {result.ipc / baseline_ipc:5.2f}  {bar}")
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if benchmark not in ALL_BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; choose from {ALL_BENCHMARKS}"
+        )
+
+    print(f"exploring the braid design space on '{benchmark}' (scale {scale})")
+    program = build_program(benchmark, scale=scale)
+    compilation = braidify(program)
+    plain = prepare_workload(program)
+    braided = prepare_workload(compilation.translated)
+
+    baseline = simulate(plain, ooo_config(8))
+    print(f"baseline: {baseline.summary()}")
+
+    base = braid_config(8)
+    sweep(
+        "number of BEUs (paper Figure 9)",
+        baseline.ipc,
+        braided,
+        [(f"{n} BEUs", replace(base, clusters=n, name=f"braid-{n}beu"))
+         for n in (1, 2, 4, 8, 16)],
+    )
+    sweep(
+        "FIFO entries per BEU (paper Figure 10)",
+        baseline.ipc,
+        braided,
+        [(f"{n} deep", replace(base, cluster_entries=n, name=f"braid-f{n}"))
+         for n in (4, 8, 16, 32, 64)],
+    )
+    sweep(
+        "scheduling window (paper Figure 11)",
+        baseline.ipc,
+        braided,
+        [(f"window {n}", replace(base, beu_window=n, name=f"braid-w{n}"))
+         for n in (1, 2, 4, 8)],
+    )
+    sweep(
+        "window == FUs per BEU (paper Figure 12)",
+        baseline.ipc,
+        braided,
+        [(f"{n}x{n}", replace(base, beu_window=n, beu_functional_units=n,
+                              name=f"braid-wf{n}"))
+         for n in (1, 2, 4, 8)],
+    )
+    sweep(
+        "equal FU budget (paper Figure 14)",
+        baseline.ipc,
+        braided,
+        [
+            ("4 BEU x 2", replace(base, clusters=4, name="braid-4x2")),
+            ("8 BEU x 1", replace(base, beu_functional_units=1,
+                                  name="braid-8x1")),
+            ("8 BEU x 2", base),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Pipeline trace: watch instructions move through both machines.
+
+Renders a gem5-style pipeview for the same code on the braid machine and
+the conventional out-of-order machine, plus a where-does-the-time-go stage
+summary.  Great for *seeing* the braid mechanisms: braids distribute to
+BEUs together, internal values never wait on external ports, mispredicted
+branches open fetch bubbles of 19 vs 23 cycles.
+
+Run with::
+
+    python examples/pipeline_trace.py [kernel-name] [count]
+"""
+
+import sys
+
+from repro.core import braidify
+from repro.sim import (
+    braid_config,
+    ooo_config,
+    prepare_workload,
+    render_pipeview,
+    stage_latencies,
+)
+from repro.sim.run import build_core
+from repro.workloads import KERNEL_NAMES, kernel
+
+
+def trace(label, workload, config, count):
+    core = build_core(workload, config)
+    core.trace_log = []
+    result = core.run()
+    print(f"--- {label}: IPC {result.ipc:.2f} ---")
+    # Start mid-trace: the first iterations are dominated by cold cache
+    # misses, the steady state is the interesting part.
+    start = max(0, len(core.trace_log) // 2)
+    print(render_pipeview(core.trace_log, start=start, limit=count, width=90))
+    summary = stage_latencies(core.trace_log)
+    print(
+        "    avg cycles: "
+        + "  ".join(f"{stage}={value:.1f}" for stage, value in summary.items())
+    )
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dot_product"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+    if name not in KERNEL_NAMES:
+        raise SystemExit(f"unknown kernel {name!r}; choose from {KERNEL_NAMES}")
+
+    program = kernel(name)
+    compilation = braidify(program)
+
+    trace(
+        "out-of-order 8-wide",
+        prepare_workload(program),
+        ooo_config(8),
+        count,
+    )
+    trace(
+        "braid 8-wide (braided binary)",
+        prepare_workload(compilation.translated),
+        braid_config(8),
+        count,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: compile a program into braids and race it against a
+conventional out-of-order core.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import braidify
+from repro.isa import assemble
+from repro.sim import (
+    braid_config,
+    ooo_config,
+    prepare_workload,
+    simulate,
+)
+
+SOURCE = """
+.program saxpy_int
+.block ENTRY
+    addq r31, #32768, r1     ; x[]
+    addq r31, #65536, r2     ; y[]
+    addq r31, #0,     r4     ; i
+    addq r31, #64,    r5     ; n
+    addq r31, #3,     r6     ; a
+.block LOOP
+    slli r4, #3, r7          ; &x[i], &y[i]
+    addq r1, r7, r8
+    addq r2, r7, r9
+    ldq  r10, 0(r8)
+    ldq  r11, 0(r9)
+    mulq r10, r6, r10        ; a*x[i]
+    addq r10, r11, r11
+    stq  r11, 0(r9)          ; y[i] += a*x[i]
+    addqi r4, #1, r4
+    cmplt r4, r5, r12
+    bne  r12, LOOP
+.block DONE
+    nop
+"""
+
+
+def main() -> None:
+    # 1. Assemble and braid-compile: the paper's profiling + binary
+    #    translation flow in one call.
+    program = assemble(SOURCE)
+    compilation = braidify(program)
+
+    print("=== braided program ===")
+    print(compilation.translated.render())
+    print()
+    print(f"braids formed: {compilation.total_braids}")
+    print(f"braids broken by ordering rules: "
+          f"{compilation.report.splits.ordering_splits}")
+
+    # 2. Prepare the execution-driven workload (functional trace + branch
+    #    predictor + cache oracles) for each binary.
+    plain = prepare_workload(program)
+    braided = prepare_workload(compilation.translated)
+
+    # 3. Simulate the paper's two 8-wide machines.
+    ooo = simulate(plain, ooo_config(8))
+    braid = simulate(braided, braid_config(8))
+
+    print()
+    print("=== 8-wide machines (paper Table 4 configurations) ===")
+    print(ooo.summary())
+    print(braid.summary())
+    print()
+    ratio = braid.ipc / ooo.ipc
+    print(f"braid achieves {ratio:.0%} of the aggressive out-of-order IPC")
+    print(f"(the paper reports ~91% on average across SPEC CPU2000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — a reproduction of the braid microarchitecture (Tseng & Patt, ISCA 2008).
+
+Subpackages:
+
+* :mod:`repro.isa` — Alpha-like ISA with the braid extension bits;
+* :mod:`repro.workloads` — synthetic SPEC CPU2000 workload suite;
+* :mod:`repro.dataflow` — dataflow graphs, liveness, memory ordering;
+* :mod:`repro.core` — braid identification, translation, register allocation;
+* :mod:`repro.uarch` — microarchitectural building blocks (predictors, caches, ...);
+* :mod:`repro.sim` — functional executor and the four timing cores;
+* :mod:`repro.analysis` — value characterization and braid statistics;
+* :mod:`repro.harness` — experiment definitions regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"

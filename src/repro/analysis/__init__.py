@@ -1,0 +1,47 @@
+"""Analyses reproducing the paper's characterization data."""
+
+from .energy import (
+    EnergyBreakdown,
+    compare_energy,
+    energy_per_instruction,
+    estimate_energy,
+)
+from .complexity import (
+    ComplexityComparison,
+    StructureCost,
+    compare_complexity,
+    regfile_area,
+    structure_cost,
+)
+from .braidstats import (
+    BenchmarkBraidStats,
+    BraidRecord,
+    SuiteBraidStats,
+    braid_statistics,
+)
+from .values import (
+    ValueCharacterization,
+    average_fractions,
+    characterize_suite,
+    characterize_values,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "compare_energy",
+    "energy_per_instruction",
+    "estimate_energy",
+    "ComplexityComparison",
+    "StructureCost",
+    "compare_complexity",
+    "regfile_area",
+    "structure_cost",
+    "BenchmarkBraidStats",
+    "BraidRecord",
+    "SuiteBraidStats",
+    "braid_statistics",
+    "ValueCharacterization",
+    "average_fractions",
+    "characterize_suite",
+    "characterize_values",
+]

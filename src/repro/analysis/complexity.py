@@ -1,0 +1,162 @@
+"""Design-complexity analysis (paper section 5.1).
+
+The paper's complexity argument is qualitative; this module makes it
+quantitative with standard first-order models so the two machines can be
+compared structure by structure:
+
+* **Register files** — area grows linearly in entries and quadratically in
+  ports ("doubling the number of register ports doubles the number of
+  bit-lines and doubles the number of word-lines causing a quadratic
+  increase in area", Farkas et al. / Zyuban & Kogge).  Area unit: one
+  entry-bit-cell equivalent, ``entries * (reads + writes)^2 * width``.
+* **Schedulers** — wakeup cost is modelled as CAM tag comparators:
+  ``window_entries * sources_per_entry * broadcast_ports`` for a broadcast
+  scheduler, zero broadcast for a FIFO whose window only inspects its head
+  entries.
+* **Bypass network** — wire cost ``levels * width^2`` (every producer must
+  reach every consumer at each level).
+* **Rename** — ported map-table accesses per cycle.
+* **Checkpoints** — words of state saved per checkpoint (the braid machine
+  excludes internal registers, paper section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim.config import CoreKind, MachineConfig
+
+#: architectural registers whose state a checkpoint must cover
+_ARCH_REGS = 64
+#: value width in bits
+_WIDTH = 64
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """Comparable cost figures for one machine's execution core."""
+
+    machine: str
+    regfile_area: float
+    scheduler_comparators: int
+    bypass_wires: int
+    rename_ports: int
+    checkpoint_words: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "regfile_area": self.regfile_area,
+            "scheduler_comparators": self.scheduler_comparators,
+            "bypass_wires": self.bypass_wires,
+            "rename_ports": self.rename_ports,
+            "checkpoint_words": self.checkpoint_words,
+        }
+
+
+def regfile_area(entries: int, reads: int, writes: int,
+                 width: int = _WIDTH) -> float:
+    """First-order register file area: entries x ports^2 x bit width."""
+    return float(entries) * (reads + writes) ** 2 * width
+
+
+def structure_cost(config: MachineConfig) -> StructureCost:
+    """Cost the execution-core structures of one machine configuration."""
+    main_rf = regfile_area(
+        config.regfile.entries,
+        config.regfile.read_ports,
+        config.regfile.write_ports,
+    )
+    internal_rf = 0.0
+    if config.kind is CoreKind.BRAID and config.internal_regfile is not None:
+        spec = config.internal_regfile
+        internal_rf = config.clusters * regfile_area(
+            spec.entries, spec.read_ports, spec.write_ports
+        )
+
+    if config.kind is CoreKind.BRAID:
+        # FIFO windows: no tag broadcast; readiness checks only at the
+        # window entries against the busy-bit vector.
+        comparators = 0
+        rename_ports = (
+            config.front_end.rename_src_ops + config.front_end.rename_dest_ops
+        )
+        # Internal values are not checkpointed (section 3.4).
+        checkpoint_words = _ARCH_REGS
+    elif config.kind is CoreKind.DEP_STEER:
+        comparators = 0  # FIFO heads only
+        rename_ports = (
+            config.front_end.rename_src_ops + config.front_end.rename_dest_ops
+        )
+        checkpoint_words = _ARCH_REGS + config.regfile.entries
+    elif config.kind is CoreKind.IN_ORDER:
+        comparators = 0
+        rename_ports = 0
+        checkpoint_words = _ARCH_REGS
+    else:
+        # Broadcast wakeup: every window entry compares both source tags
+        # against every result bus, every cycle.
+        comparators = (
+            config.clusters
+            * config.cluster_entries
+            * 2
+            * config.issue_width
+        )
+        rename_ports = (
+            config.front_end.rename_src_ops + config.front_end.rename_dest_ops
+        )
+        checkpoint_words = _ARCH_REGS + config.regfile.entries
+
+    bypass_wires = config.bypass_levels * config.bypass_width ** 2
+
+    return StructureCost(
+        machine=config.name,
+        regfile_area=main_rf + internal_rf,
+        scheduler_comparators=comparators,
+        bypass_wires=bypass_wires,
+        rename_ports=rename_ports,
+        checkpoint_words=checkpoint_words,
+    )
+
+
+@dataclass(frozen=True)
+class ComplexityComparison:
+    """Side-by-side structure costs plus headline ratios."""
+
+    subject: StructureCost
+    baseline: StructureCost
+
+    def ratio(self, field: str) -> float:
+        base = getattr(self.baseline, field)
+        if base == 0:
+            return 0.0
+        return getattr(self.subject, field) / base
+
+    def render(self) -> str:
+        lines = [
+            f"complexity: {self.subject.machine} vs {self.baseline.machine}",
+            f"{'structure':24s} {self.subject.machine:>14s} "
+            f"{self.baseline.machine:>14s} {'ratio':>8s}",
+        ]
+        for field in (
+            "regfile_area",
+            "scheduler_comparators",
+            "bypass_wires",
+            "rename_ports",
+            "checkpoint_words",
+        ):
+            mine = getattr(self.subject, field)
+            base = getattr(self.baseline, field)
+            ratio = f"{self.ratio(field):8.3f}" if base else "     n/a"
+            lines.append(f"{field:24s} {mine:14.0f} {base:14.0f} {ratio}")
+        return "\n".join(lines)
+
+
+def compare_complexity(
+    subject: MachineConfig, baseline: MachineConfig
+) -> ComplexityComparison:
+    """Compare two machines structure by structure (paper section 5.1)."""
+    return ComplexityComparison(
+        subject=structure_cost(subject),
+        baseline=structure_cost(baseline),
+    )

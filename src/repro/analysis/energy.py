@@ -1,0 +1,134 @@
+"""Dynamic energy estimation for the execution core (paper section 5.1).
+
+The paper argues the braid machine saves power in three places: FIFO
+schedulers "do not broadcast tags to the entire structure [so] consume less
+power", the partitioned register files slash entry-port products (Zyuban &
+Kogge's register-file energy complexity), and the narrow bypass network
+moves far fewer values.  This module turns those arguments into first-order
+per-run energy estimates from the activity counters every simulation
+collects.
+
+Units are arbitrary but consistent (one bit-line charge on a 1-entry,
+1-port, 64-bit array ~ 1 unit), so only *ratios* between machines are
+meaningful — which is all the section 5.1 comparison needs.
+
+Per-event models:
+
+* register file access: ``sqrt(entries) * (read_ports + write_ports)``
+  (word-line plus bit-line capacitance both scale with the port count; the
+  array dimension contributes as the square root under a square layout);
+* scheduler wakeup: one tag broadcast drives comparators in every window
+  entry (``2 * window_entries`` per completing instruction) for a broadcast
+  scheduler; a FIFO window charges only its head entries;
+* bypass forward: proportional to the network width (wire span).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim.config import CoreKind, MachineConfig
+from ..sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-structure dynamic energy for one simulation run."""
+
+    machine: str
+    benchmark: str
+    regfile: float
+    scheduler: float
+    bypass: float
+
+    @property
+    def total(self) -> float:
+        return self.regfile + self.scheduler + self.bypass
+
+    @property
+    def instructions(self) -> float:
+        return self._instructions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "regfile": self.regfile,
+            "scheduler": self.scheduler,
+            "bypass": self.bypass,
+            "total": self.total,
+        }
+
+
+def _access_energy(entries: int, read_ports: int, write_ports: int) -> float:
+    return math.sqrt(entries) * (read_ports + write_ports)
+
+
+def estimate_energy(config: MachineConfig, result: SimResult) -> EnergyBreakdown:
+    """Estimate execution-core dynamic energy for one finished run."""
+    extra = result.extra
+    main_access = _access_energy(
+        config.regfile.entries,
+        config.regfile.read_ports,
+        config.regfile.write_ports,
+    )
+    regfile = (extra.get("rf_reads", 0.0) + extra.get("rf_writes", 0.0)) * main_access
+
+    if config.kind is CoreKind.BRAID and config.internal_regfile is not None:
+        spec = config.internal_regfile
+        internal_access = _access_energy(
+            spec.entries, spec.read_ports, spec.write_ports
+        )
+        regfile += (
+            extra.get("internal_rf_reads", 0.0)
+            + extra.get("internal_rf_writes", 0.0)
+        ) * internal_access
+
+    if config.kind is CoreKind.OUT_OF_ORDER:
+        # Every completing instruction broadcasts its tag across the whole
+        # distributed window: 2 source comparators per entry.
+        window = config.clusters * config.cluster_entries
+        scheduler = float(result.issued) * 2 * window
+    elif config.kind is CoreKind.BRAID:
+        # Readiness is checked only at the per-BEU window heads against the
+        # busy-bit vector.
+        scheduler = float(result.issued) * 2 * config.beu_window
+    else:
+        # FIFO heads only (dependence steering / in-order).
+        scheduler = float(result.issued) * 2 * config.clusters
+
+    bypass = extra.get("bypass_forwards", 0.0) * config.bypass_width
+
+    breakdown = EnergyBreakdown(
+        machine=config.name,
+        benchmark=result.benchmark,
+        regfile=regfile,
+        scheduler=scheduler,
+        bypass=bypass,
+    )
+    object.__setattr__(breakdown, "_instructions", float(result.instructions))
+    return breakdown
+
+
+def energy_per_instruction(breakdown: EnergyBreakdown) -> float:
+    """Total estimated energy divided by retired instructions."""
+    if breakdown.instructions == 0:
+        return 0.0
+    return breakdown.total / breakdown.instructions
+
+
+def compare_energy(
+    subject: EnergyBreakdown, baseline: EnergyBreakdown
+) -> Dict[str, float]:
+    """Structure-by-structure energy ratios (subject / baseline)."""
+    ratios: Dict[str, float] = {}
+    subject_values = subject.as_dict()
+    baseline_values = baseline.as_dict()
+    for key, base in baseline_values.items():
+        ratios[key] = subject_values[key] / base if base else 0.0
+    ratios["per_instruction"] = (
+        energy_per_instruction(subject) / energy_per_instruction(baseline)
+        if energy_per_instruction(baseline)
+        else 0.0
+    )
+    return ratios

@@ -1,0 +1,62 @@
+"""The paper's contribution: braid identification, translation, allocation.
+
+Typical use::
+
+    from repro.core import braidify
+    compilation = braidify(program)
+    compilation.translated   # braid-ordered, S/T/I/E-annotated program
+    compilation.report       # every braid formed, split statistics
+"""
+
+from .braid import Braid, BraidIO, classify_braid_io, internal_pressure
+from .constraints import (
+    SplitStats,
+    enforce_internal_pressure,
+    first_pressure_exceed,
+    instruction_order_constraints,
+    predecessor_map,
+)
+from .partition import braid_of_position, partition_block
+from .pipeline import BraidCompilation, braidify
+from .regalloc import (
+    CompactionResult,
+    ExternalRegisterCompactor,
+    RegAllocError,
+    allocate_block,
+    compact_external_registers,
+)
+from .translator import (
+    BlockTranslation,
+    TranslationError,
+    TranslationReport,
+    schedule_braids,
+    translate_block,
+    translate_program,
+)
+
+__all__ = [
+    "Braid",
+    "BraidIO",
+    "classify_braid_io",
+    "internal_pressure",
+    "SplitStats",
+    "enforce_internal_pressure",
+    "first_pressure_exceed",
+    "instruction_order_constraints",
+    "predecessor_map",
+    "braid_of_position",
+    "partition_block",
+    "BraidCompilation",
+    "braidify",
+    "CompactionResult",
+    "ExternalRegisterCompactor",
+    "RegAllocError",
+    "allocate_block",
+    "compact_external_registers",
+    "BlockTranslation",
+    "TranslationError",
+    "TranslationReport",
+    "schedule_braids",
+    "translate_block",
+    "translate_program",
+]

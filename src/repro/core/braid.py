@@ -1,0 +1,185 @@
+"""The braid entity.
+
+A braid (paper section 1.2) is a dataflow subgraph of the program residing
+solely within one basic block.  Braids are identified at compile time; the
+ISA conveys them through the S/T/I/E bits; the microarchitecture executes
+each braid on one in-order braid execution unit.
+
+This module defines the compile-time representation.  A :class:`Braid` keeps
+*original block positions* so that statistics, constraint checks, and the
+translator can all reason about the pre-reordering layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..dataflow.graph import BlockGraph
+from ..isa.instruction import Instruction
+from ..isa.registers import Register
+
+
+@dataclass
+class Braid:
+    """One braid: a set of instruction positions within a basic block."""
+
+    block_index: int
+    positions: List[int]
+
+    def __post_init__(self) -> None:
+        self.positions = sorted(self.positions)
+        if not self.positions:
+            raise ValueError("a braid contains at least one instruction")
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def size(self) -> int:
+        """Number of instructions (paper Table 2, 'size')."""
+        return len(self.positions)
+
+    @property
+    def first_position(self) -> int:
+        return self.positions[0]
+
+    @property
+    def is_single(self) -> bool:
+        """Single-instruction braid (paper: 20% of all instructions)."""
+        return len(self.positions) == 1
+
+    def contains(self, position: int) -> bool:
+        return position in self._position_set
+
+    @property
+    def _position_set(self) -> Set[int]:
+        cached = getattr(self, "_cached_set", None)
+        if cached is None or len(cached) != len(self.positions):
+            cached = set(self.positions)
+            self._cached_set = cached
+        return cached
+
+    def width(self, graph: BlockGraph) -> float:
+        """Average instruction-level parallelism (size / longest dataflow path)."""
+        longest = graph.longest_path_length(self._position_set)
+        if longest == 0:
+            return 1.0
+        return self.size / longest
+
+    def split_at(self, boundary_index: int) -> Tuple["Braid", "Braid"]:
+        """Split into two braids: positions[:boundary_index] and the rest."""
+        if not 0 < boundary_index < len(self.positions):
+            raise ValueError(f"cannot split braid of size {self.size} "
+                             f"at index {boundary_index}")
+        return (
+            Braid(self.block_index, self.positions[:boundary_index]),
+            Braid(self.block_index, self.positions[boundary_index:]),
+        )
+
+    def __repr__(self) -> str:
+        return f"Braid(block={self.block_index}, positions={self.positions})"
+
+
+@dataclass
+class BraidIO:
+    """Dataflow classification of one braid's values (paper Table 3).
+
+    * ``internal_defs`` — positions whose produced value is consumed only
+      inside this braid and does not escape the block (candidates for the
+      internal register file);
+    * ``external_output_defs`` — positions whose value must reach the
+      external register file (escapes the block or is read by another braid);
+    * ``dead_defs`` — positions whose value is never read anywhere;
+    * ``external_input_regs`` — distinct registers read from outside the braid.
+    """
+
+    internal_defs: List[int] = field(default_factory=list)
+    external_output_defs: List[int] = field(default_factory=list)
+    dead_defs: List[int] = field(default_factory=list)
+    external_input_regs: List[Register] = field(default_factory=list)
+
+    @property
+    def num_internal(self) -> int:
+        return len(self.internal_defs)
+
+    @property
+    def num_external_outputs(self) -> int:
+        return len(self.external_output_defs)
+
+    @property
+    def num_external_inputs(self) -> int:
+        return len(self.external_input_regs)
+
+
+def classify_braid_io(
+    braid: Braid,
+    graph: BlockGraph,
+    escaping_positions: Set[int],
+) -> BraidIO:
+    """Classify each value a braid touches as internal / external / dead.
+
+    ``escaping_positions`` are the block positions whose destination value is
+    live out of the block (from :class:`~repro.dataflow.liveness.LivenessAnalysis`).
+    """
+    io = BraidIO()
+    members = braid._position_set
+    block = graph.block
+
+    seen_inputs: Dict[Register, None] = {}
+    for position in braid.positions:
+        inst: Instruction = block.instructions[position]
+        # --- inputs
+        for src_position, reg in enumerate(inst.srcs):
+            if reg.is_zero:
+                continue
+            producer = graph.producer_of[position].get(src_position)
+            if producer is None or producer not in members:
+                seen_inputs.setdefault(reg, None)
+        # --- outputs
+        if inst.writes() is None:
+            continue
+        consumers = graph.consumers_of.get(position, [])
+        outside = [c for c in consumers if c not in members]
+        escapes = position in escaping_positions
+        if escapes or outside:
+            io.external_output_defs.append(position)
+        elif consumers:
+            io.internal_defs.append(position)
+        else:
+            io.dead_defs.append(position)
+    io.external_input_regs = list(seen_inputs)
+    return io
+
+
+def internal_pressure(
+    braid: Braid,
+    graph: BlockGraph,
+    escaping_positions: Set[int],
+) -> int:
+    """Maximum number of simultaneously live internal values within a braid.
+
+    This is the working set the paper bounds at 8 internal registers
+    (section 3.1): when it exceeds the limit, the braid must be broken.
+    """
+    io = classify_braid_io(braid, graph, escaping_positions)
+    internal = set(io.internal_defs)
+    members = braid._position_set
+    last_use: Dict[int, int] = {}
+    for def_position in internal:
+        consumers = [
+            c for c in graph.consumers_of.get(def_position, []) if c in members
+        ]
+        last_use[def_position] = max(consumers)
+
+    # Slot lifetimes mirror the linear-scan allocator: at each instruction,
+    # source slots whose last use is here are freed *before* the destination
+    # allocates, so a pure chain needs exactly one internal register.
+    live = 0
+    peak = 0
+    ends_at: Dict[int, int] = {}
+    for position in braid.positions:
+        live -= ends_at.pop(position, 0)
+        if position in internal:
+            live += 1
+            ends_at[last_use[position]] = ends_at.get(last_use[position], 0) + 1
+        peak = max(peak, live)
+    return peak

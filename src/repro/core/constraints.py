@@ -1,0 +1,158 @@
+"""Ordering constraints and braid-breaking rules.
+
+Two conditions restrict braid formation (paper section 3.1):
+
+1. **Internal register pressure.**  The braid microarchitecture supports a
+   limited number of internal registers (8).  When a braid's working set of
+   internal values exceeds the limit, the braid is broken in two at that
+   boundary (about 2% of braids in the paper).
+2. **Memory ordering.**  Rearranging braids within the basic block must not
+   violate the partial order of memory instructions the compiler cannot
+   disambiguate.  When no braid ordering can maintain it, the braid is broken
+   at the location of the violation (under 1% of braids in the paper).
+
+This module also derives the full intra-block instruction ordering
+constraints (RAW/WAR/WAW on registers plus memory ordering) that the
+scheduler in :mod:`repro.core.translator` must respect, because braid
+reordering moves instructions of *different* braids past each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..dataflow.graph import BlockGraph
+from ..dataflow.memdep import memory_order_edges
+from ..isa.program import BasicBlock
+from ..isa.registers import NUM_INTERNAL_REGS, Register
+from .braid import Braid, classify_braid_io
+
+
+def instruction_order_constraints(block: BasicBlock) -> List[Tuple[int, int]]:
+    """All ``(earlier, later)`` position pairs whose order must be kept.
+
+    Covers register true (RAW), anti (WAR) and output (WAW) dependences plus
+    conservative memory ordering.  Every edge points forward in the original
+    program order, so the constraint graph is a DAG and the original order is
+    always one valid schedule.
+    """
+    edges: List[Tuple[int, int]] = []
+    last_writer: Dict[Register, int] = {}
+    readers_since_write: Dict[Register, List[int]] = {}
+
+    for position, inst in enumerate(block.instructions):
+        for reg in inst.reads():
+            producer = last_writer.get(reg)
+            if producer is not None:
+                edges.append((producer, position))  # RAW
+            readers_since_write.setdefault(reg, []).append(position)
+        written = inst.writes()
+        if written is not None:
+            previous = last_writer.get(written)
+            if previous is not None:
+                edges.append((previous, position))  # WAW
+            for reader in readers_since_write.get(written, ()):
+                if reader != position:
+                    edges.append((reader, position))  # WAR
+            last_writer[written] = position
+            readers_since_write[written] = []
+
+    for edge in memory_order_edges(block):
+        edges.append((edge.earlier, edge.later))
+    return edges
+
+
+def predecessor_map(
+    count: int, edges: List[Tuple[int, int]]
+) -> Dict[int, Set[int]]:
+    """``preds[j]`` = positions that must be scheduled before position ``j``."""
+    preds: Dict[int, Set[int]] = {position: set() for position in range(count)}
+    for earlier, later in edges:
+        preds[later].add(earlier)
+    return preds
+
+
+@dataclass
+class SplitStats:
+    """How many braids each breaking rule produced.
+
+    ``ordering_splits`` counts breaks forced by instruction-ordering
+    constraints during braid scheduling (the paper's memory-ordering rule,
+    generalized to the register WAR/WAW hazards a conservative binary
+    translator must also respect); ``pressure_splits`` counts breaks from the
+    internal-register working-set limit.
+    """
+
+    ordering_splits: int = 0
+    pressure_splits: int = 0
+
+    def merge(self, other: "SplitStats") -> None:
+        self.ordering_splits += other.ordering_splits
+        self.pressure_splits += other.pressure_splits
+
+
+def first_pressure_exceed(
+    braid: Braid,
+    graph: BlockGraph,
+    escaping_positions: Set[int],
+    limit: int,
+) -> int:
+    """Index into ``braid.positions`` where live internal values first exceed
+    ``limit``, or ``-1`` if the braid never exceeds it."""
+    io = classify_braid_io(braid, graph, escaping_positions)
+    internal = set(io.internal_defs)
+    members = set(braid.positions)
+    last_use: Dict[int, List[int]] = {}
+    for def_position in internal:
+        consumers = [
+            c for c in graph.consumers_of.get(def_position, []) if c in members
+        ]
+        last_use.setdefault(max(consumers), []).append(def_position)
+
+    live = 0
+    for index, position in enumerate(braid.positions):
+        live -= len(last_use.get(position, ()))
+        if position in internal:
+            live += 1
+            if live > limit:
+                return index
+    return -1
+
+
+def enforce_internal_pressure(
+    braids: List[Braid],
+    graph: BlockGraph,
+    escaping_positions: Set[int],
+    limit: int = NUM_INTERNAL_REGS,
+) -> Tuple[List[Braid], SplitStats]:
+    """Split braids whose internal working set exceeds the register limit.
+
+    Splitting preserves the (already scheduled) emission order: a broken
+    braid is replaced, in place, by its two contiguous halves.  Values whose
+    live range crosses the split boundary are reclassified as external by the
+    subsequent register-allocation pass, which is what shrinks the working
+    set below the limit.
+    """
+    stats = SplitStats()
+    result: List[Braid] = []
+    work = list(braids)
+    while work:
+        braid = work.pop(0)
+        exceed = first_pressure_exceed(braid, graph, escaping_positions, limit)
+        if exceed < 0:
+            result.append(braid)
+            continue
+        # ``exceed`` is the instruction that pushed pressure over the limit;
+        # break the braid just before it (the paper's "boundary").
+        boundary = max(exceed, 1)
+        head, tail = braid.split_at(boundary)
+        stats.pressure_splits += 1
+        result.append(head)  # head is now at or below the limit by induction
+        work.insert(0, tail)
+        # Re-check the head too: classification changed, but splitting can
+        # only turn internal values external, so pressure never increases.
+        if first_pressure_exceed(head, graph, escaping_positions, limit) >= 0:
+            result.pop()
+            work.insert(0, head)
+    return result, stats

@@ -1,0 +1,81 @@
+"""Braid identification: partition a block's dataflow graph into braids.
+
+Paper section 3.1: "Braids are identified using a simple graph coloring
+algorithm.  A braid is formed by selecting an instruction within the basic
+block and identifying the dataflow subgraph stemming from that instruction
+within the basic block.  This is repeated until all instructions within the
+basic block are associated with a braid."
+
+Colouring connected dataflow subgraphs is union-find over the block's
+def-use edges: every instruction ends up in exactly one braid, and two
+instructions share a braid iff they are connected through in-block values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dataflow.graph import BlockGraph
+from ..isa.program import BasicBlock
+from .braid import Braid
+
+
+class _UnionFind:
+    """Path-compressing union-find over instruction positions."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+        self.rank = [0] * size
+
+    def find(self, node: int) -> int:
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self.rank[root_a] < self.rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        if self.rank[root_a] == self.rank[root_b]:
+            self.rank[root_a] += 1
+
+
+def partition_block(graph: BlockGraph) -> List[Braid]:
+    """Partition one basic block into braids.
+
+    Returns braids ordered by their first (original) instruction position.
+    Every instruction belongs to exactly one braid; instructions without any
+    in-block dataflow (nops, branches on incoming values, isolated ``lda``)
+    become single-instruction braids.
+    """
+    block: BasicBlock = graph.block
+    count = len(block.instructions)
+    if count == 0:
+        return []
+
+    forest = _UnionFind(count)
+    for edge in graph.edges:
+        forest.union(edge.producer, edge.consumer)
+
+    members: Dict[int, List[int]] = {}
+    for position in range(count):
+        members.setdefault(forest.find(position), []).append(position)
+
+    braids = [Braid(block.index, positions) for positions in members.values()]
+    braids.sort(key=lambda braid: braid.first_position)
+    return braids
+
+
+def braid_of_position(braids: List[Braid]) -> Dict[int, int]:
+    """Map each instruction position to its braid's index in ``braids``."""
+    owner: Dict[int, int] = {}
+    for braid_index, braid in enumerate(braids):
+        for position in braid.positions:
+            owner[position] = braid_index
+    return owner

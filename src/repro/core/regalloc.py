@@ -1,0 +1,267 @@
+"""Two-pass braid register allocation (paper section 3.1).
+
+Pass 1 — *external* registers are allocated across the entire program.  Our
+input programs already use architectural register names, so this pass is a
+compaction: registers whose live ranges never overlap may be merged, which
+shrinks the external working set (see :class:`ExternalRegisterCompactor`).
+
+Pass 2 — *internal* registers are allocated within each braid by linear scan
+over the braid's instruction order.  A value qualifies for the internal file
+when it does not escape the basic block and every consumer lies in the same
+braid; its internal slot is freed after its last in-braid consumer, matching
+the hardware's discard-at-braid-end behaviour.
+
+The allocator also materializes the braid ISA annotation bits: the S bit on
+each braid's first instruction, T bits on internal sources, and the I/E
+destination bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..dataflow.graph import BlockGraph
+from ..dataflow.liveness import LivenessAnalysis
+from ..isa.instruction import BraidAnnotation, Instruction
+from ..isa.program import BasicBlock, Program
+from ..isa.registers import NUM_INTERNAL_REGS, Register, Space
+from .braid import Braid, classify_braid_io
+
+
+class RegAllocError(RuntimeError):
+    """Raised when internal register allocation fails (indicates a bug in the
+    pressure-splitting pass, which must guarantee allocability)."""
+
+
+def allocate_block(
+    block: BasicBlock,
+    graph: BlockGraph,
+    ordered_braids: List[Braid],
+    escaping_positions: Set[int],
+    internal_limit: int = NUM_INTERNAL_REGS,
+) -> List[Instruction]:
+    """Produce the final annotated instruction sequence for one block.
+
+    ``ordered_braids`` is the braid emission order chosen by the scheduler;
+    the returned instructions are the braids' instructions, contiguous and in
+    that order, with registers rewritten and braid bits attached.
+    """
+    result: List[Instruction] = []
+    for braid_id, braid in enumerate(ordered_braids):
+        result.extend(
+            _allocate_braid(
+                block, graph, braid, braid_id, escaping_positions, internal_limit
+            )
+        )
+    return result
+
+
+def _allocate_braid(
+    block: BasicBlock,
+    graph: BlockGraph,
+    braid: Braid,
+    braid_id: int,
+    escaping_positions: Set[int],
+    internal_limit: int,
+) -> List[Instruction]:
+    io = classify_braid_io(braid, graph, escaping_positions)
+    internal_defs = set(io.internal_defs)
+    dead_defs = set(io.dead_defs)
+    members = set(braid.positions)
+
+    # Last in-braid consumer of each internal definition (slot lifetime end).
+    last_use: Dict[int, int] = {}
+    for def_position in internal_defs:
+        consumers = [
+            c for c in graph.consumers_of.get(def_position, []) if c in members
+        ]
+        last_use[def_position] = max(consumers)
+
+    free_slots = list(range(internal_limit))
+    slot_of_def: Dict[int, int] = {}
+    expire_at: Dict[int, List[int]] = {}
+
+    new_instructions: List[Instruction] = []
+    for order, position in enumerate(braid.positions):
+        inst = block.instructions[position]
+
+        # ----- rewrite sources (values consumed here)
+        new_srcs: List[Register] = []
+        spaces: List[Space] = []
+        for src_position, reg in enumerate(inst.srcs):
+            producer = graph.producer_of[position].get(src_position)
+            if producer is not None and producer in slot_of_def:
+                slot = slot_of_def[producer]
+                new_srcs.append(Register(reg.rclass, slot))
+                spaces.append(Space.INTERNAL)
+            else:
+                new_srcs.append(reg)
+                spaces.append(Space.EXTERNAL)
+
+        # ----- expire slots whose last consumer is this instruction
+        for slot in expire_at.pop(position, ()):
+            free_slots.append(slot)
+        free_slots.sort()
+
+        # ----- place the destination
+        dest = inst.dest
+        dest_internal = False
+        dest_external = dest is not None
+        if dest is not None and position in internal_defs:
+            if not free_slots:
+                raise RegAllocError(
+                    f"block {block.name}: braid {braid_id} exhausted "
+                    f"{internal_limit} internal registers at {inst.render()}"
+                )
+            slot = free_slots.pop(0)
+            slot_of_def[position] = slot
+            expire_at.setdefault(last_use[position], []).append(slot)
+            dest = Register(inst.dest.rclass, slot)
+            dest_internal, dest_external = True, False
+        elif dest is not None and position in dead_defs:
+            # Dead value: park it in a free internal slot if one exists (it
+            # is discarded at braid end); otherwise let it write externally.
+            if free_slots:
+                slot = free_slots[0]  # reusable immediately; do not reserve
+                dest = Register(inst.dest.rclass, slot)
+                dest_internal, dest_external = True, False
+
+        annot = BraidAnnotation(
+            braid_id=braid_id,
+            start=(order == 0),
+            src_spaces=tuple(spaces),
+            dest_internal=dest_internal,
+            dest_external=dest_external,
+        )
+        new_instructions.append(
+            Instruction(
+                opcode=inst.opcode,
+                dest=dest,
+                srcs=tuple(new_srcs),
+                imm=inst.imm,
+                target=inst.target,
+                annot=annot,
+            )
+        )
+    return new_instructions
+
+
+# --------------------------------------------------------------------------
+# Pass 1: external register compaction across the whole program.
+# --------------------------------------------------------------------------
+
+@dataclass
+class CompactionResult:
+    """Outcome of external register compaction."""
+
+    program: Program
+    mapping: Dict[Register, Register]
+
+    @property
+    def registers_before(self) -> int:
+        return len(self.mapping)
+
+    @property
+    def registers_after(self) -> int:
+        return len(set(self.mapping.values()))
+
+
+class ExternalRegisterCompactor:
+    """Merge architectural registers whose live ranges never overlap.
+
+    This reproduces the paper's first allocation pass ("register allocation
+    is performed for the external registers across the entire program"): with
+    most values destined for internal files, few external names are needed.
+    Merging is a conservative whole-name rename, sound whenever two names are
+    never simultaneously live at any program point.
+    """
+
+    def __init__(self, program: Program) -> None:
+        program.validate()
+        self.program = program
+        self.liveness = LivenessAnalysis(program)
+        self._interference = self._build_interference()
+
+    def _instruction_liveness(self, block) -> List[Set[Register]]:
+        """Live-after set for each instruction position in ``block``."""
+        live = set(self.liveness.live_out(block))
+        result: List[Set[Register]] = [set()] * len(block.instructions)
+        for position in reversed(range(len(block.instructions))):
+            inst = block.instructions[position]
+            result[position] = set(live)
+            written = inst.writes()
+            if written is not None:
+                live.discard(written)
+            live.update(inst.reads())
+        return result
+
+    def _build_interference(self) -> Dict[Register, Set[Register]]:
+        interference: Dict[Register, Set[Register]] = {}
+
+        def add_clique(regs: Set[Register]) -> None:
+            for reg in regs:
+                bucket = interference.setdefault(reg, set())
+                bucket.update(r for r in regs if r is not reg)
+
+        for block in self.program.blocks:
+            live_after = self._instruction_liveness(block)
+            add_clique(set(self.liveness.live_in(block)))
+            for position, inst in enumerate(block.instructions):
+                written = inst.writes()
+                if written is None:
+                    continue
+                # A def interferes with everything live after it.
+                clique = set(live_after[position])
+                clique.add(written)
+                add_clique(clique)
+        return interference
+
+    def compact(self) -> CompactionResult:
+        """Compute the merge mapping and rewrite the program."""
+        regs = sorted(self._interference, key=lambda r: (r.rclass.value, r.index))
+        mapping: Dict[Register, Register] = {}
+        groups: List[Tuple[Register, Set[Register]]] = []
+        for reg in regs:
+            if reg.is_zero:
+                mapping[reg] = reg
+                continue
+            placed = False
+            for representative, group in groups:
+                if representative.rclass is not reg.rclass:
+                    continue
+                if any(member in self._interference[reg] for member in group):
+                    continue
+                group.add(reg)
+                mapping[reg] = representative
+                placed = True
+                break
+            if not placed:
+                groups.append((reg, {reg}))
+                mapping[reg] = reg
+
+        new_blocks = []
+        for block in self.program.blocks:
+            new_instructions = []
+            for inst in block.instructions:
+                new_instructions.append(
+                    inst.with_operands(
+                        dest=mapping.get(inst.dest, inst.dest),
+                        srcs=tuple(mapping.get(s, s) for s in inst.srcs),
+                    )
+                )
+            new_blocks.append(
+                BasicBlock(
+                    index=block.index,
+                    instructions=new_instructions,
+                    label=block.label,
+                )
+            )
+        new_program = self.program.copy_structure(new_blocks)
+        new_program.validate()
+        return CompactionResult(program=new_program, mapping=mapping)
+
+
+def compact_external_registers(program: Program) -> CompactionResult:
+    """Convenience wrapper around :class:`ExternalRegisterCompactor`."""
+    return ExternalRegisterCompactor(program).compact()

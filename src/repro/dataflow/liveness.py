@@ -1,0 +1,130 @@
+"""Global register liveness over the control-flow graph.
+
+The paper's profiling tool "comprehends the usage of values [and] can
+determine values that are used within and outside of the basic block"
+(section 3.1).  That judgement is exactly classic backward liveness: a value
+produced in a block *escapes* iff its register is in the block's live-out set
+and the definition reaches the block end.  Braid register allocation uses
+this to decide internal vs external storage for every produced value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.program import BasicBlock, Program
+from ..isa.registers import Register
+
+
+@dataclass
+class BlockLiveness:
+    """Use/def summaries and the fixpoint live sets for one basic block."""
+
+    use: FrozenSet[Register]
+    defs: FrozenSet[Register]
+    live_in: Set[Register] = field(default_factory=set)
+    live_out: Set[Register] = field(default_factory=set)
+
+
+class LivenessAnalysis:
+    """Backward may-liveness fixpoint over a program's CFG."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: List[BlockLiveness] = [
+            self._summarize(block) for block in program.blocks
+        ]
+        self._solve()
+
+    @staticmethod
+    def _summarize(block: BasicBlock) -> BlockLiveness:
+        use: Set[Register] = set()
+        defs: Set[Register] = set()
+        for inst in block.instructions:
+            for reg in inst.reads():
+                if reg not in defs:
+                    use.add(reg)
+            written = inst.writes()
+            if written is not None:
+                defs.add(written)
+        return BlockLiveness(use=frozenset(use), defs=frozenset(defs))
+
+    def _successors(self, index: int) -> Tuple[int, ...]:
+        taken, fallthrough = self.program.successors(self.program.blocks[index])
+        result = []
+        if taken is not None:
+            result.append(taken)
+        if fallthrough is not None and fallthrough != taken:
+            result.append(fallthrough)
+        return tuple(result)
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for index in reversed(range(len(self.blocks))):
+                info = self.blocks[index]
+                live_out: Set[Register] = set()
+                for successor in self._successors(index):
+                    live_out |= self.blocks[successor].live_in
+                live_in = set(info.use) | (live_out - set(info.defs))
+                if live_out != info.live_out or live_in != info.live_in:
+                    info.live_out = live_out
+                    info.live_in = live_in
+                    changed = True
+
+    # ------------------------------------------------------------------ queries
+    def live_out(self, block: BasicBlock) -> Set[Register]:
+        return self.blocks[block.index].live_out
+
+    def live_in(self, block: BasicBlock) -> Set[Register]:
+        return self.blocks[block.index].live_in
+
+    def escaping_defs(self, block: BasicBlock) -> Dict[int, Register]:
+        """Instruction positions whose destination value escapes the block.
+
+        A definition escapes when it is the *last* write of its register in
+        the block and the register is live out of the block.  Escaping values
+        must be written to the external register file (E bit); all other
+        definitions may live purely in the internal file.
+        """
+        last_writer: Dict[Register, int] = {}
+        for position, inst in enumerate(block.instructions):
+            written = inst.writes()
+            if written is not None:
+                last_writer[written] = position
+        live = self.live_out(block)
+        return {
+            position: reg
+            for reg, position in last_writer.items()
+            if reg in live
+        }
+
+
+def dead_definitions(program: Program, liveness: "LivenessAnalysis") -> List[Instruction]:
+    """Instructions whose produced value is never read anywhere.
+
+    These are the paper's "about 4% of values [that] are produced but not
+    used" — results computed for control-flow paths not taken.  A definition
+    is dead when no later in-block instruction reads it before a re-definition
+    and it does not escape the block.
+    """
+    dead: List[Instruction] = []
+    for block in program.blocks:
+        escaping = set(liveness.escaping_defs(block))
+        for position, inst in enumerate(block.instructions):
+            written = inst.writes()
+            if written is None or position in escaping:
+                continue
+            used = False
+            for later in block.instructions[position + 1:]:
+                if written in later.reads():
+                    used = True
+                    break
+                if later.writes() == written:
+                    break
+            if not used:
+                dead.append(inst)
+    return dead

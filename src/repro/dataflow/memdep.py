@@ -1,0 +1,90 @@
+"""Static memory disambiguation within a basic block.
+
+Braid formation reorders instructions inside the basic block, so the
+translator must preserve the partial order of memory operations it cannot
+prove independent (paper section 3.1: "the majority of memory instructions
+access the stack so the compiler can disambiguate them").
+
+The disambiguator here proves independence when two accesses use the same
+base register — not redefined in between — with non-overlapping displacements
+(the stack/frame-pointer pattern), and is conservative otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..isa.program import BasicBlock
+
+#: Access width in bytes assumed for overlap checks (all our memory opcodes
+#: move at most one 8-byte word).
+ACCESS_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryEdge:
+    """An ordering requirement between two memory operations (positions)."""
+
+    earlier: int
+    later: int
+
+
+def _base_redefined_between(block: BasicBlock, first: int, second: int) -> bool:
+    base = block.instructions[first].base_reg
+    for inst in block.instructions[first + 1:second]:
+        if inst.writes() == base:
+            return True
+    return False
+
+
+def provably_independent(block: BasicBlock, first: int, second: int) -> bool:
+    """True when the two memory accesses cannot touch the same word."""
+    a = block.instructions[first]
+    b = block.instructions[second]
+    if a.base_reg != b.base_reg:
+        return False
+    if _base_redefined_between(block, first, second):
+        return False
+    word_a = a.imm & ~(ACCESS_BYTES - 1)
+    word_b = b.imm & ~(ACCESS_BYTES - 1)
+    return word_a != word_b
+
+
+def memory_order_edges(block: BasicBlock) -> List[MemoryEdge]:
+    """All intra-block memory ordering constraints the compiler must keep.
+
+    Load/load pairs never constrain.  Store/store, store/load and load/store
+    pairs constrain unless proven independent.
+    """
+    positions = [
+        position
+        for position, inst in enumerate(block.instructions)
+        if inst.is_mem
+    ]
+    edges: List[MemoryEdge] = []
+    for i, first in enumerate(positions):
+        first_inst = block.instructions[first]
+        for second in positions[i + 1:]:
+            second_inst = block.instructions[second]
+            if first_inst.is_load and second_inst.is_load:
+                continue
+            if provably_independent(block, first, second):
+                continue
+            edges.append(MemoryEdge(earlier=first, later=second))
+    return edges
+
+
+def ordering_violated(
+    edges: List[MemoryEdge], new_positions: List[int]
+) -> Set[Tuple[int, int]]:
+    """Memory edges broken by a proposed instruction reordering.
+
+    ``new_positions[old]`` gives the new position of the instruction that was
+    at ``old``.  Returns the set of violated ``(earlier, later)`` pairs.
+    """
+    violated: Set[Tuple[int, int]] = set()
+    for edge in edges:
+        if new_positions[edge.earlier] > new_positions[edge.later]:
+            violated.add((edge.earlier, edge.later))
+    return violated

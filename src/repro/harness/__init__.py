@@ -1,0 +1,57 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .context import ExperimentContext, benchmarks_from_env, scale_from_env
+from .experiments import (
+    abl_beu_occupancy,
+    abl_internal_reg_limit,
+    disc_pipeline_length,
+    fig1_width_potential,
+    fig5_ooo_registers,
+    fig6_braid_ext_registers,
+    fig7_braid_rf_ports,
+    fig8_braid_bypass,
+    fig9_braid_beus,
+    fig10_braid_fifo,
+    fig11_braid_window,
+    fig12_braid_window_fus,
+    fig13_paradigms,
+    fig14_equal_fus,
+    sec1_value_characterization,
+    tab1_braids_per_block,
+    tab2_braid_size_width,
+    tab3_braid_io,
+)
+from .figures import render_bars, render_series
+from .reporting import ExperimentResult, normalize_rows
+
+ALL_EXPERIMENTS = {
+    "F1": fig1_width_potential,
+    "VC": sec1_value_characterization,
+    "T1": tab1_braids_per_block,
+    "T2": tab2_braid_size_width,
+    "T3": tab3_braid_io,
+    "F5": fig5_ooo_registers,
+    "F6": fig6_braid_ext_registers,
+    "F7": fig7_braid_rf_ports,
+    "F8": fig8_braid_bypass,
+    "F9": fig9_braid_beus,
+    "F10": fig10_braid_fifo,
+    "F11": fig11_braid_window,
+    "F12": fig12_braid_window_fus,
+    "F13": fig13_paradigms,
+    "F14": fig14_equal_fus,
+    "D1": disc_pipeline_length,
+    "A1": abl_beu_occupancy,
+    "A2": abl_internal_reg_limit,
+}
+
+__all__ = [
+    "ExperimentContext",
+    "benchmarks_from_env",
+    "scale_from_env",
+    "render_bars",
+    "render_series",
+    "ExperimentResult",
+    "normalize_rows",
+    "ALL_EXPERIMENTS",
+] + [fn.__name__ for fn in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,90 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures directly::
+
+    python -m repro.harness F13 T1          # specific experiments
+    python -m repro.harness all             # everything
+    REPRO_BENCHMARKS=quick python -m repro.harness F9 F10
+
+Experiment ids follow DESIGN.md section 3 (F1, VC, T1-T3, F5-F14, D1,
+A1-A2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS, ExperimentContext
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark names, 'quick', or 'full' "
+             "(overrides REPRO_BENCHMARKS)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dynamic-length multiplier (overrides REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "bars", "series"), default="table",
+        help="output style: per-benchmark table (default), grouped bar "
+             "chart, or compact suite-average series",
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
+    for experiment_id in args.experiments:
+        if experiment_id == "all":
+            continue
+        if experiment_id not in ALL_EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {experiment_id!r}; "
+                f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'"
+            )
+        selected.append(experiment_id)
+
+    benchmarks = None
+    if args.benchmarks == "quick":
+        from ..workloads import QUICK_BENCHMARKS
+
+        benchmarks = QUICK_BENCHMARKS
+    elif args.benchmarks and args.benchmarks != "full":
+        benchmarks = tuple(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        )
+
+    from .figures import render_bars, render_series
+
+    renderers = {
+        "table": lambda result: result.render(),
+        "bars": render_bars,
+        "series": render_series,
+    }
+    render = renderers[args.format]
+
+    context = ExperimentContext(benchmarks=benchmarks, scale=args.scale)
+    for experiment_id in selected:
+        started = time.time()
+        result = ALL_EXPERIMENTS[experiment_id](context)
+        print(render(result))
+        print(f"   [{time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Experiment context: caches programs, compilations, workloads, and runs.
+
+Every figure sweeps many machine configurations over the same benchmarks, so
+the expensive phase-one artifacts (program generation, braid compilation,
+functional traces, branch/cache oracles) are computed once per benchmark and
+shared.  Environment knobs:
+
+* ``REPRO_BENCHMARKS`` — comma-separated benchmark names, ``quick`` (the
+  four-program subset), or ``full`` (all 26; the default);
+* ``REPRO_SCALE`` — dynamic-length multiplier (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.pipeline import BraidCompilation, braidify
+from ..isa.program import Program
+from ..sim.config import MachineConfig
+from ..sim.results import SimResult
+from ..sim.run import simulate
+from ..sim.workload import PreparedWorkload, prepare_workload
+from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
+from ..workloads.suite import QUICK_BENCHMARKS, build_program
+
+
+def benchmarks_from_env(default: str = "full") -> Tuple[str, ...]:
+    """Resolve the benchmark selection from ``REPRO_BENCHMARKS``."""
+    value = os.environ.get("REPRO_BENCHMARKS", default).strip()
+    if value == "full":
+        return ALL_BENCHMARKS
+    if value == "quick":
+        return QUICK_BENCHMARKS
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    unknown = [name for name in names if name not in ALL_BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmarks in REPRO_BENCHMARKS: {unknown}")
+    return names
+
+
+def scale_from_env(default: float = 1.0) -> float:
+    """Resolve the dynamic-length multiplier from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+class ExperimentContext:
+    """Shared, cached state for one experiment session."""
+
+    def __init__(
+        self,
+        benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+        max_instructions: int = 60_000,
+    ) -> None:
+        self.benchmarks: Tuple[str, ...] = (
+            tuple(benchmarks) if benchmarks is not None else benchmarks_from_env()
+        )
+        self.scale = scale if scale is not None else scale_from_env()
+        self.max_instructions = max_instructions
+        self._programs: Dict[str, Program] = {}
+        self._compilations: Dict[Tuple[str, int], BraidCompilation] = {}
+        self._workloads: Dict[Tuple[str, bool, bool, int], PreparedWorkload] = {}
+
+    def suite_of(self, name: str) -> str:
+        if name in INT_BENCHMARKS:
+            return "int"
+        if name in FP_BENCHMARKS:
+            return "fp"
+        return "kernel"
+
+    # ------------------------------------------------------------------ caches
+    def program(self, name: str) -> Program:
+        if name not in self._programs:
+            self._programs[name] = build_program(name, scale=self.scale)
+        return self._programs[name]
+
+    def compilation(self, name: str, internal_limit: int = 8) -> BraidCompilation:
+        key = (name, internal_limit)
+        if key not in self._compilations:
+            self._compilations[key] = braidify(
+                self.program(name), internal_limit=internal_limit
+            )
+        return self._compilations[key]
+
+    def workload(
+        self,
+        name: str,
+        braided: bool = False,
+        perfect: bool = False,
+        internal_limit: int = 8,
+    ) -> PreparedWorkload:
+        key = (name, braided, perfect, internal_limit)
+        if key not in self._workloads:
+            program = (
+                self.compilation(name, internal_limit).translated
+                if braided
+                else self.program(name)
+            )
+            self._workloads[key] = prepare_workload(
+                program,
+                perfect=perfect,
+                max_instructions=self.max_instructions,
+            )
+        return self._workloads[key]
+
+    # -------------------------------------------------------------------- runs
+    def run(
+        self,
+        name: str,
+        config: MachineConfig,
+        braided: bool = False,
+        perfect: bool = False,
+        internal_limit: int = 8,
+    ) -> SimResult:
+        workload = self.workload(
+            name, braided=braided, perfect=perfect, internal_limit=internal_limit
+        )
+        return simulate(workload, config)

@@ -1,0 +1,555 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each function sweeps the relevant design parameter over the context's
+benchmark suite and returns an :class:`ExperimentResult` whose shape mirrors
+the paper's artifact (same series, same normalization).  The bench harness
+in ``benchmarks/`` simply calls these and prints the rendered table;
+EXPERIMENTS.md records paper-vs-measured for every one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..analysis.braidstats import braid_statistics
+from ..analysis.values import average_fractions, characterize_values
+from ..sim.config import braid_config, depsteer_config, inorder_config, ooo_config
+from ..uarch.regfile import RegFileSpec
+from .context import ExperimentContext
+from .reporting import ExperimentResult, normalize_rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — potential performance at wider issue widths (perfect front end)
+# ---------------------------------------------------------------------------
+def fig1_width_potential(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 1: OoO speedup at 8/16-wide over 4-wide, perfect front end."""
+    result = ExperimentResult(
+        experiment_id="F1",
+        title="speedup of 8/16-wide over 4-wide out-of-order, "
+              "perfect branch prediction and caches",
+        paper_expectation="average speedup 1.44x at 8-wide, 1.83x at 16-wide",
+        columns=["4w", "8w", "16w"],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for width in (4, 8, 16):
+            run = ctx.run(name, ooo_config(width), perfect=True)
+            row[f"{width}w"] = run.ipc
+        result.rows[name] = row
+    normalize_rows(result, "4w")
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 1.1 — value fanout and lifetime characterization
+# ---------------------------------------------------------------------------
+def sec1_value_characterization(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 1.1: value fanout and lifetime distributions."""
+    result = ExperimentResult(
+        experiment_id="VC",
+        title="value fanout and lifetime",
+        paper_expectation=">70% single-use, ~90% used at most twice, "
+                          "~4% unused, ~80% lifetime <= 32 instructions",
+        columns=["single", "le2", "unused", "life32"],
+    )
+    characterizations = []
+    for name in ctx.benchmarks:
+        chars = characterize_values(
+            ctx.program(name), max_instructions=ctx.max_instructions
+        )
+        characterizations.append(chars)
+        result.rows[name] = {
+            "single": chars.fraction_single_use,
+            "le2": chars.fraction_at_most_two_uses,
+            "unused": chars.fraction_unused,
+            "life32": chars.fraction_short_lived,
+        }
+    headline = average_fractions(characterizations)
+    result.averages = {
+        "single": headline["single_use"],
+        "le2": headline["at_most_two_uses"],
+        "unused": headline["unused"],
+        "life32": headline["lifetime_le_32"],
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tables 1-3 — braid statistics
+# ---------------------------------------------------------------------------
+def _stats_experiment(
+    ctx: ExperimentContext,
+    experiment_id: str,
+    title: str,
+    expectation: str,
+    metrics: Sequence[Tuple[str, str, bool]],
+) -> ExperimentResult:
+    """Shared Tables 1-3 driver: metrics are (column, attr, exclude_singles)."""
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        paper_expectation=expectation,
+        columns=[column for column, _, _ in metrics],
+    )
+    for name in ctx.benchmarks:
+        stats = braid_statistics(ctx.compilation(name), suite=ctx.suite_of(name))
+        result.rows[name] = {
+            column: getattr(stats, attr)(exclude)
+            for column, attr, exclude in metrics
+        }
+    result.finalize_averages()
+    return result
+
+
+def tab1_braids_per_block(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 1: braids per basic block, with/without singles."""
+    return _stats_experiment(
+        ctx,
+        "T1",
+        "braids per basic block",
+        "int 2.8 (1.1 excluding singles), fp 3.8 (1.5 excluding singles)",
+        [
+            ("braids/bb", "braids_per_block", False),
+            ("excl-single", "braids_per_block", True),
+        ],
+    )
+
+
+def tab2_braid_size_width(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 2: braid size and width."""
+    return _stats_experiment(
+        ctx,
+        "T2",
+        "braid size and width",
+        "size int 2.5 (4.7 excl singles) / fp 3.6 (7.6); width ~1.1",
+        [
+            ("size", "mean_size", False),
+            ("size*", "mean_size", True),
+            ("width", "mean_width", False),
+            ("width*", "mean_width", True),
+        ],
+    )
+
+
+def tab3_braid_io(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 3: internal values, external inputs/outputs per braid."""
+    return _stats_experiment(
+        ctx,
+        "T3",
+        "braid internal values, external inputs/outputs",
+        "int internals 1.7 / ext-in 1.7 / ext-out 0.7; "
+        "fp internals 3.0 / ext-in 2.2 / ext-out 0.8",
+        [
+            ("internal", "mean_internals", False),
+            ("ext-in", "mean_external_inputs", False),
+            ("ext-out", "mean_external_outputs", False),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — out-of-order register file entries
+# ---------------------------------------------------------------------------
+def fig5_ooo_registers(
+    ctx: ExperimentContext, entries: Iterable[int] = (256, 64, 32, 16, 8)
+) -> ExperimentResult:
+    """Figure 5: out-of-order IPC vs register file entries."""
+    entries = tuple(entries)
+    result = ExperimentResult(
+        experiment_id="F5",
+        title="out-of-order performance vs register file entries",
+        paper_expectation="32 entries cost ~8%, 16 entries ~21%",
+        columns=[str(e) for e in entries],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for count in entries:
+            config = ooo_config(8)
+            config = replace(
+                config,
+                name=f"ooo-8w-rf{count}",
+                regfile=RegFileSpec(count, config.regfile.read_ports,
+                                    config.regfile.write_ports),
+            )
+            row[str(count)] = ctx.run(name, config).ipc
+        result.rows[name] = row
+    normalize_rows(result, str(entries[0]))
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — braid external register file entries
+# ---------------------------------------------------------------------------
+def fig6_braid_ext_registers(
+    ctx: ExperimentContext, entries: Iterable[int] = (256, 32, 16, 8, 4, 2, 1)
+) -> ExperimentResult:
+    """Figure 6: braid IPC vs external register file entries."""
+    entries = tuple(entries)
+    result = ExperimentResult(
+        experiment_id="F6",
+        title="braid performance vs external register file entries",
+        paper_expectation="8 entries match a 256-entry file; "
+                          "degradation only below 8",
+        columns=[str(e) for e in entries],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for count in entries:
+            config = braid_config(8)
+            config = replace(
+                config,
+                name=f"braid-8w-ext{count}",
+                regfile=RegFileSpec(count, config.regfile.read_ports,
+                                    config.regfile.write_ports),
+            )
+            row[str(count)] = ctx.run(name, config, braided=True).ipc
+        result.rows[name] = row
+    normalize_rows(result, str(entries[0]))
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — braid external register file ports
+# ---------------------------------------------------------------------------
+def fig7_braid_rf_ports(
+    ctx: ExperimentContext,
+    ports: Iterable[Tuple[int, int]] = ((16, 8), (8, 4), (6, 3), (4, 2)),
+) -> ExperimentResult:
+    """Figure 7: braid IPC vs external register file ports."""
+    ports = tuple(ports)
+    result = ExperimentResult(
+        experiment_id="F7",
+        title="braid performance vs external register file ports (read,write)",
+        paper_expectation="6 read / 3 write ports within 0.5% of a full port set",
+        columns=[f"{r},{w}" for r, w in ports],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for read_ports, write_ports in ports:
+            config = braid_config(8)
+            config = replace(
+                config,
+                name=f"braid-8w-p{read_ports}:{write_ports}",
+                regfile=RegFileSpec(config.regfile.entries, read_ports, write_ports),
+            )
+            row[f"{read_ports},{write_ports}"] = ctx.run(
+                name, config, braided=True
+            ).ipc
+        result.rows[name] = row
+    normalize_rows(result, f"{ports[0][0]},{ports[0][1]}")
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — braid bypass bandwidth
+# ---------------------------------------------------------------------------
+def fig8_braid_bypass(
+    ctx: ExperimentContext, widths: Iterable[int] = (8, 4, 2, 1)
+) -> ExperimentResult:
+    """Figure 8: braid IPC vs bypass paths per cycle."""
+    widths = tuple(widths)
+    result = ExperimentResult(
+        experiment_id="F8",
+        title="braid performance vs bypass paths per cycle",
+        paper_expectation="2 bypass values per cycle within 1% of a full network",
+        columns=[str(w) for w in widths],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for width in widths:
+            config = replace(
+                braid_config(8), name=f"braid-8w-bp{width}", bypass_width=width
+            )
+            row[str(width)] = ctx.run(name, config, braided=True).ipc
+        result.rows[name] = row
+    normalize_rows(result, str(widths[0]))
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — number of BEUs
+# ---------------------------------------------------------------------------
+def fig9_braid_beus(
+    ctx: ExperimentContext, beus: Iterable[int] = (1, 2, 4, 8, 16)
+) -> ExperimentResult:
+    """Figure 9: braid IPC vs number of BEUs."""
+    beus = tuple(beus)
+    result = ExperimentResult(
+        experiment_id="F9",
+        title="braid performance vs number of BEUs "
+              "(normalized to 8-wide out-of-order)",
+        paper_expectation="performance rises with BEU count; more ready braids "
+                          "than BEUs",
+        columns=[str(b) for b in beus],
+    )
+    for name in ctx.benchmarks:
+        baseline = ctx.run(name, ooo_config(8)).ipc
+        row: Dict[str, float] = {}
+        for count in beus:
+            config = replace(braid_config(8), name=f"braid-{count}beu",
+                             clusters=count)
+            row[str(count)] = ctx.run(name, config, braided=True).ipc / baseline
+        result.rows[name] = row
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — BEU FIFO depth
+# ---------------------------------------------------------------------------
+def fig10_braid_fifo(
+    ctx: ExperimentContext, entries: Iterable[int] = (4, 8, 16, 32, 64)
+) -> ExperimentResult:
+    """Figure 10: braid IPC vs FIFO entries per BEU."""
+    entries = tuple(entries)
+    result = ExperimentResult(
+        experiment_id="F10",
+        title="braid performance vs FIFO entries per BEU "
+              "(normalized to 8-wide out-of-order)",
+        paper_expectation="32 entries capture almost all performance "
+                          "(99% of braids are <= 32 instructions)",
+        columns=[str(e) for e in entries],
+    )
+    for name in ctx.benchmarks:
+        baseline = ctx.run(name, ooo_config(8)).ipc
+        row: Dict[str, float] = {}
+        for count in entries:
+            config = replace(braid_config(8), name=f"braid-fifo{count}",
+                             cluster_entries=count)
+            row[str(count)] = ctx.run(name, config, braided=True).ipc / baseline
+        result.rows[name] = row
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — BEU scheduling window
+# ---------------------------------------------------------------------------
+def fig11_braid_window(
+    ctx: ExperimentContext, windows: Iterable[int] = (1, 2, 4, 8)
+) -> ExperimentResult:
+    """Figure 11: braid IPC vs scheduling window size."""
+    windows = tuple(windows)
+    result = ExperimentResult(
+        experiment_id="F11",
+        title="braid performance vs FIFO scheduling window size "
+              "(normalized to 8-wide out-of-order)",
+        paper_expectation="steep rise from 1 to 2, plateau beyond 2",
+        columns=[str(w) for w in windows],
+    )
+    for name in ctx.benchmarks:
+        baseline = ctx.run(name, ooo_config(8)).ipc
+        row: Dict[str, float] = {}
+        for window in windows:
+            config = replace(braid_config(8), name=f"braid-win{window}",
+                             beu_window=window)
+            row[str(window)] = ctx.run(name, config, braided=True).ipc / baseline
+        result.rows[name] = row
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — window size and functional units together
+# ---------------------------------------------------------------------------
+def fig12_braid_window_fus(
+    ctx: ExperimentContext, sizes: Iterable[int] = (1, 2, 4, 8)
+) -> ExperimentResult:
+    """Figure 12: braid IPC vs window size == FUs per BEU."""
+    sizes = tuple(sizes)
+    result = ExperimentResult(
+        experiment_id="F12",
+        title="braid performance vs window size == functional units per BEU "
+              "(normalized to 8-wide out-of-order)",
+        paper_expectation="same plateau as Figure 11: braid ILP is ~2",
+        columns=[str(s) for s in sizes],
+    )
+    for name in ctx.benchmarks:
+        baseline = ctx.run(name, ooo_config(8)).ipc
+        row: Dict[str, float] = {}
+        for size in sizes:
+            config = replace(
+                braid_config(8),
+                name=f"braid-wf{size}",
+                beu_window=size,
+                beu_functional_units=size,
+            )
+            row[str(size)] = ctx.run(name, config, braided=True).ipc / baseline
+        result.rows[name] = row
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — four paradigms at three widths
+# ---------------------------------------------------------------------------
+def fig13_paradigms(
+    ctx: ExperimentContext, widths: Iterable[int] = (4, 8, 16)
+) -> ExperimentResult:
+    """Figure 13: the four paradigms at 4/8/16-wide."""
+    widths = tuple(widths)
+    columns = []
+    for width in widths:
+        columns.extend(
+            [f"io-{width}", f"dep-{width}", f"braid-{width}", f"ooo-{width}"]
+        )
+    result = ExperimentResult(
+        experiment_id="F13",
+        title="in-order / dependence-steering / braid / out-of-order IPC, "
+              "normalized to 8-wide out-of-order",
+        paper_expectation="braid within 9% of 8-wide out-of-order; "
+                          "gap closes as width grows; "
+                          "ordering in-order < dep < braid < out-of-order",
+        columns=columns,
+    )
+    for name in ctx.benchmarks:
+        baseline = ctx.run(name, ooo_config(8)).ipc
+        row: Dict[str, float] = {}
+        for width in widths:
+            row[f"io-{width}"] = ctx.run(name, inorder_config(width)).ipc / baseline
+            row[f"dep-{width}"] = ctx.run(name, depsteer_config(width)).ipc / baseline
+            row[f"braid-{width}"] = (
+                ctx.run(name, braid_config(width), braided=True).ipc / baseline
+            )
+            row[f"ooo-{width}"] = ctx.run(name, ooo_config(width)).ipc / baseline
+        result.rows[name] = row
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — equal functional unit resources
+# ---------------------------------------------------------------------------
+def fig14_equal_fus(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 14: equal-FU braid configurations."""
+    result = ExperimentResult(
+        experiment_id="F14",
+        title="equal-FU braid configurations, normalized to the default "
+              "(8 BEUs x 2 FUs)",
+        paper_expectation="more BEUs with fewer FUs each wins: "
+                          "8 BEU x 1 FU > 4 BEU x 2 FU",
+        columns=["4x2", "8x1", "8x2"],
+    )
+    for name in ctx.benchmarks:
+        default = ctx.run(name, braid_config(8), braided=True).ipc
+        few_wide = ctx.run(
+            name,
+            replace(braid_config(8), name="braid-4beu-2fu", clusters=4),
+            braided=True,
+        ).ipc
+        many_narrow = ctx.run(
+            name,
+            replace(
+                braid_config(8), name="braid-8beu-1fu", beu_functional_units=1
+            ),
+            braided=True,
+        ).ipc
+        result.rows[name] = {
+            "4x2": few_wide / default,
+            "8x1": many_narrow / default,
+            "8x2": 1.0,
+        }
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 — pipeline-length discussion (19 vs 23 cycle penalty)
+# ---------------------------------------------------------------------------
+def disc_pipeline_length(ctx: ExperimentContext) -> ExperimentResult:
+    """Section 5.1: gain from the 4-stage-shorter pipeline."""
+    result = ExperimentResult(
+        experiment_id="D1",
+        title="braid speedup from the 4-stage-shorter pipeline "
+              "(19- vs 23-cycle minimum misprediction penalty)",
+        paper_expectation="average gain ~2.19%",
+        columns=["short", "long", "gain"],
+    )
+    long_front = replace(
+        braid_config(8).front_end, depth=8, redirect=13
+    )
+    for name in ctx.benchmarks:
+        short = ctx.run(name, braid_config(8), braided=True).ipc
+        long_cfg = replace(
+            braid_config(8), name="braid-8w-longpipe", front_end=long_front
+        )
+        long = ctx.run(name, long_cfg, braided=True).ipc
+        result.rows[name] = {
+            "short": short,
+            "long": long,
+            "gain": short / long if long else 0.0,
+        }
+    result.finalize_averages()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md section 3)
+# ---------------------------------------------------------------------------
+def abl_beu_occupancy(ctx: ExperimentContext) -> ExperimentResult:
+    """Ablation A1: single braid per BEU vs queued braids."""
+    result = ExperimentResult(
+        experiment_id="A1",
+        title="single braid per BEU vs queued braids (normalized to single)",
+        paper_expectation="the paper's one-braid-at-a-time rule; queueing "
+                          "suffers head-of-line blocking",
+        columns=["single", "queued"],
+    )
+    for name in ctx.benchmarks:
+        single = ctx.run(name, braid_config(8), braided=True).ipc
+        queued = ctx.run(
+            name,
+            replace(braid_config(8), name="braid-8w-queued",
+                    beu_queue_braids=True),
+            braided=True,
+        ).ipc
+        result.rows[name] = {"single": 1.0, "queued": queued / single}
+    result.finalize_averages()
+    return result
+
+
+def abl_internal_reg_limit(
+    ctx: ExperimentContext, limits: Iterable[int] = (4, 8, 16)
+) -> ExperimentResult:
+    """Ablation A2: internal register limit sweep."""
+    limits = tuple(limits)
+    result = ExperimentResult(
+        experiment_id="A2",
+        title="internal register limit: braids broken and performance "
+              "(normalized to limit 8)",
+        paper_expectation="8 internal registers suffice; breaking affects "
+                          "~2% of braids",
+        columns=[f"ipc-{k}" for k in limits] + [f"splits-{k}" for k in limits],
+    )
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        base = None
+        for limit in limits:
+            compilation = ctx.compilation(name, internal_limit=limit)
+            config = replace(
+                braid_config(8),
+                name=f"braid-8w-int{limit}",
+                internal_regfile=RegFileSpec(limit, 4, 2),
+            )
+            ipc = ctx.run(
+                name, config, braided=True, internal_limit=limit
+            ).ipc
+            if limit == 8:
+                base = ipc
+            row[f"ipc-{limit}"] = ipc
+            row[f"splits-{limit}"] = float(
+                compilation.report.splits.pressure_splits
+            )
+        if base:
+            for limit in limits:
+                row[f"ipc-{limit}"] /= base
+        result.rows[name] = row
+    result.finalize_averages()
+    return result

@@ -1,0 +1,91 @@
+"""ASCII figure rendering: grouped bar charts in the style of the paper.
+
+The paper's figures are per-benchmark grouped bars (normalized performance);
+:func:`render_bars` draws the same thing in a terminal so a bench run's
+output visually matches the artifact it reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .reporting import ExperimentResult
+
+_BAR_CHARS = "#*+o@x%&"
+
+
+def render_bars(
+    result: ExperimentResult,
+    bar_width: int = 50,
+    max_value: Optional[float] = None,
+    include_average: bool = True,
+) -> str:
+    """Render an experiment as horizontal grouped bars, one group per
+    benchmark and one bar per column (series)."""
+    values = [
+        value
+        for row in result.rows.values()
+        for value in row.values()
+    ]
+    if not values:
+        return f"== {result.experiment_id}: (no data)"
+    peak = max_value if max_value is not None else max(values)
+    if peak <= 0:
+        peak = 1.0
+
+    name_width = max(
+        [len("benchmark")] + [len(name) for name in result.rows]
+    )
+    label_width = max(len(column) for column in result.columns)
+
+    def bar(value: float, mark: str) -> str:
+        filled = int(round(bar_width * min(value, peak) / peak))
+        return mark * filled
+
+    lines = [
+        f"== {result.experiment_id}: {result.title}",
+        f"   paper: {result.paper_expectation}",
+        f"   scale: full bar = {peak:.2f}",
+    ]
+    for name, row in result.rows.items():
+        lines.append(f"{name}")
+        for index, column in enumerate(result.columns):
+            if column not in row:
+                continue
+            mark = _BAR_CHARS[index % len(_BAR_CHARS)]
+            lines.append(
+                f"  {column:>{label_width}s} {row[column]:6.2f} "
+                f"{bar(row[column], mark)}"
+            )
+    if include_average and result.averages:
+        lines.append("average")
+        for index, column in enumerate(result.columns):
+            if column not in result.averages:
+                continue
+            mark = _BAR_CHARS[index % len(_BAR_CHARS)]
+            value = result.averages[column]
+            lines.append(
+                f"  {column:>{label_width}s} {value:6.2f} "
+                f"{bar(value, mark)}"
+            )
+    return "\n".join(lines)
+
+
+def render_series(result: ExperimentResult, bar_width: int = 50) -> str:
+    """Render only the suite averages as one bar per sweep point — the
+    compact view for single-parameter sweeps (Figures 5-12)."""
+    if not result.averages:
+        result.finalize_averages()
+    peak = max(result.averages.values()) or 1.0
+    label_width = max(len(column) for column in result.columns)
+    lines = [
+        f"== {result.experiment_id}: {result.title} (suite average)",
+        f"   paper: {result.paper_expectation}",
+    ]
+    for column in result.columns:
+        value = result.averages.get(column)
+        if value is None:
+            continue
+        filled = int(round(bar_width * value / peak))
+        lines.append(f"  {column:>{label_width}s} {value:6.3f} {'#' * filled}")
+    return "\n".join(lines)

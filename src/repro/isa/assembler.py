@@ -1,0 +1,232 @@
+"""A small two-pass assembler for the Alpha-like ISA.
+
+The assembler exists so that tests, examples, and hand-written kernels (such
+as the paper's Figure 2 ``gcc`` life-analysis loop) can be expressed in
+readable text instead of constructed object by object.
+
+Syntax::
+
+    .program life_loop
+    .block L0
+        addq r1, r4, r0       ; rc is the destination (Alpha order)
+        addl r5, #1, r5       ; literal second operand -> immediate variant
+        ldl  r3, 0(r0)        ; load:  dest, disp(base)
+        stl  r3, 4(r2)        ; store: value, disp(base)
+        cmovne r0, #1, r6     ; conditional move of a literal
+        bne  r1, L0           ; conditional branch to a block label
+    .block L1
+        nop
+
+Comments run from ``;`` or ``#`` (when not an immediate) to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import IMM_VARIANTS, OpCategory, opcode_by_name
+from .program import BasicBlock, Program, ProgramError
+from .registers import Register, parse_register
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_MEM_OPERAND = re.compile(r"^(-?(?:0x[0-9a-f]+|\d+))\s*\(\s*(\w+)\s*\)$", re.I)
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    return int(text, 0)
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+class _PendingBranch:
+    """A branch whose label target is resolved in the second pass."""
+
+    def __init__(self, line_number: int, opcode_name: str,
+                 srcs: Tuple[Register, ...], label: str) -> None:
+        self.line_number = line_number
+        self.opcode_name = opcode_name
+        self.srcs = srcs
+        self.label = label
+
+
+def assemble(text: str, name: Optional[str] = None) -> Program:
+    """Assemble ``text`` into a validated :class:`Program`."""
+    program_name = name or "program"
+    blocks: List[BasicBlock] = []
+    current: Optional[BasicBlock] = None
+    entry_label: Optional[str] = None
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith(".program"):
+            program_name = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith(".entry"):
+            entry_label = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith(".block"):
+            label = line.split(None, 1)[1].strip()
+            current = BasicBlock(index=len(blocks), label=label)
+            blocks.append(current)
+            continue
+        if line.startswith("."):
+            raise AssemblerError(line_number, f"unknown directive {line!r}")
+
+        if current is None:
+            current = BasicBlock(index=0, label="L0")
+            blocks.append(current)
+        current.instructions.append(_parse_instruction(line_number, line))
+
+    if not blocks:
+        raise AssemblerError(0, "no instructions")
+
+    program = Program(name=program_name, blocks=blocks)
+    _resolve_labels(program)
+    if entry_label is not None:
+        program.entry = program.block_by_label(entry_label).index
+    try:
+        program.validate()
+    except ProgramError as exc:
+        raise AssemblerError(0, str(exc)) from exc
+    return program
+
+
+def _resolve_labels(program: Program) -> None:
+    for block in program.blocks:
+        for position, inst in enumerate(block.instructions):
+            if isinstance(inst, _PendingBranch):
+                try:
+                    target = program.block_by_label(inst.label).index
+                except KeyError:
+                    raise AssemblerError(
+                        inst.line_number, f"undefined block label {inst.label!r}"
+                    ) from None
+                block.instructions[position] = Instruction(
+                    opcode=opcode_by_name(inst.opcode_name),
+                    srcs=inst.srcs,
+                    target=target,
+                )
+
+
+def _parse_instruction(line_number: int, line: str):
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(operand_text)
+
+    try:
+        opcode = opcode_by_name(mnemonic)
+    except KeyError:
+        raise AssemblerError(line_number, f"unknown opcode {mnemonic!r}") from None
+
+    try:
+        return _build(line_number, mnemonic, opcode, operands)
+    except (ValueError, IndexError) as exc:
+        if isinstance(exc, AssemblerError):
+            raise
+        raise AssemblerError(line_number, f"{mnemonic}: {exc}") from exc
+
+
+def _build(line_number: int, mnemonic: str, opcode, operands: List[str]):
+    category = opcode.category
+
+    if category is OpCategory.NOP:
+        return Instruction(opcode=opcode)
+
+    if category is OpCategory.BRANCH:
+        if opcode.conditional:
+            if len(operands) != 2:
+                raise ValueError("expected: test-register, target-label")
+            return _PendingBranch(
+                line_number, mnemonic, (parse_register(operands[0]),), operands[1]
+            )
+        if len(operands) != 1:
+            raise ValueError("expected: target-label")
+        return _PendingBranch(line_number, mnemonic, (), operands[0])
+
+    if category is OpCategory.LOAD or mnemonic in ("lda", "ldah"):
+        if len(operands) != 2:
+            raise ValueError("expected: dest, disp(base)")
+        dest = parse_register(operands[0])
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise ValueError(f"malformed memory operand {operands[1]!r}")
+        disp, base = _parse_int(match.group(1)), parse_register(match.group(2))
+        return Instruction(opcode=opcode, dest=dest, srcs=(base,), imm=disp)
+
+    if category is OpCategory.STORE:
+        if len(operands) != 2:
+            raise ValueError("expected: value, disp(base)")
+        value = parse_register(operands[0])
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise ValueError(f"malformed memory operand {operands[1]!r}")
+        disp, base = _parse_int(match.group(1)), parse_register(match.group(2))
+        return Instruction(opcode=opcode, srcs=(value, base), imm=disp)
+
+    # Computational forms: sources..., destination last.  A literal second
+    # operand rewrites the opcode to its register-immediate variant.
+    if len(operands) >= 2 and _is_literal(operands[1]):
+        variant = IMM_VARIANTS.get(mnemonic)
+        if variant is None and opcode.num_srcs > 1:
+            raise ValueError("no immediate variant for this opcode")
+        if variant is not None:
+            opcode = opcode_by_name(variant)
+            mnemonic = variant
+        imm = _parse_int(operands[1])
+        rest = [operands[0]] + operands[2:]
+        if opcode.category is OpCategory.CMOV:
+            # cmovnei test, #imm, dest : the old destination is also read.
+            dest = parse_register(rest[-1])
+            return Instruction(
+                opcode=opcode,
+                dest=dest,
+                srcs=(parse_register(rest[0]), dest),
+                imm=imm,
+            )
+        dest = parse_register(rest[-1])
+        srcs = tuple(parse_register(token) for token in rest[:-1])
+        return Instruction(opcode=opcode, dest=dest, srcs=srcs, imm=imm)
+
+    if opcode.category is OpCategory.CMOV:
+        if len(operands) != 3:
+            raise ValueError("expected: test, value, dest")
+        dest = parse_register(operands[2])
+        return Instruction(
+            opcode=opcode,
+            dest=dest,
+            srcs=(parse_register(operands[0]), parse_register(operands[1]), dest),
+        )
+
+    dest = parse_register(operands[-1])
+    srcs = tuple(parse_register(token) for token in operands[:-1])
+    return Instruction(opcode=opcode, dest=dest, srcs=srcs)
+
+
+def _is_literal(token: str) -> bool:
+    token = token.strip()
+    if token.startswith("#"):
+        return True
+    try:
+        int(token, 0)
+    except ValueError:
+        return False
+    return True

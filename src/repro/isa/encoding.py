@@ -1,0 +1,142 @@
+"""Bit-level braid instruction encoding (paper Figure 3).
+
+The paper extends each instruction with a braid start bit (``S``), a
+temporary-operand bit (``T``) per source selecting the internal register
+file, and internal/external destination bits (``I``/``E``).  The paper leaves
+the base word format to the implementation; this module defines a concrete
+64-bit encoding wide enough for three register sources (``cmov``) and a
+22-bit displacement, and provides a lossless encode/decode round trip that is
+exercised by the test suite.
+
+Field layout (most significant bit first)::
+
+    [63]      S       braid start
+    [62:55]   opcode  8-bit opcode number
+    [54]      I       destination written to internal register file
+    [53]      E       destination written to external register file
+    [52:46]   dest    register field (bit 6 = fp bank, bits 5..0 = index)
+    [45]      T1      source 1 reads internal file
+    [44:38]   src1    register field
+    [37]      T2
+    [36:30]   src2
+    [29]      T3
+    [28:22]   src3
+    [21:0]    imm     22-bit signed immediate / displacement / branch target
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .instruction import BraidAnnotation, Instruction
+from .opcodes import Opcode, all_opcodes, to_signed
+from .registers import Register, RegClass, Space
+
+IMM_BITS = 22
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in the braid format."""
+
+
+def _opcode_table() -> Tuple[List[Opcode], dict]:
+    table = list(all_opcodes())
+    if len(table) > 256:
+        raise EncodingError("opcode space exhausted (8-bit field)")
+    return table, {op.name: number for number, op in enumerate(table)}
+
+
+_OPCODES, _OPCODE_NUMBERS = _opcode_table()
+
+
+def _encode_reg(reg: Optional[Register]) -> int:
+    if reg is None:
+        return 0
+    bank = 1 if reg.rclass is RegClass.FP else 0
+    return (bank << 6) | reg.index
+
+
+def _decode_reg(field: int) -> Register:
+    bank = RegClass.FP if (field >> 6) & 1 else RegClass.INT
+    return Register(bank, field & 0x3F)
+
+
+def encode(inst: Instruction) -> int:
+    """Encode one instruction (with its braid bits) into a 64-bit word."""
+    imm = inst.target if inst.is_branch else inst.imm
+    if imm is None:
+        imm = 0
+    if not IMM_MIN <= imm <= IMM_MAX:
+        raise EncodingError(f"immediate {imm} exceeds {IMM_BITS}-bit field")
+
+    annot = inst.annot
+    word = 0
+    word |= (1 if annot.start else 0) << 63
+    word |= _OPCODE_NUMBERS[inst.opcode.name] << 55
+    word |= (1 if annot.dest_internal else 0) << 54
+    word |= (1 if (annot.dest_external and inst.dest is not None) else 0) << 53
+    word |= _encode_reg(inst.dest) << 46
+
+    src_positions = ((45, 38), (37, 30), (29, 22))
+    if len(inst.srcs) > len(src_positions):
+        raise EncodingError(f"{inst.opcode.name}: too many sources to encode")
+    for position, src in enumerate(inst.srcs):
+        t_bit, reg_bit = src_positions[position]
+        internal = annot.src_space(position) is Space.INTERNAL
+        word |= (1 if internal else 0) << t_bit
+        word |= _encode_reg(src) << reg_bit
+
+    word |= imm & ((1 << IMM_BITS) - 1)
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit word back into an annotated instruction."""
+    opcode_number = (word >> 55) & 0xFF
+    if opcode_number >= len(_OPCODES):
+        raise EncodingError(f"unknown opcode number {opcode_number}")
+    opcode = _OPCODES[opcode_number]
+
+    start = bool((word >> 63) & 1)
+    dest_internal = bool((word >> 54) & 1)
+    dest_external = bool((word >> 53) & 1)
+    dest = _decode_reg((word >> 46) & 0x7F) if opcode.has_dest else None
+
+    src_positions = ((45, 38), (37, 30), (29, 22))
+    srcs = []
+    spaces = []
+    for position in range(opcode.num_srcs):
+        t_bit, reg_bit = src_positions[position]
+        srcs.append(_decode_reg((word >> reg_bit) & 0x7F))
+        spaces.append(
+            Space.INTERNAL if (word >> t_bit) & 1 else Space.EXTERNAL
+        )
+
+    imm = to_signed(word & ((1 << IMM_BITS) - 1), IMM_BITS)
+    annot = BraidAnnotation(
+        braid_id=None,
+        start=start,
+        src_spaces=tuple(spaces),
+        dest_internal=dest_internal,
+        dest_external=dest_external if opcode.has_dest else True,
+    )
+    return Instruction(
+        opcode=opcode,
+        dest=dest,
+        srcs=tuple(srcs),
+        imm=0 if opcode.is_branch else imm,
+        target=imm if opcode.is_branch else None,
+        annot=annot,
+    )
+
+
+def encode_block(instructions) -> List[int]:
+    """Encode a sequence of instructions into words."""
+    return [encode(inst) for inst in instructions]
+
+
+def decode_block(words) -> List[Instruction]:
+    """Decode a sequence of words back into instructions."""
+    return [decode(word) for word in words]

@@ -1,0 +1,197 @@
+"""Instruction model with braid annotations.
+
+A static :class:`Instruction` is an opcode plus register/immediate operands
+and an optional :class:`BraidAnnotation` carrying the ISA extension bits of
+paper Figure 3:
+
+* ``S`` — braid start bit (first instruction of a braid),
+* ``T`` per source — source reads the internal (vs external) register file,
+* ``I``/``E`` on the destination — result written to the internal file, the
+  external file, or both.
+
+Instructions compare by identity: the same static instruction object may
+appear many times in a dynamic trace, and dataflow graphs key on identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import Opcode
+from .registers import Register, Space
+
+
+@dataclass(frozen=True)
+class BraidAnnotation:
+    """Braid ISA extension bits attached to one instruction.
+
+    ``braid_id`` identifies the braid within its basic block (not encoded in
+    the machine word — the hardware only needs the S bit — but kept for
+    analysis and statistics).
+    """
+
+    braid_id: Optional[int] = None
+    start: bool = False
+    src_spaces: Tuple[Space, ...] = ()
+    dest_internal: bool = False
+    dest_external: bool = True
+
+    def src_space(self, position: int) -> Space:
+        """Space of source operand ``position`` (external when unannotated)."""
+        if position < len(self.src_spaces):
+            return self.src_spaces[position]
+        return Space.EXTERNAL
+
+
+#: Annotation used by untranslated (non-braid) code.
+PLAIN = BraidAnnotation()
+
+
+@dataclass(eq=False)
+class Instruction:
+    """One static instruction.
+
+    Memory operands follow Alpha conventions: a load reads ``srcs[0]`` as the
+    base register and ``imm`` as the displacement; a store reads
+    ``srcs[0]`` as the value to store and ``srcs[1]`` as the base register.
+    Conditional branches read ``srcs[0]`` as the test value; ``target`` names
+    the taken-path basic block.
+    """
+
+    opcode: Opcode
+    dest: Optional[Register] = None
+    srcs: Tuple[Register, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    annot: BraidAnnotation = field(default=PLAIN)
+
+    def __post_init__(self) -> None:
+        if len(self.srcs) != self.opcode.num_srcs:
+            raise ValueError(
+                f"{self.opcode.name} expects {self.opcode.num_srcs} sources, "
+                f"got {len(self.srcs)}"
+            )
+        if self.opcode.has_dest and self.dest is None:
+            raise ValueError(f"{self.opcode.name} requires a destination")
+        if not self.opcode.has_dest and self.dest is not None:
+            raise ValueError(f"{self.opcode.name} takes no destination")
+        if self.opcode.is_branch and self.target is None:
+            raise ValueError(f"branch {self.opcode.name} requires a target")
+
+    # ------------------------------------------------------------------ sugar
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.is_mem
+
+    @property
+    def is_nop(self) -> bool:
+        return self.opcode.is_nop
+
+    @property
+    def base_reg(self) -> Register:
+        """Base address register of a memory operation."""
+        if self.is_load:
+            return self.srcs[0]
+        if self.is_store:
+            return self.srcs[1]
+        raise ValueError(f"{self.opcode.name} is not a memory operation")
+
+    def reads(self) -> Tuple[Register, ...]:
+        """Registers read, excluding hardwired zeros (which carry no dataflow)."""
+        return tuple(r for r in self.srcs if not r.is_zero)
+
+    def writes(self) -> Optional[Register]:
+        """Register written, or None (writes to a zero register are discarded)."""
+        if self.dest is not None and not self.dest.is_zero:
+            return self.dest
+        return None
+
+    # -------------------------------------------------------------- annotation
+    def with_annotation(self, annot: BraidAnnotation) -> "Instruction":
+        """A copy of this instruction carrying ``annot`` (fresh identity)."""
+        return Instruction(
+            opcode=self.opcode,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=self.target,
+            annot=annot,
+        )
+
+    def with_operands(
+        self,
+        dest: Optional[Register] = None,
+        srcs: Optional[Tuple[Register, ...]] = None,
+    ) -> "Instruction":
+        """A copy with rewritten register operands (used by register allocation)."""
+        return Instruction(
+            opcode=self.opcode,
+            dest=self.dest if dest is None else dest,
+            srcs=self.srcs if srcs is None else srcs,
+            imm=self.imm,
+            target=self.target,
+            annot=self.annot,
+        )
+
+    def retargeted(self, target: int) -> "Instruction":
+        """A copy of a branch pointing at a different basic block."""
+        if not self.is_branch:
+            raise ValueError("only branches have targets")
+        return Instruction(
+            opcode=self.opcode,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=target,
+            annot=self.annot,
+        )
+
+    # ------------------------------------------------------------------ display
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.render()}>"
+
+    def render(self) -> str:
+        """Assembly-style rendering, annotated with braid bits when present."""
+        parts = [self.opcode.name]
+        body = []
+        if self.is_load:
+            body.append(f"{self.dest}, {self.imm}({self.srcs[0]})")
+        elif self.is_store:
+            body.append(f"{self.srcs[0]}, {self.imm}({self.srcs[1]})")
+        elif self.is_branch:
+            ops = ", ".join(str(s) for s in self.srcs)
+            sep = ", " if ops else ""
+            body.append(f"{ops}{sep}B{self.target}")
+        else:
+            ops = list(str(s) for s in self.srcs)
+            if self.imm and not self.srcs:
+                ops.append(f"#{self.imm}")
+            if self.dest is not None:
+                ops.append(str(self.dest))
+            if self.opcode.name in ("lda", "ldah"):
+                body.append(f"{self.dest}, {self.imm}({self.srcs[0]})")
+            else:
+                body.append(", ".join(ops))
+        parts.append(" ".join(body))
+        text = " ".join(parts)
+        bits = []
+        if self.annot.start:
+            bits.append("S")
+        if self.annot.braid_id is not None:
+            bits.append(f"b{self.annot.braid_id}")
+        if bits:
+            text += "  ;" + ",".join(bits)
+        return text

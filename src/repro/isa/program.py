@@ -1,0 +1,142 @@
+"""Program and basic-block containers.
+
+A :class:`Program` is a list of basic blocks in layout order.  Control flow
+follows the usual binary conventions the paper's translation tool relies on:
+a block may end in (at most one) branch whose ``target`` names the taken-path
+block, and execution otherwise falls through to the next block in layout
+order.  A block with no branch and no successor ends the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .instruction import Instruction
+
+
+class ProgramError(ValueError):
+    """Raised when a program violates basic-block structural invariants."""
+
+
+@dataclass
+class BasicBlock:
+    """A single-entry, single-exit straight-line sequence of instructions."""
+
+    index: int
+    instructions: List[Instruction] = field(default_factory=list)
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else f"B{self.index}"
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final branch of the block, if any."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminating branch."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return self.instructions
+
+    def validate(self) -> None:
+        """Check the basic-block property: branches only in terminal position."""
+        for inst in self.instructions[:-1]:
+            if inst.is_branch:
+                raise ProgramError(
+                    f"block {self.name}: branch {inst.render()} is not terminal"
+                )
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Program:
+    """An executable program: basic blocks in layout order plus an entry block."""
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    entry: int = 0
+
+    def __post_init__(self) -> None:
+        self._label_index: Dict[str, int] = {}
+        self.reindex()
+
+    # ------------------------------------------------------------- structure
+    def reindex(self) -> None:
+        """Renumber blocks to match layout order and rebuild the label map."""
+        self._label_index = {}
+        for position, block in enumerate(self.blocks):
+            block.index = position
+            if block.label is not None:
+                if block.label in self._label_index:
+                    raise ProgramError(f"duplicate block label {block.label!r}")
+                self._label_index[block.label] = position
+
+    def block_by_label(self, label: str) -> BasicBlock:
+        return self.blocks[self._label_index[label]]
+
+    def successors(self, block: BasicBlock) -> Tuple[Optional[int], Optional[int]]:
+        """``(taken_target, fallthrough)`` block indices; ``None`` when absent."""
+        taken: Optional[int] = None
+        terminator = block.terminator
+        if terminator is not None:
+            taken = terminator.target
+        fallthrough: Optional[int] = None
+        unconditional = terminator is not None and not terminator.opcode.conditional
+        if not unconditional and block.index + 1 < len(self.blocks):
+            fallthrough = block.index + 1
+        return taken, fallthrough
+
+    def validate(self) -> None:
+        """Check structural invariants: labels, branch targets, block shape."""
+        if not self.blocks:
+            raise ProgramError(f"program {self.name!r} has no blocks")
+        if not 0 <= self.entry < len(self.blocks):
+            raise ProgramError(f"entry block {self.entry} out of range")
+        for block in self.blocks:
+            block.validate()
+            terminator = block.terminator
+            if terminator is not None:
+                if not 0 <= terminator.target < len(self.blocks):
+                    raise ProgramError(
+                        f"block {block.name}: branch target {terminator.target} "
+                        f"out of range"
+                    )
+
+    # ------------------------------------------------------------------ stats
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All static instructions in layout order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def static_size(self) -> int:
+        """Total static instruction count."""
+        return sum(len(block) for block in self.blocks)
+
+    def render(self) -> str:
+        """Human-readable listing of the whole program."""
+        lines = [f"; program {self.name} ({self.static_size} instructions)"]
+        for block in self.blocks:
+            lines.append(f"{block.name}:")
+            for inst in block.instructions:
+                lines.append(f"    {inst.render()}")
+        return "\n".join(lines)
+
+    def copy_structure(self, new_blocks: Sequence[BasicBlock]) -> "Program":
+        """A new program with the same name/entry but different blocks."""
+        return Program(name=self.name, blocks=list(new_blocks), entry=self.entry)

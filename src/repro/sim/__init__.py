@@ -1,0 +1,67 @@
+"""Simulators: functional executor and cycle-level timing cores."""
+
+from .beu import BraidExecutionUnit
+from .braidcore import BraidCore
+from .config import (
+    CoreKind,
+    FrontEndConfig,
+    MachineConfig,
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from .core import SimulationError, TimingCore, WInst
+from .pipeview import PipeviewError, render_pipeview, stage_latencies
+from .depsteer import DependenceSteeringCore
+from .inorder import InOrderCore
+from .ooo import OutOfOrderCore
+from .results import SimResult, StallCounters
+from .run import build_core, simulate
+from .workload import PreparedWorkload, WorkloadStats, prepare_workload
+from .functional import (
+    ArchState,
+    DynInst,
+    ExecutionError,
+    ExecutionStats,
+    FunctionalExecutor,
+    ProgramLayout,
+    execute,
+    observably_equivalent,
+)
+
+__all__ = [
+    "BraidExecutionUnit",
+    "BraidCore",
+    "CoreKind",
+    "FrontEndConfig",
+    "MachineConfig",
+    "braid_config",
+    "depsteer_config",
+    "inorder_config",
+    "ooo_config",
+    "SimulationError",
+    "TimingCore",
+    "WInst",
+    "PipeviewError",
+    "render_pipeview",
+    "stage_latencies",
+    "DependenceSteeringCore",
+    "InOrderCore",
+    "OutOfOrderCore",
+    "SimResult",
+    "StallCounters",
+    "build_core",
+    "simulate",
+    "PreparedWorkload",
+    "WorkloadStats",
+    "prepare_workload",
+    "ArchState",
+    "DynInst",
+    "ExecutionError",
+    "ExecutionStats",
+    "FunctionalExecutor",
+    "ProgramLayout",
+    "execute",
+    "observably_equivalent",
+]

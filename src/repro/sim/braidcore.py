@@ -1,0 +1,153 @@
+"""The braid microarchitecture core (paper Figure 4, section 3.3).
+
+Differences from the conventional core are confined to the execution core,
+exactly as in the paper:
+
+* **Distribute** replaces scheduler dispatch: the braid start bit (S)
+  delimits braids; a whole braid is sent to one free BEU, and distribution
+  stalls while no BEU is free or the braid overflows its FIFO.
+* **BEUs** replace the out-of-order schedulers: each has a 2-entry in-order
+  scheduling window at the head of a 32-entry FIFO and two functional units.
+* Internal operands read the per-BEU internal register file (free of global
+  port pressure); only external operands consult the busy-bit vector and
+  consume external register file ports or the (1-level, 2-value) bypass.
+* Instructions writing only internal registers never allocate an external
+  register entry, and internal operands are never renamed — both effects are
+  inherited from the annotation-aware base-class bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .beu import BraidExecutionUnit
+from .config import MachineConfig
+from .core import TimingCore, WInst
+from .workload import PreparedWorkload
+
+
+class BraidCore(TimingCore):
+    """Timing model of the braid microarchitecture."""
+
+    def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
+        super().__init__(workload, config)
+        self.beus: List[BraidExecutionUnit] = [
+            BraidExecutionUnit(beu_id, config) for beu_id in range(config.clusters)
+        ]
+        self._open_beu: Optional[BraidExecutionUnit] = None
+        self._next_beu_hint = 0
+        self.distribute_stalls = 0
+
+    # ------------------------------------------------------------- distribute
+    def _find_free_beu(self) -> Optional[BraidExecutionUnit]:
+        count = len(self.beus)
+        for offset in range(count):
+            beu = self.beus[(self._next_beu_hint + offset) % count]
+            if beu.can_accept_braid():
+                self._next_beu_hint = (beu.beu_id + 1) % count
+                return beu
+        return None
+
+    def dep_delay(self, producer: WInst, consumer: WInst) -> int:
+        """Cross-cluster forwarding penalty (paper section 5.2 clustering)."""
+        size = self.config.beu_cluster_size
+        if size <= 0 or producer.cluster < 0 or consumer.cluster < 0:
+            return 0
+        if producer.cluster // size == consumer.cluster // size:
+            return 0
+        return self.config.inter_cluster_delay
+
+    def accept(self, winst: WInst, cycle: int) -> bool:
+        if self.config.beu_exception_mode:
+            # Exception processing (paper section 3.4): all but one BEU are
+            # disabled; everything funnels through BEU 0 in order.
+            beu = self.beus[0]
+            if not beu.has_space():
+                self.distribute_stalls += 1
+                return False
+            if winst.dyn.inst.annot.start:
+                beu.start_braid()
+            beu.enqueue(winst)
+            winst.cluster = 0
+            return True
+        starts_braid = winst.dyn.inst.annot.start or self._open_beu is None
+        if starts_braid:
+            beu = self._find_free_beu()
+            if beu is None:
+                self.distribute_stalls += 1
+                return False
+            beu.start_braid()
+            self._open_beu = beu
+        beu = self._open_beu
+        if not beu.has_space():
+            # A braid longer than the FIFO stalls distribution until the
+            # head drains (the Figure 10 effect).
+            self.distribute_stalls += 1
+            return False
+        beu.enqueue(winst)
+        winst.cluster = beu.beu_id
+        # Busy-bit bookkeeping: external destinations become busy now and
+        # ready at completion (cleared in complete handling via readiness).
+        if winst.dest_external:
+            beu.busybits.mark_busy(winst.seq)
+        return True
+
+    # ------------------------------------------------------------------ issue
+    def issue_stage(self, cycle: int) -> None:
+        window_size = self.config.beu_window
+        strict = not self.config.beu_window_ooo
+        if self.config.beu_exception_mode:
+            window_size = 1  # strictly in-order during exception handling
+            strict = True
+        for beu in self.beus:
+            if not beu.fifo:
+                continue
+            if strict:
+                issued = 0
+                while issued < window_size and beu.fifo:
+                    winst = beu.fifo[0]
+                    if not self.try_issue(
+                        winst, cycle, beu.fus,
+                        internal_reads=beu.internal_reads,
+                        internal_writes=beu.internal_writes,
+                    ):
+                        break
+                    beu.fifo.popleft()
+                    beu.instructions_issued += 1
+                    self._note_issue(beu, winst)
+                    issued += 1
+            else:
+                window = list(beu.fifo)[:window_size]
+                for winst in window:
+                    if not self.try_issue(
+                        winst, cycle, beu.fus,
+                        internal_reads=beu.internal_reads,
+                        internal_writes=beu.internal_writes,
+                    ):
+                        continue
+                    beu.fifo.remove(winst)
+                    beu.instructions_issued += 1
+                    self._note_issue(beu, winst)
+
+    def _note_issue(self, beu: BraidExecutionUnit, winst: WInst) -> None:
+        if winst.dest_external:
+            # The busy bit clears when the value becomes ready; model the
+            # event at the known completion time.
+            beu.busybits.mark_ready(winst.seq)
+
+    # ------------------------------------------------------------- statistics
+    def beu_utilization(self) -> List[int]:
+        """Instructions issued per BEU (for load-balance analyses)."""
+        return [beu.instructions_issued for beu in self.beus]
+
+    def annotate_result(self, result) -> None:
+        result.extra["internal_rf_reads"] = float(
+            sum(beu.internal_reads.total_grants for beu in self.beus)
+        )
+        result.extra["internal_rf_writes"] = float(
+            sum(beu.internal_writes.total_grants for beu in self.beus)
+        )
+        result.extra["distribute_stalls"] = float(self.distribute_stalls)
+        result.extra["busybit_sets"] = float(
+            sum(beu.busybits.set_events for beu in self.beus)
+        )

@@ -1,0 +1,200 @@
+"""Machine configurations (paper Table 4).
+
+Factory functions build the four paradigms at any issue width, with the
+8-wide defaults matching the paper exactly:
+
+* out-of-order: 8 distributed 32-entry schedulers, 256-entry register file
+  (16R/8W), 3-level × 8-value bypass, 8 FUs, 23-cycle minimum misprediction
+  penalty, allocate 8 / rename 16+8 operands per cycle;
+* braid: 8 BEUs (32-entry FIFO, 2-entry in-order window, 2 FUs, 8-entry
+  internal RF 4R/2W), 8-entry external RF (6R/3W), 1-level × 2-value bypass,
+  19-cycle minimum misprediction penalty, allocate 4 / rename 8+4;
+* in-order and FIFO dependence-steering baselines share the conventional
+  front end.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..uarch.cache import MemoryHierarchyConfig
+from ..uarch.regfile import RegFileSpec
+
+
+class CoreKind(enum.Enum):
+    """Which of the four execution-core paradigms a configuration builds."""
+
+    OUT_OF_ORDER = "ooo"
+    IN_ORDER = "inorder"
+    DEP_STEER = "depsteer"
+    BRAID = "braid"
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Shared fetch/decode/allocate/rename front end."""
+
+    fetch_width: int = 8
+    branches_per_cycle: int = 3
+    fetch_buffer: int = 64
+    #: pipeline stages from fetch to dispatch (decode+allocate+rename+...)
+    depth: int = 8
+    #: cycles from mispredicted-branch resolution to first correct fetch
+    redirect: int = 13
+    alloc_width: int = 8
+    rename_src_ops: int = 16
+    rename_dest_ops: int = 8
+    predictor: str = "perceptron"
+
+    @property
+    def min_mispredict_penalty(self) -> int:
+        """Fetch-to-refetch bubble of the fastest resolving branch."""
+        return self.depth + self.redirect + 2
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of one simulated machine."""
+
+    kind: CoreKind
+    name: str
+    issue_width: int
+    front_end: FrontEndConfig
+    regfile: RegFileSpec
+    bypass_levels: int
+    bypass_width: int
+    functional_units: int
+    #: out-of-order/dep-steer: number of schedulers (FIFOs); braid: BEUs
+    clusters: int = 8
+    #: entries per scheduler / per BEU FIFO
+    cluster_entries: int = 32
+    #: braid: in-order scheduling window per BEU
+    beu_window: int = 2
+    #: braid: functional units per BEU
+    beu_functional_units: int = 2
+    #: braid: internal register file spec (per BEU)
+    internal_regfile: Optional[RegFileSpec] = None
+    #: braid: allow a BEU FIFO to queue the next braid behind the current one
+    beu_queue_braids: bool = False
+    #: braid: entries inside the BEU window issue independently ("the two
+    #: entries at the head of the FIFO are examined for readiness", paper
+    #: section 3.3).  False restricts the window to strictly in-order issue
+    #: (ablation).
+    beu_window_ooo: bool = True
+    #: braid: exception-processing mode (paper section 3.4) — all but one
+    #: BEU are disabled and every instruction is sent to the predetermined
+    #: BEU with strictly in-order issue, turning the machine into an
+    #: in-order processor for the duration of exception handling
+    beu_exception_mode: bool = False
+    #: braid: BEU clustering (paper section 5.2) — BEUs are grouped into
+    #: clusters of this size (0 disables); values crossing clusters pay
+    #: ``inter_cluster_delay`` extra cycles
+    beu_cluster_size: int = 0
+    inter_cluster_delay: int = 1
+    #: register-file entry policy: True (default) = staging file — an entry
+    #: is held from issue to writeback and the value then drains to an
+    #: architectural backing file (checkpoint recovery makes early reuse
+    #: safe; this matches the paper's Figure 5/6 sweeps, where even 8-entry
+    #: files remain functional).  False = conventional merged file (entry
+    #: held from dispatch to retirement).
+    rf_alloc_at_issue: bool = True
+    #: maximum in-flight branches (checkpoints)
+    max_branches: int = 48
+    #: outstanding cache-miss limit (MSHRs), shared by all paradigms
+    mshrs: int = 8
+    #: load/store queue capacity (in-flight memory operations)
+    lsq_entries: int = 64
+    #: reorder-window safety cap (instructions in flight)
+    max_in_flight: int = 512
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+
+    @property
+    def window_capacity(self) -> int:
+        return self.clusters * self.cluster_entries
+
+    def renamed(self, name: str) -> "MachineConfig":
+        return replace(self, name=name)
+
+
+def ooo_config(width: int = 8, **overrides) -> MachineConfig:
+    """Aggressive conventional out-of-order machine at ``width``."""
+    front = FrontEndConfig(
+        fetch_width=width,
+        alloc_width=width,
+        rename_src_ops=2 * width,
+        rename_dest_ops=width,
+        depth=8,
+        redirect=13,
+    )
+    config = MachineConfig(
+        kind=CoreKind.OUT_OF_ORDER,
+        name=f"ooo-{width}w",
+        issue_width=width,
+        front_end=front,
+        regfile=RegFileSpec(entries=32 * width, read_ports=2 * width,
+                            write_ports=width),
+        bypass_levels=3,
+        bypass_width=width,
+        functional_units=width,
+        clusters=width,
+        cluster_entries=32,
+        max_in_flight=width * 32,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def inorder_config(width: int = 8, **overrides) -> MachineConfig:
+    """In-order machine with the conventional front end."""
+    base = ooo_config(width)
+    config = replace(
+        base,
+        kind=CoreKind.IN_ORDER,
+        name=f"inorder-{width}w",
+        clusters=1,
+        cluster_entries=64,
+        max_in_flight=256,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def depsteer_config(width: int = 8, **overrides) -> MachineConfig:
+    """FIFO-based dependence-steering machine (Palacharla et al. style)."""
+    base = ooo_config(width)
+    config = replace(
+        base,
+        kind=CoreKind.DEP_STEER,
+        name=f"depsteer-{width}w",
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def braid_config(width: int = 8, **overrides) -> MachineConfig:
+    """The braid microarchitecture at ``width`` (paper defaults at 8)."""
+    front = FrontEndConfig(
+        fetch_width=width,
+        alloc_width=max(1, width // 2),
+        rename_src_ops=width,
+        rename_dest_ops=max(1, width // 2),
+        depth=6,
+        redirect=11,
+    )
+    config = MachineConfig(
+        kind=CoreKind.BRAID,
+        name=f"braid-{width}w",
+        issue_width=width,
+        front_end=front,
+        regfile=RegFileSpec(entries=8, read_ports=6, write_ports=3),
+        bypass_levels=1,
+        bypass_width=2,
+        functional_units=2 * width,  # 2 per BEU
+        clusters=width,              # number of BEUs
+        cluster_entries=32,          # FIFO entries per BEU
+        beu_window=2,
+        beu_functional_units=2,
+        internal_regfile=RegFileSpec(entries=8, read_ports=4, write_ports=2),
+        rf_alloc_at_issue=True,
+        max_in_flight=width * 32,
+    )
+    return replace(config, **overrides) if overrides else config

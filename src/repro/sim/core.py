@@ -1,0 +1,489 @@
+"""Shared cycle-level timing machinery for all four execution cores.
+
+The :class:`TimingCore` base implements everything the paper holds constant
+across paradigms — fetch (width-limited, ≤3 branches/cycle, I-cache and
+misprediction bubbles), decode/allocate/rename bandwidth, register-file
+entry allocation, dependence tracking, the load/store queue, writeback port
+arbitration, bypass-network lifetime/bandwidth, checkpoints, and in-order
+retirement.  Subclasses supply only the execution-core behaviour the paper
+varies: where a dispatched instruction waits (:meth:`TimingCore.accept`) and
+how ready instructions are selected for issue (:meth:`TimingCore.issue_stage`).
+
+Per-cycle stage order is ``complete → retire → issue → dispatch → fetch``,
+so a value completing in cycle *t* is bypassable by an issue in cycle *t*,
+and an instruction never moves through two stages in one cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.registers import Register, Space
+from ..uarch.bypass import BypassNetwork
+from ..uarch.checkpoint import CheckpointManager
+from ..uarch.funit import FunctionalUnitPool
+from ..uarch.lsq import LoadStoreQueue
+from .config import MachineConfig
+from .results import SimResult, StallCounters
+from .workload import PreparedWorkload
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation wedges (exceeds the cycle safety cap)."""
+
+
+class WInst:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "dyn", "seq", "deps", "arch_reads", "waiters", "pending",
+        "fetch_cycle", "dispatch_ready", "dispatch_cycle", "issue_cycle",
+        "complete_cycle", "writeback_cycle", "done", "retired",
+        "dest_external", "dest_internal", "latency",
+        "is_load", "is_store", "is_branch", "mispredicted", "mem_word",
+        "cluster", "ext_src_ops", "ext_dest_ops", "retire_cycle",
+    )
+
+    def __init__(self, dyn, fetch_cycle: int, dispatch_ready: int,
+                 mispredicted: bool) -> None:
+        inst = dyn.inst
+        annot = inst.annot
+        self.dyn = dyn
+        self.seq = dyn.seq
+        self.deps: List[Tuple[Optional["WInst"], bool]] = []
+        self.arch_reads = 0
+        self.waiters: List["WInst"] = []
+        self.pending = 0
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_ready = dispatch_ready
+        self.dispatch_cycle = -1
+        self.issue_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        self.writeback_cycle: Optional[int] = None
+        self.done = False
+        self.retired = False
+        self.retire_cycle: Optional[int] = None
+        written = inst.writes()
+        self.dest_external = written is not None and annot.dest_external
+        self.dest_internal = written is not None and annot.dest_internal
+        self.latency = inst.opcode.latency
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_branch = inst.is_branch
+        self.mispredicted = mispredicted
+        self.mem_word = (dyn.mem_addr & ~0x7) if dyn.mem_addr is not None else None
+        self.cluster = -1
+        # Rename bandwidth accounting: only external operands are renamed.
+        self.ext_src_ops = sum(
+            1
+            for position, reg in enumerate(inst.srcs)
+            if not reg.is_zero and annot.src_space(position) is Space.EXTERNAL
+        )
+        self.ext_dest_ops = 1 if self.dest_external else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WInst(seq={self.seq}, {self.dyn.inst.opcode.name})"
+
+
+class TimingCore:
+    """Base class of the four timing simulators."""
+
+    def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
+        self.workload = workload
+        self.config = config
+        self.trace = workload.trace
+        self.mispredicted = workload.mispredicted
+        self.load_latency = workload.load_latency
+        self.ifetch_extra = workload.ifetch_extra
+        self.l1d_latency = config.memory.l1d_latency
+
+        self.rf = config.regfile.build()
+        self.bypass = BypassNetwork(config.bypass_levels, config.bypass_width)
+        self.lsq = LoadStoreQueue(forward_latency=self.l1d_latency)
+        self.checkpoints = CheckpointManager(
+            capacity=config.max_branches,
+            state_words_per_checkpoint=64,
+        )
+
+        # Fetch state.
+        self._next_fetch = 0
+        self._fetch_buffer: deque = deque()
+        self._fetch_blocked = False
+        self._fetch_resume = 0
+
+        # Dependence scoreboards: register key -> last producing WInst.
+        self._external_producers: Dict[Tuple[str, int], WInst] = {}
+        self._internal_producers: Dict[Tuple[str, int], WInst] = {}
+
+        # Completion events, writeback queue, reorder buffer.
+        self._events: List[Tuple[int, int, WInst]] = []
+        self._miss_releases: List[Tuple[int, int]] = []
+        self._outstanding_misses = 0
+        self._mem_in_flight = 0
+        self._pending_writeback: deque = deque()
+        self._rob: deque = deque()
+
+        self.stalls = StallCounters()
+        self._issued_count = 0
+        self._retired_count = 0
+        #: set to a list before run() to record every dispatched WInst in
+        #: program order (consumed by repro.sim.pipeview)
+        self.trace_log = None
+
+    # ----------------------------------------------------------------- hooks
+    def accept(self, winst: WInst, cycle: int) -> bool:
+        """Place a dispatching instruction into the execution core.
+
+        Return False to stall dispatch this cycle (structure full)."""
+        raise NotImplementedError
+
+    def issue_stage(self, cycle: int) -> None:
+        """Select and issue ready instructions (subclass policy)."""
+        raise NotImplementedError
+
+    def on_ready(self, winst: WInst, cycle: int) -> None:
+        """All register dependences of ``winst`` are complete (optional hook)."""
+
+    def dep_delay(self, producer: WInst, consumer: WInst) -> int:
+        """Extra cycles before ``consumer`` may observe ``producer``'s value
+        (e.g. cross-cluster forwarding in a clustered braid machine)."""
+        return 0
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_cycles: int = 100_000_000) -> SimResult:
+        """Simulate until every trace instruction retires; returns the result."""
+        total = len(self.trace)
+        cycle = 0
+        while self._retired_count < total:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"{self.config.name} on {self.workload.name}: no forward "
+                    f"progress after {max_cycles} cycles "
+                    f"(retired {self._retired_count}/{total})"
+                )
+            self.complete_stage(cycle)
+            self.retire_stage(cycle)
+            self.issue_stage(cycle)
+            self.dispatch_stage(cycle)
+            self.fetch_stage(cycle)
+            cycle += 1
+
+        result = SimResult(
+            benchmark=self.workload.name,
+            machine=self.config.name,
+            cycles=cycle,
+            instructions=total,
+            branches=self.workload.stats.branches,
+            mispredicts=len(self.mispredicted),
+            issued=self._issued_count,
+            stalls=self.stalls,
+        )
+        result.extra["lsq_forwards"] = float(self.lsq.stats.forwards)
+        result.extra["bypass_forwards"] = float(self.bypass.total_forwards)
+        result.extra["rf_reads"] = float(self.rf.read.total_grants)
+        result.extra["rf_writes"] = float(self.rf.write.total_grants)
+        self.annotate_result(result)
+        return result
+
+    def annotate_result(self, result: SimResult) -> None:
+        """Subclass hook: attach extra activity statistics to a result."""
+
+    # ------------------------------------------------------------------ fetch
+    def fetch_stage(self, cycle: int) -> None:
+        if self._fetch_blocked or cycle < self._fetch_resume:
+            return
+        front = self.config.front_end
+        budget = front.fetch_width
+        branch_budget = front.branches_per_cycle
+        while (
+            budget > 0
+            and self._next_fetch < len(self.trace)
+            and len(self._fetch_buffer) < front.fetch_buffer
+        ):
+            dyn = self.trace[self._next_fetch]
+            delay = front.depth + self.ifetch_extra.get(dyn.seq, 0)
+            winst = WInst(
+                dyn,
+                fetch_cycle=cycle,
+                dispatch_ready=cycle + delay,
+                mispredicted=dyn.seq in self.mispredicted,
+            )
+            self._fetch_buffer.append(winst)
+            self._next_fetch += 1
+            budget -= 1
+            if winst.is_branch:
+                branch_budget -= 1
+                if winst.mispredicted:
+                    # Wrong-path fetch begins next cycle; correct-path fetch
+                    # resumes only after the branch resolves.
+                    self._fetch_blocked = True
+                    break
+                if dyn.taken:
+                    break  # taken-branch redirect ends the fetch group
+                if branch_budget == 0:
+                    break
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch_stage(self, cycle: int) -> None:
+        front = self.config.front_end
+        budget = front.alloc_width
+        src_budget = front.rename_src_ops
+        dest_budget = front.rename_dest_ops
+        while budget > 0 and self._fetch_buffer:
+            winst = self._fetch_buffer[0]
+            if winst.dispatch_ready > cycle:
+                break
+            if len(self._rob) >= self.config.max_in_flight:
+                self.stalls.in_flight_cap += 1
+                break
+            if winst.ext_src_ops > src_budget or winst.ext_dest_ops > dest_budget:
+                self.stalls.rename_width += 1
+                break
+            if (
+                winst.dest_external
+                and not self.config.rf_alloc_at_issue
+                and not self.rf.can_allocate()
+            ):
+                self.stalls.regfile_entries += 1
+                break
+            if winst.is_branch and not self.checkpoints.can_take():
+                self.stalls.checkpoints += 1
+                break
+            if (winst.is_load or winst.is_store) and (
+                self._mem_in_flight >= self.config.lsq_entries
+            ):
+                self.stalls.structure_full += 1
+                break
+
+            self._capture_deps(winst)
+            if not self.accept(winst, cycle):
+                self.stalls.structure_full += 1
+                winst.deps.clear()
+                winst.pending = 0
+                break
+
+            self._commit_dispatch(winst, cycle)
+            self._fetch_buffer.popleft()
+            budget -= 1
+            src_budget -= winst.ext_src_ops
+            dest_budget -= winst.ext_dest_ops
+
+    @staticmethod
+    def _reg_key(reg: Register) -> Tuple[str, int]:
+        return (reg.rclass.value, reg.index)
+
+    def _capture_deps(self, winst: WInst) -> None:
+        """Read the scoreboards: who produces each register source?"""
+        inst = winst.dyn.inst
+        annot = inst.annot
+        winst.deps = []
+        winst.arch_reads = 0
+        for position, reg in enumerate(inst.srcs):
+            if reg.is_zero:
+                continue
+            internal = annot.src_space(position) is Space.INTERNAL
+            table = self._internal_producers if internal else self._external_producers
+            producer = table.get(self._reg_key(reg))
+            if producer is None:
+                # Value lives in the architectural file (or is an internal
+                # value of an already-drained braid): a plain register read.
+                if not internal:
+                    winst.arch_reads += 1
+                continue
+            winst.deps.append((producer, internal))
+
+    def _commit_dispatch(self, winst: WInst, cycle: int) -> None:
+        inst = winst.dyn.inst
+        winst.dispatch_cycle = cycle
+        winst.pending = 0
+        for producer, _internal in winst.deps:
+            if producer is not None and not producer.done:
+                producer.waiters.append(winst)
+                winst.pending += 1
+
+        if inst.annot.start:
+            # Internal values never cross braid boundaries.
+            self._internal_producers.clear()
+
+        written = inst.writes()
+        if written is not None:
+            key = self._reg_key(written)
+            if winst.dest_internal:
+                self._internal_producers[key] = winst
+            if winst.dest_external:
+                self._external_producers[key] = winst
+
+        if winst.dest_external and not self.config.rf_alloc_at_issue:
+            self.rf.allocate()
+        if winst.is_branch:
+            self.checkpoints.take(winst.seq)
+        if winst.is_store:
+            self.lsq.store_dispatched(winst.seq, winst.mem_word)
+        if winst.is_load or winst.is_store:
+            self._mem_in_flight += 1
+        self._rob.append(winst)
+
+        if self.trace_log is not None:
+            self.trace_log.append(winst)
+        if winst.pending == 0:
+            self.on_ready(winst, cycle)
+
+    # ------------------------------------------------------------------ issue
+    def deps_complete(self, winst: WInst, cycle: int) -> bool:
+        for producer, internal in winst.deps:
+            if producer is None:
+                continue
+            if producer.complete_cycle is None:
+                return False
+            visible = producer.complete_cycle
+            if not internal:
+                visible += self.dep_delay(producer, winst)
+            if visible > cycle:
+                return False
+        return True
+
+    def try_issue(
+        self,
+        winst: WInst,
+        cycle: int,
+        fu_pool: FunctionalUnitPool,
+        internal_reads=None,
+        internal_writes=None,
+    ) -> bool:
+        """Attempt to issue ``winst`` this cycle; all checks then all claims."""
+        if winst.issue_cycle is not None or cycle <= winst.dispatch_cycle:
+            return False
+        if not self.deps_complete(winst, cycle):
+            return False
+
+        reads = winst.arch_reads
+        bypasses = 0
+        internal_read_count = 0
+        for producer, internal in winst.deps:
+            if producer is None:
+                continue
+            if internal:
+                internal_read_count += 1
+                continue
+            delay = self.dep_delay(producer, winst)
+            if self.bypass.covers(cycle, producer.complete_cycle + delay):
+                bypasses += 1
+            elif (
+                producer.writeback_cycle is not None
+                and producer.writeback_cycle + delay <= cycle
+            ):
+                reads += 1
+            else:
+                return False  # off the bypass network, writeback still pending
+
+        latency = winst.latency
+        is_miss = False
+        if winst.is_load:
+            cache_latency = self.load_latency.get(winst.seq, self.l1d_latency)
+            memory_latency = self.lsq.load_latency(
+                winst.seq, winst.mem_word, cycle, cache_latency
+            )
+            if memory_latency is None:
+                return False
+            is_miss = memory_latency > self.l1d_latency
+            if is_miss and self._outstanding_misses >= self.config.mshrs:
+                return False  # all miss-status holding registers busy
+            latency = memory_latency
+
+        staging = self.config.rf_alloc_at_issue and winst.dest_external
+        if staging and not self.rf.can_allocate():
+            self.stalls.regfile_entries += 1
+            return False
+        if fu_pool.available(cycle) < 1:
+            return False
+        if bypasses and self.bypass.available(cycle) < bypasses:
+            return False
+        if reads and self.rf.read.available(cycle) < reads:
+            return False
+        if internal_reads is not None and internal_read_count:
+            if internal_reads.available(cycle) < internal_read_count:
+                return False
+        if internal_writes is not None and winst.dest_internal:
+            if internal_writes.available(cycle) < 1:
+                return False
+
+        fu_pool.issue(cycle)
+        if staging:
+            self.rf.allocate()
+        if bypasses:
+            self.bypass.acquire(cycle, bypasses)
+        if reads:
+            self.rf.read.acquire(cycle, reads)
+        if internal_reads is not None and internal_read_count:
+            internal_reads.acquire(cycle, internal_read_count)
+        if internal_writes is not None and winst.dest_internal:
+            internal_writes.acquire(cycle, 1)
+
+        winst.issue_cycle = cycle
+        winst.complete_cycle = cycle + latency
+        if is_miss:
+            self._outstanding_misses += 1
+            heapq.heappush(
+                self._miss_releases, (winst.complete_cycle, winst.seq)
+            )
+        heapq.heappush(self._events, (winst.complete_cycle, winst.seq, winst))
+        if winst.is_store:
+            self.lsq.store_executed(winst.seq, winst.complete_cycle)
+        self._issued_count += 1
+        return True
+
+    # --------------------------------------------------------------- complete
+    def complete_stage(self, cycle: int) -> None:
+        while self._miss_releases and self._miss_releases[0][0] <= cycle:
+            heapq.heappop(self._miss_releases)
+            self._outstanding_misses -= 1
+        while self._events and self._events[0][0] <= cycle:
+            _, _, winst = heapq.heappop(self._events)
+            winst.done = True
+            for waiter in winst.waiters:
+                waiter.pending -= 1
+                if waiter.pending == 0:
+                    self.on_ready(waiter, cycle)
+            winst.waiters.clear()
+            if winst.dest_external:
+                self._pending_writeback.append(winst)
+            else:
+                winst.writeback_cycle = winst.complete_cycle
+            if winst.is_branch and winst.mispredicted:
+                self._fetch_blocked = False
+                self._fetch_resume = cycle + self.config.front_end.redirect
+                self.checkpoints.restore(winst.seq)
+
+        while self._pending_writeback:
+            winst = self._pending_writeback[0]
+            if not self.rf.write.acquire(cycle, 1):
+                break
+            winst.writeback_cycle = cycle + 1
+            self._pending_writeback.popleft()
+            if self.config.rf_alloc_at_issue:
+                # Staging policy: the entry drains to the architectural
+                # backing file as soon as the value is written.
+                self.rf.release()
+
+    # ------------------------------------------------------------------ retire
+    def retire_stage(self, cycle: int) -> None:
+        budget = self.config.issue_width
+        while budget > 0 and self._rob:
+            winst = self._rob[0]
+            if not winst.done or winst.complete_cycle >= cycle:
+                break
+            self._rob.popleft()
+            winst.retired = True
+            winst.retire_cycle = cycle
+            if winst.dest_external and not self.config.rf_alloc_at_issue:
+                self.rf.release()
+            if winst.is_store:
+                self.lsq.store_retired(winst.seq)
+            if winst.is_load or winst.is_store:
+                self._mem_in_flight -= 1
+            if winst.is_branch:
+                self.checkpoints.release_older_than(winst.seq)
+            self._retired_count += 1
+            budget -= 1

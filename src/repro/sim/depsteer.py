@@ -1,0 +1,71 @@
+"""FIFO-based dependence-steering core (Palacharla, Jouppi & Smith).
+
+The paper's third paradigm (Figure 13): "a simple and implementable
+algorithm with a design complexity that is comparable to braids".  Dispatch
+steers each instruction into one of N in-order FIFOs using the classic
+heuristic: follow your producer if it is at the tail of a FIFO, start an
+empty FIFO otherwise, stall if neither applies.  Only FIFO heads are
+examined for issue, so scheduling complexity is linear in the number of
+FIFOs rather than in the window size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..uarch.funit import FunctionalUnitPool
+from .config import MachineConfig
+from .core import TimingCore, WInst
+from .workload import PreparedWorkload
+
+
+class DependenceSteeringCore(TimingCore):
+    """Out-of-order performance from in-order FIFOs plus dependence steering."""
+
+    def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
+        super().__init__(workload, config)
+        self.fus = FunctionalUnitPool(config.functional_units)
+        self._fifos: List[deque] = [deque() for _ in range(config.clusters)]
+
+    # -------------------------------------------------------------- steering
+    def _steer(self, winst: WInst) -> Optional[int]:
+        """Palacharla-style FIFO choice, or None to stall."""
+        capacity = self.config.cluster_entries
+        # Rule 1: an in-flight producer sitting at the tail of a FIFO lets the
+        # chain continue in that FIFO.
+        for producer, _internal in winst.deps:
+            if producer is None or producer.done or producer.issue_cycle is not None:
+                continue
+            fifo_index = producer.cluster
+            if fifo_index < 0:
+                continue
+            fifo = self._fifos[fifo_index]
+            if fifo and fifo[-1] is producer and len(fifo) < capacity:
+                return fifo_index
+        # Rule 2: otherwise open a new chain in an empty FIFO.
+        for fifo_index, fifo in enumerate(self._fifos):
+            if not fifo:
+                return fifo_index
+        return None
+
+    def accept(self, winst: WInst, cycle: int) -> bool:
+        fifo_index = self._steer(winst)
+        if fifo_index is None:
+            return False
+        winst.cluster = fifo_index
+        self._fifos[fifo_index].append(winst)
+        return True
+
+    # ------------------------------------------------------------------ issue
+    def issue_stage(self, cycle: int) -> None:
+        budget = self.config.issue_width
+        for fifo in self._fifos:
+            if budget == 0:
+                break
+            if not fifo:
+                continue
+            winst = fifo[0]
+            if self.try_issue(winst, cycle, self.fus):
+                fifo.popleft()
+                budget -= 1

@@ -1,0 +1,298 @@
+"""Functional (architectural) executor.
+
+Interprets a :class:`~repro.isa.program.Program` at the architectural level:
+register files, a word-granular memory, branch resolution.  It serves three
+roles in the reproduction:
+
+1. **Execution-driven traces.**  :meth:`FunctionalExecutor.trace` yields the
+   dynamic instruction stream (with branch outcomes and memory addresses)
+   that drives every timing core, mirroring the paper's execution-driven
+   simulator split.
+2. **Translation validation.**  Braid formation reorders instructions and
+   re-allocates registers; property tests execute the original and the
+   translated program and require identical architectural results.
+3. **Braid semantics.**  The executor honours the S/T/I/E annotation bits:
+   internal operands live in a small internal file whose values die at braid
+   boundaries (``strict_internal`` turns violations into hard errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpCategory, to_unsigned
+from ..isa.program import BasicBlock, Program
+from ..isa.registers import NUM_INTERNAL_REGS, Register, Space
+
+#: Size of one encoded instruction in bytes (the 64-bit braid word).
+INSTRUCTION_BYTES = 8
+
+
+class ExecutionError(RuntimeError):
+    """Raised on architectural violations (e.g. reading a dead internal value)."""
+
+
+class ProgramLayout:
+    """Assigns a byte address to every static instruction.
+
+    Blocks are laid out contiguously in program order, eight bytes per
+    instruction, so instruction caches and branch predictors can index on
+    realistic addresses.
+    """
+
+    def __init__(self, program: Program, base: int = 0x1000) -> None:
+        self.program = program
+        self.base = base
+        self.block_start: List[int] = []
+        self.address_of: Dict[int, int] = {}  # id(instruction) -> address
+        cursor = base
+        for block in program.blocks:
+            self.block_start.append(cursor)
+            for inst in block.instructions:
+                self.address_of[id(inst)] = cursor
+                cursor += INSTRUCTION_BYTES
+        self.end = cursor
+
+    def address(self, inst: Instruction) -> int:
+        return self.address_of[id(inst)]
+
+
+@dataclass
+class DynInst:
+    """One dynamic instruction: a static instruction plus run-time facts."""
+
+    seq: int
+    inst: Instruction
+    block: int
+    pc: int
+    taken: Optional[bool] = None
+    next_pc: int = 0
+    mem_addr: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate facts about one functional run."""
+
+    dynamic_instructions: int = 0
+    dynamic_branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    block_counts: Dict[int, int] = field(default_factory=dict)
+    completed: bool = False  # reached program exit (vs. instruction cap)
+
+
+class ArchState:
+    """Architectural register/memory state, including the braid internal file."""
+
+    def __init__(self) -> None:
+        self.int_regs: List[int] = [0] * 32
+        self.fp_regs: List[float] = [0.0] * 32
+        self.internal_int: List[Optional[int]] = [None] * NUM_INTERNAL_REGS
+        self.internal_fp: List[Optional[float]] = [None] * NUM_INTERNAL_REGS
+        self.memory: Dict[int, object] = {}
+
+    # --------------------------------------------------------------- registers
+    def read(self, reg: Register, space: Space) -> object:
+        if reg.is_zero and space is Space.EXTERNAL:
+            return 0.0 if reg.is_fp else 0
+        if space is Space.INTERNAL:
+            bank = self.internal_fp if reg.is_fp else self.internal_int
+            value = bank[reg.index]
+            if value is None:
+                raise ExecutionError(
+                    f"read of dead internal register {reg} "
+                    f"(internal values do not survive braid boundaries)"
+                )
+            return value
+        if reg.is_fp:
+            return self.fp_regs[reg.index]
+        return self.int_regs[reg.index]
+
+    def write(self, reg: Register, value: object,
+              internal: bool, external: bool) -> None:
+        if internal:
+            if reg.index >= NUM_INTERNAL_REGS:
+                raise ExecutionError(f"internal register index {reg} out of range")
+            if reg.is_fp:
+                self.internal_fp[reg.index] = float(value)
+            else:
+                self.internal_int[reg.index] = to_unsigned(int(value))
+        if external and not reg.is_zero:
+            if reg.is_fp:
+                self.fp_regs[reg.index] = float(value)
+            else:
+                self.int_regs[reg.index] = to_unsigned(int(value))
+
+    def clear_internal(self) -> None:
+        """Discard internal values (a braid has finished executing)."""
+        self.internal_int = [None] * NUM_INTERNAL_REGS
+        self.internal_fp = [None] * NUM_INTERNAL_REGS
+
+    # ------------------------------------------------------------------ memory
+    @staticmethod
+    def _word_address(addr: int) -> int:
+        return addr & ~0x7
+
+    def load(self, addr: int, fp: bool) -> object:
+        value = self.memory.get(self._word_address(addr), 0)
+        if fp:
+            return float(value)
+        if isinstance(value, float):
+            return to_unsigned(int(value))
+        return to_unsigned(value)
+
+    def store(self, addr: int, value: object) -> None:
+        self.memory[self._word_address(addr)] = value
+
+    def snapshot(self) -> Tuple[Tuple[int, ...], Tuple[float, ...], Tuple]:
+        """Hashable view of external architectural state (for equivalence tests)."""
+        memory = tuple(sorted(self.memory.items()))
+        return tuple(self.int_regs), tuple(self.fp_regs), memory
+
+
+class FunctionalExecutor:
+    """Architectural interpreter producing dynamic instruction streams."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_instructions: int = 5_000_000,
+        strict_internal: bool = True,
+        initial_state: Optional[ArchState] = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.layout = ProgramLayout(program)
+        self.max_instructions = max_instructions
+        self.strict_internal = strict_internal
+        self.state = initial_state if initial_state is not None else ArchState()
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------ running
+    def run(self) -> ExecutionStats:
+        """Execute to completion (or the instruction cap); returns statistics."""
+        for _ in self.trace():
+            pass
+        return self.stats
+
+    def trace(self) -> Iterator[DynInst]:
+        """Execute, yielding one :class:`DynInst` per retired instruction."""
+        program = self.program
+        block: Optional[BasicBlock] = program.blocks[program.entry]
+        seq = 0
+        while block is not None and seq < self.max_instructions:
+            self.stats.block_counts[block.index] = (
+                self.stats.block_counts.get(block.index, 0) + 1
+            )
+            taken_block: Optional[int] = None
+            for inst in block.instructions:
+                dyn = self._step(seq, block.index, inst)
+                seq += 1
+                if dyn.is_branch and dyn.taken:
+                    taken_block = inst.target
+                yield dyn
+                if seq >= self.max_instructions:
+                    self.stats.dynamic_instructions = seq
+                    return
+            taken, fallthrough = program.successors(block)
+            if taken_block is not None:
+                next_index: Optional[int] = taken_block
+            else:
+                next_index = fallthrough
+            block = program.blocks[next_index] if next_index is not None else None
+        self.stats.dynamic_instructions = seq
+        self.stats.completed = block is None
+
+    # ------------------------------------------------------------------- one step
+    def _step(self, seq: int, block_index: int, inst: Instruction) -> DynInst:
+        state = self.state
+        annot = inst.annot
+        if annot.start and self.strict_internal:
+            # Internal values must not flow across braid boundaries.
+            state.clear_internal()
+
+        pc = self.layout.address(inst)
+        dyn = DynInst(seq=seq, inst=inst, block=block_index, pc=pc,
+                      next_pc=pc + INSTRUCTION_BYTES)
+
+        srcs = tuple(
+            state.read(reg, annot.src_space(position))
+            for position, reg in enumerate(inst.srcs)
+        )
+        category = inst.opcode.category
+
+        if category is OpCategory.NOP:
+            pass
+        elif category is OpCategory.BRANCH:
+            taken = bool(inst.opcode.semantics(srcs, inst.imm))
+            dyn.taken = taken
+            self.stats.dynamic_branches += 1
+            if taken:
+                self.stats.taken_branches += 1
+                dyn.next_pc = self.layout.block_start[inst.target]
+        elif category is OpCategory.LOAD:
+            addr = to_unsigned(int(srcs[0]) + inst.imm)
+            dyn.mem_addr = addr
+            value = state.load(addr, fp=inst.opcode.dest_fp)
+            state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
+            self.stats.loads += 1
+        elif category is OpCategory.STORE:
+            addr = to_unsigned(int(srcs[1]) + inst.imm)
+            dyn.mem_addr = addr
+            state.store(addr, srcs[0])
+            self.stats.stores += 1
+        else:
+            value = inst.opcode.semantics(srcs, inst.imm)
+            state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
+
+        return dyn
+
+
+def execute(program: Program, max_instructions: int = 5_000_000,
+            strict_internal: bool = True) -> Tuple[ArchState, ExecutionStats]:
+    """Convenience wrapper: run ``program`` and return final state + stats."""
+    executor = FunctionalExecutor(
+        program, max_instructions=max_instructions, strict_internal=strict_internal
+    )
+    stats = executor.run()
+    return executor.state, stats
+
+
+def observably_equivalent(
+    original: Program,
+    translated: Program,
+    max_instructions: int = 5_000_000,
+) -> bool:
+    """Whether two programs are observably equivalent.
+
+    Braid translation deliberately stops writing *internalized* values to the
+    architectural register file (they are dead outside their braid), so plain
+    register-state comparison is too strict.  The observables that must match
+    are: final memory contents, the control-flow path (per-block execution
+    counts and branch outcome totals), and the dynamic instruction count.
+    """
+    state_a, stats_a = execute(original, max_instructions=max_instructions)
+    state_b, stats_b = execute(translated, max_instructions=max_instructions)
+    return (
+        state_a.memory == state_b.memory
+        and stats_a.block_counts == stats_b.block_counts
+        and stats_a.dynamic_instructions == stats_b.dynamic_instructions
+        and stats_a.taken_branches == stats_b.taken_branches
+        and stats_a.completed == stats_b.completed
+    )

@@ -1,0 +1,40 @@
+"""In-order core: the paper's lower-bound paradigm (Figure 13).
+
+One issue queue; instructions issue strictly in program order, up to the
+issue width per cycle, stalling at the first instruction whose operands or
+resources are not ready.  The front end, memory system, and retirement are
+identical to the conventional machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..uarch.funit import FunctionalUnitPool
+from .config import MachineConfig
+from .core import TimingCore, WInst
+from .workload import PreparedWorkload
+
+
+class InOrderCore(TimingCore):
+    """Strictly in-order issue at the configured width."""
+
+    def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
+        super().__init__(workload, config)
+        self.fus = FunctionalUnitPool(config.functional_units)
+        self._queue: deque = deque()
+
+    def accept(self, winst: WInst, cycle: int) -> bool:
+        if len(self._queue) >= self.config.window_capacity:
+            return False
+        self._queue.append(winst)
+        return True
+
+    def issue_stage(self, cycle: int) -> None:
+        budget = self.config.issue_width
+        while budget > 0 and self._queue:
+            winst = self._queue[0]
+            if not self.try_issue(winst, cycle, self.fus):
+                break
+            self._queue.popleft()
+            budget -= 1

@@ -1,0 +1,62 @@
+"""Aggressive conventional out-of-order core (paper Table 4, left column).
+
+Distributed scheduling: ``clusters`` independent ``cluster_entries``-deep
+out-of-order schedulers (8 × 32 by default).  Dispatch steers each
+instruction to the least-occupied scheduler; wakeup is event-driven
+(producers notify consumers on completion) and select is oldest-first across
+all schedulers, bounded by the issue width, the shared functional units, the
+register-file ports, and the bypass bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from ..uarch.funit import FunctionalUnitPool
+from .config import MachineConfig
+from .core import TimingCore, WInst
+from .workload import PreparedWorkload
+
+
+class OutOfOrderCore(TimingCore):
+    """The paper's baseline aggressive out-of-order machine."""
+
+    def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
+        super().__init__(workload, config)
+        self.fus = FunctionalUnitPool(config.functional_units)
+        self._scheduler_load = [0] * config.clusters
+        self._ready: List[Tuple[int, WInst]] = []
+        self._retry: List[WInst] = []
+
+    # -------------------------------------------------------------- dispatch
+    def accept(self, winst: WInst, cycle: int) -> bool:
+        load = self._scheduler_load
+        best = min(range(len(load)), key=load.__getitem__)
+        if load[best] >= self.config.cluster_entries:
+            return False
+        load[best] += 1
+        winst.cluster = best
+        return True
+
+    # ----------------------------------------------------------------- wakeup
+    def on_ready(self, winst: WInst, cycle: int) -> None:
+        heapq.heappush(self._ready, (winst.seq, winst))
+
+    # ------------------------------------------------------------------ issue
+    def issue_stage(self, cycle: int) -> None:
+        if self._retry:
+            for winst in self._retry:
+                heapq.heappush(self._ready, (winst.seq, winst))
+            self._retry = []
+
+        budget = self.config.issue_width
+        deferred: List[WInst] = []
+        while budget > 0 and self._ready:
+            _, winst = heapq.heappop(self._ready)
+            if self.try_issue(winst, cycle, self.fus):
+                self._scheduler_load[winst.cluster] -= 1
+                budget -= 1
+            else:
+                deferred.append(winst)
+        self._retry.extend(deferred)

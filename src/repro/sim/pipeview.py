@@ -1,0 +1,104 @@
+"""Pipeline visualization: per-instruction stage timelines.
+
+Enable tracing on a core, run it, and render a gem5-O3-style pipeview::
+
+    core = build_core(workload, braid_config(8))
+    core.trace_log = []
+    core.run()
+    print(render_pipeview(core.trace_log, limit=30))
+
+Each line shows one dynamic instruction and its journey through the
+pipeline: ``f`` fetch, ``d`` dispatch, ``i`` issue, ``=`` executing,
+``c`` complete, ``r`` retire.  This is a debugging/teaching aid: stalls
+(distribute stalls, busy-bit waits, port conflicts) appear as long ``d..i``
+gaps, misprediction bubbles as fetch-time jumps between rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class PipeviewError(ValueError):
+    """Raised when rendering is requested without trace data."""
+
+
+def _stage_marks(winst) -> List[tuple]:
+    marks = [(winst.fetch_cycle, "f")]
+    if winst.dispatch_cycle >= 0:
+        marks.append((winst.dispatch_cycle, "d"))
+    if winst.issue_cycle is not None:
+        marks.append((winst.issue_cycle, "i"))
+    if winst.complete_cycle is not None:
+        marks.append((winst.complete_cycle, "c"))
+    if winst.retire_cycle is not None:
+        marks.append((winst.retire_cycle, "r"))
+    return marks
+
+
+def render_pipeview(
+    trace_log: Optional[Sequence],
+    start: int = 0,
+    limit: int = 40,
+    width: int = 100,
+) -> str:
+    """Render ``limit`` instructions starting at index ``start``.
+
+    The time axis is clipped to ``width`` columns beginning at the first
+    shown instruction's fetch cycle; events beyond the window render as
+    ``>`` at the right edge.
+    """
+    if not trace_log:
+        raise PipeviewError(
+            "no trace: set `core.trace_log = []` before core.run()"
+        )
+    window = list(trace_log[start:start + limit])
+    if not window:
+        raise PipeviewError(f"trace has no instructions at offset {start}")
+
+    origin = min(w.fetch_cycle for w in window)
+    header = (
+        f"cycles {origin}..{origin + width - 1} "
+        f"(f=fetch d=dispatch i=issue ==execute c=complete r=retire)"
+    )
+    lines = [header]
+    for winst in window:
+        lane = [" "] * width
+        marks = _stage_marks(winst)
+        # execution shading between issue and completion
+        if winst.issue_cycle is not None and winst.complete_cycle is not None:
+            for cycle in range(winst.issue_cycle + 1, winst.complete_cycle):
+                position = cycle - origin
+                if 0 <= position < width:
+                    lane[position] = "="
+        overflow = False
+        for cycle, mark in marks:
+            position = cycle - origin
+            if position >= width:
+                overflow = True
+                continue
+            if position >= 0:
+                lane[position] = mark
+        if overflow:
+            lane[width - 1] = ">"
+        text = winst.dyn.inst.opcode.name
+        lines.append(f"{winst.seq:6d} {text:10s} |{''.join(lane)}|")
+    return "\n".join(lines)
+
+
+def stage_latencies(trace_log: Iterable) -> dict:
+    """Average per-stage occupancy over a trace (fetch->dispatch->issue->
+    complete->retire), a compact summary of where time goes."""
+    sums = {"front_end": 0, "wait_issue": 0, "execute": 0, "wait_retire": 0}
+    count = 0
+    for winst in trace_log:
+        if winst.retire_cycle is None or winst.issue_cycle is None:
+            continue
+        sums["front_end"] += winst.dispatch_cycle - winst.fetch_cycle
+        sums["wait_issue"] += winst.issue_cycle - winst.dispatch_cycle
+        sums["execute"] += winst.complete_cycle - winst.issue_cycle
+        sums["wait_retire"] += winst.retire_cycle - winst.complete_cycle
+        count += 1
+    if count == 0:
+        return {key: 0.0 for key in sums}
+    return {key: value / count for key, value in sums.items()}

@@ -1,0 +1,65 @@
+"""Simulation results and stall accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StallCounters:
+    """Why dispatch could not make progress, counted per blocked cycle-slot."""
+
+    fetch_buffer_empty: int = 0
+    alloc_width: int = 0
+    rename_width: int = 0
+    regfile_entries: int = 0
+    structure_full: int = 0
+    checkpoints: int = 0
+    in_flight_cap: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation."""
+
+    benchmark: str
+    machine: str
+    cycles: int
+    instructions: int
+    #: dynamic branches and how many were mispredicted
+    branches: int = 0
+    mispredicts: int = 0
+    #: issue-slot utilisation
+    issued: int = 0
+    stalls: StallCounters = field(default_factory=StallCounters)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio vs a baseline run of the same benchmark."""
+        if baseline.benchmark != self.benchmark:
+            raise ValueError(
+                f"speedup comparison across different benchmarks: "
+                f"{self.benchmark} vs {baseline.benchmark}"
+            )
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark:12s} {self.machine:14s} "
+            f"IPC={self.ipc:5.2f} cycles={self.cycles:8d} "
+            f"instructions={self.instructions:8d}"
+        )

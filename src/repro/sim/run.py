@@ -1,0 +1,38 @@
+"""One-call simulation entry points."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from .braidcore import BraidCore
+from .config import CoreKind, MachineConfig
+from .core import TimingCore
+from .depsteer import DependenceSteeringCore
+from .inorder import InOrderCore
+from .ooo import OutOfOrderCore
+from .results import SimResult
+from .workload import PreparedWorkload
+
+_CORE_CLASSES: Dict[CoreKind, Type[TimingCore]] = {
+    CoreKind.OUT_OF_ORDER: OutOfOrderCore,
+    CoreKind.IN_ORDER: InOrderCore,
+    CoreKind.DEP_STEER: DependenceSteeringCore,
+    CoreKind.BRAID: BraidCore,
+}
+
+
+def build_core(workload: PreparedWorkload, config: MachineConfig) -> TimingCore:
+    """Instantiate the timing core matching ``config.kind``."""
+    return _CORE_CLASSES[config.kind](workload, config)
+
+
+def simulate(
+    workload: PreparedWorkload,
+    config: MachineConfig,
+    max_cycles: Optional[int] = None,
+) -> SimResult:
+    """Run ``workload`` on the machine described by ``config``."""
+    core = build_core(workload, config)
+    if max_cycles is not None:
+        return core.run(max_cycles=max_cycles)
+    return core.run()

@@ -1,0 +1,161 @@
+"""Prepared workloads: a dynamic trace plus front-end/memory oracles.
+
+The timing cores are execution-driven in two phases, mirroring the paper's
+simulator split.  Phase one (here) runs the functional executor once and
+records, per dynamic instruction:
+
+* the correct-path dynamic stream (branch outcomes, memory addresses);
+* branch-predictor outcomes, trained in fetch (program) order — the
+  misprediction *set* is therefore identical across machine configurations,
+  which is what lets one prepared workload drive every sweep point;
+* cache latencies for instruction fetches and data accesses, simulated in
+  trace order.
+
+Phase two (the timing cores) replays the stream against the machine's
+structural constraints: widths, windows, ports, bypass bandwidth, functional
+units, and misprediction/refill penalties.  Wrong-path *timing* is charged
+through those penalties (the paper's minimum-misprediction-penalty
+formulation); wrong-path cache pollution is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa.program import Program
+from ..uarch.branchpred import make_predictor
+from ..uarch.cache import MemoryHierarchy, MemoryHierarchyConfig
+from .functional import DynInst, FunctionalExecutor
+
+
+@dataclass
+class WorkloadStats:
+    """Phase-one facts about a prepared workload."""
+
+    dynamic_instructions: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1d_miss_rate: float = 0.0
+    l1i_miss_rate: float = 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branches
+
+
+@dataclass
+class PreparedWorkload:
+    """Everything a timing core needs to replay one benchmark."""
+
+    name: str
+    program: Program
+    trace: List[DynInst]
+    #: sequence numbers of mispredicted branches
+    mispredicted: Set[int]
+    #: per-load total data-cache latency (seq -> cycles)
+    load_latency: Dict[int, int]
+    #: per-instruction *extra* fetch latency beyond the L1I hit time
+    ifetch_extra: Dict[int, int]
+    stats: WorkloadStats = field(default_factory=WorkloadStats)
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+def prepare_workload(
+    program: Program,
+    predictor: str = "perceptron",
+    memory: Optional[MemoryHierarchyConfig] = None,
+    perfect: bool = False,
+    max_instructions: int = 200_000,
+    warmup_passes: int = 2,
+) -> PreparedWorkload:
+    """Run phase one on ``program``.
+
+    ``perfect=True`` gives the Figure 1 study's ideal front end: no
+    mispredictions and flat L1-hit memory latencies.
+
+    ``warmup_passes`` trains the branch predictor over the trace before the
+    measured pass.  The paper simulates MinneSPEC runs of millions of
+    instructions where predictor training is amortized to nothing; the
+    reproduction's traces are short samples, so warm-up models the same
+    steady state instead of measuring cold-start aliasing.
+    """
+    executor = FunctionalExecutor(program, max_instructions=max_instructions)
+    trace = list(executor.trace())
+
+    stats = WorkloadStats(
+        dynamic_instructions=len(trace),
+        branches=executor.stats.dynamic_branches,
+        loads=executor.stats.loads,
+        stores=executor.stats.stores,
+    )
+
+    mispredicted: Set[int] = set()
+    load_latency: Dict[int, int] = {}
+    ifetch_extra: Dict[int, int] = {}
+
+    hierarchy = MemoryHierarchy(memory)
+    l1_hit = hierarchy.config.l1d_latency
+
+    if perfect:
+        for dyn in trace:
+            if dyn.is_load:
+                load_latency[dyn.seq] = l1_hit
+        return PreparedWorkload(
+            name=program.name,
+            program=program,
+            trace=trace,
+            mispredicted=mispredicted,
+            load_latency=load_latency,
+            ifetch_extra=ifetch_extra,
+            stats=stats,
+        )
+
+    branch_predictor = make_predictor(predictor)
+    for _ in range(max(0, warmup_passes)):
+        for dyn in trace:
+            if dyn.is_branch:
+                branch_predictor.predict(dyn.pc)
+                branch_predictor.update(dyn.pc, bool(dyn.taken))
+
+    previous_line = -1
+    line_bytes = hierarchy.config.line_bytes
+
+    for dyn in trace:
+        line = dyn.pc // line_bytes
+        if line != previous_line:
+            latency = hierarchy.instruction_fetch(dyn.pc)
+            extra = latency - hierarchy.config.l1i_latency
+            if extra > 0:
+                ifetch_extra[dyn.seq] = extra
+            previous_line = line
+
+        if dyn.is_branch:
+            prediction = branch_predictor.predict(dyn.pc)
+            actual = bool(dyn.taken)
+            branch_predictor.update(dyn.pc, actual)
+            if prediction != actual:
+                mispredicted.add(dyn.seq)
+        elif dyn.is_load:
+            load_latency[dyn.seq] = hierarchy.data_access(dyn.mem_addr)
+        elif dyn.is_store:
+            hierarchy.data_access(dyn.mem_addr)
+
+    stats.mispredicts = len(mispredicted)
+    stats.l1d_miss_rate = hierarchy.l1d.stats.miss_rate
+    stats.l1i_miss_rate = hierarchy.l1i.stats.miss_rate
+    return PreparedWorkload(
+        name=program.name,
+        program=program,
+        trace=trace,
+        mispredicted=mispredicted,
+        load_latency=load_latency,
+        ifetch_extra=ifetch_extra,
+        stats=stats,
+    )

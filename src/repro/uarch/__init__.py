@@ -1,0 +1,40 @@
+"""Microarchitectural building blocks shared by all timing cores."""
+
+from .branchpred import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    PerceptronPredictor,
+    PerfectPredictor,
+    make_predictor,
+)
+from .busybits import BusyBitVector
+from .bypass import BypassNetwork
+from .cache import Cache, CacheStats, MemoryHierarchy, MemoryHierarchyConfig
+from .checkpoint import Checkpoint, CheckpointManager
+from .funit import FunctionalUnitPool
+from .lsq import LoadStoreQueue, LSQStats
+from .regfile import PortMeter, RegFileSpec, RegisterFileModel
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "PerceptronPredictor",
+    "PerfectPredictor",
+    "make_predictor",
+    "BusyBitVector",
+    "BypassNetwork",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+    "Checkpoint",
+    "CheckpointManager",
+    "FunctionalUnitPool",
+    "LoadStoreQueue",
+    "LSQStats",
+    "PortMeter",
+    "RegFileSpec",
+    "RegisterFileModel",
+]

@@ -1,0 +1,52 @@
+"""Bypass network model.
+
+The paper's conventional core has a 3-level bypass network moving 8 values
+per cycle; the braid core needs only 1 level moving 2 values per cycle
+because internal values never touch the network (Figure 8 sweeps the
+bandwidth).  The model: a result is visible on the network for ``levels``
+cycles after completion; a consumer issuing in that window takes one of the
+``width`` per-cycle slots, otherwise it must wait for writeback and use a
+register-file read port.
+"""
+
+from __future__ import annotations
+
+
+class BypassNetwork:
+    """Bounded-bandwidth, bounded-lifetime result forwarding."""
+
+    def __init__(self, levels: int, width: int) -> None:
+        if levels < 0 or width < 0:
+            raise ValueError("bypass levels/width must be non-negative")
+        self.levels = levels
+        self.width = width
+        self._cycle = -1
+        self._used = 0
+        self.total_forwards = 0
+        self.total_denials = 0
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used = 0
+
+    def covers(self, cycle: int, produce_cycle: int) -> bool:
+        """Whether a value completed at ``produce_cycle`` is still on the
+        network at ``cycle``."""
+        if self.width == 0 or self.levels == 0:
+            return False
+        return produce_cycle <= cycle <= produce_cycle + self.levels
+
+    def available(self, cycle: int) -> int:
+        self._roll(cycle)
+        return self.width - self._used
+
+    def acquire(self, cycle: int, count: int = 1) -> bool:
+        """Claim ``count`` forwarding slots this cycle; all-or-nothing."""
+        self._roll(cycle)
+        if self._used + count > self.width:
+            self.total_denials += 1
+            return False
+        self._used += count
+        self.total_forwards += count
+        return True

@@ -1,0 +1,135 @@
+"""Set-associative caches and the paper's memory hierarchy.
+
+Table 4: 64KB 4-way L1I (3-cycle), 64KB 2-way L1D (3-cycle), 1MB 8-way
+unified L2 (6-cycle), 400-cycle main memory.  Latencies are *total* access
+latencies at each level, as is conventional for this style of simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        latency: int,
+        line_bytes: int = 64,
+        parent: Optional["Cache"] = None,
+        memory_latency: int = 0,
+    ) -> None:
+        if size_bytes % (associativity * line_bytes):
+            raise ValueError(f"{name}: size not divisible by way size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.latency = latency
+        self.line_bytes = line_bytes
+        self.parent = parent
+        self.memory_latency = memory_latency
+        self.num_sets = size_bytes // (associativity * line_bytes)
+        # sets[set_index] maps tag -> None, insertion order = LRU order.
+        self.sets: Dict[int, OrderedDict] = {}
+        self.stats = CacheStats()
+
+    def _locate(self, address: int):
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def lookup(self, address: int) -> bool:
+        """Whether ``address`` currently hits (no state change)."""
+        set_index, tag = self._locate(address)
+        return tag in self.sets.get(set_index, ())
+
+    def access(self, address: int) -> int:
+        """Access ``address``; returns total latency including lower levels."""
+        set_index, tag = self._locate(address)
+        cache_set = self.sets.setdefault(set_index, OrderedDict())
+        self.stats.accesses += 1
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return self.latency
+
+        self.stats.misses += 1
+        if self.parent is not None:
+            below = self.parent.access(address)
+        else:
+            below = self.memory_latency
+        cache_set[tag] = None
+        if len(cache_set) > self.associativity:
+            cache_set.popitem(last=False)
+        return self.latency + below
+
+    def flush(self) -> None:
+        self.sets.clear()
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Parameters of the paper's default memory system (Table 4)."""
+
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 4
+    l1i_latency: int = 3
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 2
+    l1d_latency: int = 3
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 6
+    line_bytes: int = 64
+    memory_latency: int = 400
+    perfect: bool = False
+
+
+class MemoryHierarchy:
+    """L1I + L1D backed by a unified L2 and main memory."""
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None) -> None:
+        self.config = config if config is not None else MemoryHierarchyConfig()
+        cfg = self.config
+        self.l2 = Cache(
+            "L2", cfg.l2_size, cfg.l2_assoc, cfg.l2_latency,
+            line_bytes=cfg.line_bytes, memory_latency=cfg.memory_latency,
+        )
+        self.l1i = Cache(
+            "L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.l1i_latency,
+            line_bytes=cfg.line_bytes, parent=self.l2,
+        )
+        self.l1d = Cache(
+            "L1D", cfg.l1d_size, cfg.l1d_assoc, cfg.l1d_latency,
+            line_bytes=cfg.line_bytes, parent=self.l2,
+        )
+
+    def instruction_fetch(self, address: int) -> int:
+        """Latency of fetching the line holding ``address``."""
+        if self.config.perfect:
+            return self.config.l1i_latency
+        return self.l1i.access(address)
+
+    def data_access(self, address: int) -> int:
+        """Latency of a load/store to ``address``."""
+        if self.config.perfect:
+            return self.config.l1d_latency
+        return self.l1d.access(address)

@@ -1,0 +1,38 @@
+"""Functional unit pools.
+
+Paper Table 4: the conventional core has 8 general-purpose units; each braid
+execution unit has 2.  Units are fully pipelined (one issue per unit per
+cycle); an operation's result appears ``latency`` cycles after issue.
+"""
+
+from __future__ import annotations
+
+
+class FunctionalUnitPool:
+    """A pool of identical, fully pipelined general-purpose units."""
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError("a functional unit pool needs at least one unit")
+        self.count = count
+        self._cycle = -1
+        self._issued = 0
+        self.total_issues = 0
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._issued = 0
+
+    def available(self, cycle: int) -> int:
+        self._roll(cycle)
+        return self.count - self._issued
+
+    def issue(self, cycle: int) -> bool:
+        """Claim one unit issue slot this cycle."""
+        self._roll(cycle)
+        if self._issued >= self.count:
+            return False
+        self._issued += 1
+        self.total_issues += 1
+        return True

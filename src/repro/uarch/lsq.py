@@ -1,0 +1,83 @@
+"""Load/store queue: run-time memory disambiguation.
+
+The braid microarchitecture "uses a conventional memory disambiguation
+structure such as the load-store queue to enforce memory ordering at run
+time" (paper section 3.3) — both cores share this model.
+
+Policy (conservative, non-speculative): a load may issue once every older
+in-flight store's address is known; if an older store to the same word has
+not yet produced its data, the load waits and then receives the value by
+store-to-load forwarding at L1-hit latency.  Stores logically update memory
+at retirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _StoreEntry:
+    seq: int
+    word: int
+    complete_cycle: Optional[int]  # None while data/address outstanding
+
+
+@dataclass
+class LSQStats:
+    forwards: int = 0
+    conflicts: int = 0
+
+
+class LoadStoreQueue:
+    """Tracks in-flight stores; answers when a load may issue."""
+
+    def __init__(self, forward_latency: int = 3) -> None:
+        self.forward_latency = forward_latency
+        self._stores: Dict[int, _StoreEntry] = {}
+        self.stats = LSQStats()
+
+    # ------------------------------------------------------------------ stores
+    def store_dispatched(self, seq: int, word: int) -> None:
+        """An older store entered the window (address known from the trace)."""
+        self._stores[seq] = _StoreEntry(seq=seq, word=word, complete_cycle=None)
+
+    def store_executed(self, seq: int, cycle: int) -> None:
+        entry = self._stores.get(seq)
+        if entry is not None:
+            entry.complete_cycle = cycle
+
+    def store_retired(self, seq: int) -> None:
+        self._stores.pop(seq, None)
+
+    # ------------------------------------------------------------------- loads
+    def load_conflict(self, seq: int, word: int) -> Optional[_StoreEntry]:
+        """Youngest older in-flight store to the same word, if any."""
+        best: Optional[_StoreEntry] = None
+        for entry in self._stores.values():
+            if entry.seq < seq and entry.word == word:
+                if best is None or entry.seq > best.seq:
+                    best = entry
+        return best
+
+    def load_latency(self, seq: int, word: int, cycle: int,
+                     cache_latency: int) -> Optional[int]:
+        """Latency for a load issuing at ``cycle``, or None if it must wait.
+
+        ``None`` means an older matching store has not executed yet; the
+        caller should retry on a later cycle.  If the matching store has
+        executed but not retired, the load forwards from the queue.
+        """
+        conflict = self.load_conflict(seq, word)
+        if conflict is None:
+            return cache_latency
+        if conflict.complete_cycle is None or conflict.complete_cycle > cycle:
+            self.stats.conflicts += 1
+            return None
+        self.stats.forwards += 1
+        return self.forward_latency
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._stores)

@@ -1,0 +1,434 @@
+"""Synthetic benchmark program generator.
+
+Generates deterministic, terminating, executable programs whose dataflow
+shape matches the paper's characterization of SPEC CPU2000 (see
+:mod:`repro.workloads.profiles`).  The structural vocabulary:
+
+* **Loop regions** — each benchmark is an outer loop over several inner-loop
+  regions, giving the predictable loop-closing branches real codes have.
+* **Expression DAGs** — each body block contains a few chain-biased
+  expression DAGs (the paper's braids-to-be): a value chain consuming pool
+  registers, loaded values, and immediates, occasionally reusing an
+  intermediate (fanout 2), ending in a store or a pool register.
+* **Data-dependent diamonds** — an xorshift-style register recurrence feeds
+  threshold-compare branches, so branch outcomes are deterministic yet
+  varied, with a per-benchmark taken bias.
+* **Single-instruction filler** — standalone ``lda``/``nop`` instructions
+  reproduce the paper's large population of single-instruction braids.
+
+Register conventions (integer bank): r1-r4 array bases, r5-r6 address
+temporaries, r7 recurrence state, r8 branch scratch, r9/r10 loop counters,
+r11 induction index, r12-r19 DAG scratch, r20-r27 value pool, r28
+accumulator, r29/r30 filler chain.  The FP bank mirrors the scratch/pool
+split (f12-f19 scratch, f20-f27 pool, f28 accumulator).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import opcode_by_name
+from ..isa.program import BasicBlock, Program
+from ..isa.registers import Register, fp_reg, int_reg
+from .profiles import BenchmarkProfile
+
+_BASES = [int_reg(i) for i in range(1, 5)]
+_ADDR = [int_reg(5), int_reg(6)]
+_RECUR = int_reg(7)
+_COND = int_reg(8)
+_OUTER = int_reg(9)
+_INNER = int_reg(10)
+_INDEX = int_reg(11)
+_SCRATCH_INT = [int_reg(i) for i in range(12, 20)]
+_POOL_INT = [int_reg(i) for i in range(20, 28)]
+_ACCUM_INT = int_reg(28)
+_FILLER = [int_reg(29), int_reg(30)]
+_SCRATCH_FP = [fp_reg(i) for i in range(12, 20)]
+_POOL_FP = [fp_reg(i) for i in range(20, 28)]
+_ACCUM_FP = fp_reg(28)
+
+#: Byte address of the first array.  Spacing bounds the largest profile's
+#: working set (65536 words = 512 KiB) while keeping every base address
+#: within the 22-bit immediate field of the braid instruction encoding.
+_ARRAY_BASE = 0x8000
+_ARRAY_SPACING = 0x8_0000
+
+_INT_CHAIN_OPS = ("addq", "subq", "and", "bis", "xor", "andnot", "addl")
+_INT_IMM_OPS = ("addqi", "subqi", "xori", "addli", "srli", "slli")
+_FP_CHAIN_OPS = ("addt", "subt", "mult", "adds")
+
+
+@dataclass
+class _Value:
+    """A generated value living in a register."""
+
+    reg: Register
+    fp: bool
+
+
+class _DagState:
+    """Scratch-register ring and pending fanout-2 reuses for one block."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.int_cursor = 0
+        self.fp_cursor = 0
+        self.protected: List[_Value] = []
+
+    def scratch(self, fp: bool) -> Register:
+        ring = _SCRATCH_FP if fp else _SCRATCH_INT
+        protected_regs = {value.reg for value in self.protected}
+        for _ in range(len(ring)):
+            if fp:
+                reg = ring[self.fp_cursor % len(ring)]
+                self.fp_cursor += 1
+            else:
+                reg = ring[self.int_cursor % len(ring)]
+                self.int_cursor += 1
+            if reg not in protected_regs:
+                return reg
+        # Every scratch register is protected (extremely unlikely): recycle.
+        victim = self.protected.pop(0)
+        return victim.reg
+
+    def protect(self, value: _Value) -> None:
+        self.protected.append(value)
+
+    def take_protected(self, fp: bool) -> Optional[_Value]:
+        for position, value in enumerate(self.protected):
+            if value.fp == fp:
+                return self.protected.pop(position)
+        return None
+
+
+class BenchmarkGenerator:
+    """Builds one synthetic benchmark program from a profile."""
+
+    def __init__(self, profile: BenchmarkProfile) -> None:
+        self.profile = profile
+        self.rng = random.Random(profile.seed * 0x9E3779B1 + 7)
+        self.blocks: List[BasicBlock] = []
+        self._pool_int_cursor = 0
+        self._pool_fp_cursor = 0
+        self._filler_cursor = 0
+        self._addr_cursor = 0
+        self._dag_addr_reg: Optional[Register] = None
+
+    # ------------------------------------------------------------- public API
+    def build(self) -> Program:
+        """Generate the program (deterministic for a given profile)."""
+        entry = self._new_block("ENTRY")
+        self._emit_entry(entry)
+
+        region_heads: List[BasicBlock] = []
+        for region in range(self.profile.regions):
+            head = self._emit_region(region)
+            region_heads.append(head)
+
+        outer_latch = self._new_block("OUTER_LATCH")
+        exit_block = self._new_block("EXIT")
+        self._emit_exit(exit_block)
+
+        # Outer loop: ENTRY falls into region 0; OUTER_LATCH jumps back.
+        self._emit(outer_latch, "addli", _OUTER, imm=1, dest=_OUTER)
+        self._emit(outer_latch, "cmplti", _OUTER, imm=self.profile.outer_trips,
+                   dest=_COND)
+        self._branch(outer_latch, "bne", _COND, target_block=region_heads[0])
+
+        program = Program(name=self.profile.name, blocks=self.blocks)
+        self._resolve_targets(program)
+        program.validate()
+        return program
+
+    # ------------------------------------------------------------ block utils
+    def _new_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def _emit(self, block: BasicBlock, opcode_name: str, *srcs: Register,
+              dest: Optional[Register] = None, imm: int = 0) -> Instruction:
+        inst = Instruction(
+            opcode=opcode_by_name(opcode_name),
+            dest=dest,
+            srcs=tuple(srcs),
+            imm=imm,
+        )
+        block.instructions.append(inst)
+        return inst
+
+    def _branch(self, block: BasicBlock, opcode_name: str, *srcs: Register,
+                target_block: BasicBlock) -> None:
+        # Targets are stored as block labels during construction and resolved
+        # to indices once all blocks exist (labels are unique).
+        inst = Instruction(
+            opcode=opcode_by_name(opcode_name),
+            srcs=tuple(srcs),
+            target=0,
+        )
+        inst._pending_label = target_block.label  # type: ignore[attr-defined]
+        block.instructions.append(inst)
+
+    def _resolve_targets(self, program: Program) -> None:
+        for block in program.blocks:
+            for position, inst in enumerate(block.instructions):
+                label = getattr(inst, "_pending_label", None)
+                if label is not None:
+                    target = program.block_by_label(label).index
+                    block.instructions[position] = inst.retargeted(target)
+
+    # ------------------------------------------------------------ entry / exit
+    def _emit_entry(self, block: BasicBlock) -> None:
+        for number, base in enumerate(_BASES):
+            address = _ARRAY_BASE + number * _ARRAY_SPACING
+            self._emit(block, "addqi", int_reg(31), imm=address, dest=base)
+        self._emit(block, "addqi", int_reg(31),
+                   imm=(self.profile.seed * 2654435761) & 0x1FFFFF, dest=_RECUR)
+        self._emit(block, "addqi", int_reg(31), imm=0, dest=_OUTER)
+        self._emit(block, "addqi", int_reg(31), imm=0, dest=_INDEX)
+        self._emit(block, "addqi", int_reg(31), imm=0, dest=_ACCUM_INT)
+        for pool in _POOL_INT:
+            self._emit(block, "addqi", int_reg(31),
+                       imm=self.rng.randrange(1, 1 << 16), dest=pool)
+        if self.profile.fp_fraction > 0:
+            self._emit(block, "itoft", _ACCUM_INT, dest=_ACCUM_FP)
+            for pool in _POOL_FP:
+                self._emit(block, "itoft", _POOL_INT[0], dest=pool)
+
+    def _emit_exit(self, block: BasicBlock) -> None:
+        """Make results observable: spill accumulators and pool to memory."""
+        self._emit(block, "stq", _ACCUM_INT, _BASES[0], imm=0)
+        for number, pool in enumerate(_POOL_INT[:4]):
+            self._emit(block, "stq", pool, _BASES[0], imm=8 * (number + 1))
+        if self.profile.fp_fraction > 0:
+            self._emit(block, "stt", _ACCUM_FP, _BASES[0], imm=64)
+            for number, pool in enumerate(_POOL_FP[:4]):
+                self._emit(block, "stt", pool, _BASES[0], imm=72 + 8 * number)
+        self._emit(block, "nop")
+
+    # ----------------------------------------------------------------- regions
+    def _emit_region(self, region: int) -> BasicBlock:
+        profile = self.profile
+        preheader = self._new_block(f"R{region}_PRE")
+        self._emit(preheader, "addqi", int_reg(31), imm=0, dest=_INNER)
+
+        head: Optional[BasicBlock] = None
+        body: List[BasicBlock] = []
+        diamonds: List[Tuple[BasicBlock, int]] = []
+        for number in range(profile.body_blocks):
+            block = self._new_block(f"R{region}_B{number}")
+            if head is None:
+                head = block
+            body.append(block)
+            self._fill_body_block(block)
+            if (
+                number + 1 < profile.body_blocks
+                and self.rng.random() < profile.diamond_prob
+            ):
+                diamonds.append((block, number))
+
+        latch = self._new_block(f"R{region}_LATCH")
+        mask = profile.array_words - 1
+        self._emit(latch, "addqi", _INDEX, imm=1, dest=_INDEX)
+        self._emit(latch, "andi", _INDEX, imm=mask, dest=_INDEX)
+        self._emit(latch, "addli", _INNER, imm=1, dest=_INNER)
+        self._emit(latch, "cmplti", _INNER, imm=profile.inner_trips, dest=_COND)
+        assert head is not None
+        self._branch(latch, "bne", _COND, target_block=head)
+
+        # Wire the diamonds: a taken branch skips the next body block.
+        for block, number in diamonds:
+            skip_to = body[number + 2] if number + 2 < len(body) else latch
+            self._emit_condition(block)
+            self._branch(block, "bne", _COND, target_block=skip_to)
+        return preheader
+
+    def _emit_condition(self, block: BasicBlock) -> None:
+        """Derive a diamond branch condition.
+
+        Most conditions follow a periodic, history-learnable pattern on the
+        inner loop counter; a ``branch_noise`` fraction are pseudo-random
+        (an LCG recurrence), reproducing the hard-to-predict residue real
+        programs exhibit.
+        """
+        if self.rng.random() < self.profile.branch_noise:
+            threshold = max(1, min(255, int(self.profile.branch_bias * 256)))
+            self._emit(block, "mulqi", _RECUR, imm=1103515, dest=_RECUR)
+            self._emit(block, "addqi", _RECUR, imm=12345, dest=_RECUR)
+            self._emit(block, "srli", _RECUR, imm=24, dest=_COND)
+            self._emit(block, "andi", _COND, imm=255, dest=_COND)
+            self._emit(block, "cmplti", _COND, imm=threshold, dest=_COND)
+            return
+        period_mask = self.rng.choice((3, 3, 7))
+        threshold = max(1, round(self.profile.branch_bias * (period_mask + 1)))
+        phase = self.rng.randrange(0, period_mask + 1)
+        self._emit(block, "addqi", _INNER, imm=phase, dest=_COND)
+        self._emit(block, "andi", _COND, imm=period_mask, dest=_COND)
+        self._emit(block, "cmplti", _COND, imm=threshold, dest=_COND)
+
+    # -------------------------------------------------------------- body blocks
+    def _fill_body_block(self, block: BasicBlock) -> None:
+        profile = self.profile
+        rng = self.rng
+        ops = self._draw_count(profile.ops_per_block)
+        state = _DagState(rng)
+        for _ in range(max(1, ops)):
+            self._emit_dag(block, state)
+
+        fillers = self._draw_count(profile.single_filler)
+        for _ in range(fillers):
+            self._emit_filler(block)
+
+    def _draw_count(self, mean: float) -> int:
+        """Small non-negative integer with the given mean."""
+        whole = int(mean)
+        count = whole + (1 if self.rng.random() < (mean - whole) else 0)
+        return count
+
+    def _emit_filler(self, block: BasicBlock) -> None:
+        if self.rng.random() < 0.4:
+            self._emit(block, "nop")
+            return
+        reg = _FILLER[self._filler_cursor % len(_FILLER)]
+        self._filler_cursor += 1
+        self._emit(block, "lda", reg, imm=self.rng.randrange(1, 64), dest=reg)
+
+    # ------------------------------------------------------------------- DAGs
+    def _next_pool(self, fp: bool) -> Register:
+        if fp:
+            reg = _POOL_FP[self._pool_fp_cursor % len(_POOL_FP)]
+            self._pool_fp_cursor += 1
+        else:
+            reg = _POOL_INT[self._pool_int_cursor % len(_POOL_INT)]
+            self._pool_int_cursor += 1
+        return reg
+
+    def _random_pool(self, fp: bool) -> Register:
+        pool = _POOL_FP if fp else _POOL_INT
+        return self.rng.choice(pool)
+
+    def _dag_addr(self, block: BasicBlock) -> Register:
+        """The current DAG's address register, computed on first use.
+
+        Each operation computes its own ``&array[index]`` (as in the paper's
+        Figure 2, where every load has a private ``addq`` address add), so
+        memory accesses connect only to their own braid.  Address registers
+        rotate so consecutive DAGs never share a dataflow edge through them.
+        """
+        if self._dag_addr_reg is None:
+            addr = _ADDR[self._addr_cursor % len(_ADDR)]
+            self._addr_cursor += 1
+            base = self.rng.choice(_BASES)
+            self._emit(block, "slli", _INDEX, imm=3, dest=addr)
+            self._emit(block, "addq", base, addr, dest=addr)
+            self._dag_addr_reg = addr
+        return self._dag_addr_reg
+
+    def _emit_load(self, block: BasicBlock, state: _DagState, fp: bool) -> _Value:
+        addr = self._dag_addr(block)
+        displacement = 8 * self.rng.randrange(0, 32)
+        dest = state.scratch(fp)
+        self._emit(block, "ldt" if fp else "ldq", addr, imm=displacement, dest=dest)
+        return _Value(reg=dest, fp=fp)
+
+    def _dag_input(self, block: BasicBlock, state: _DagState, fp: bool) -> _Value:
+        reused = state.take_protected(fp)
+        if reused is not None:
+            return reused
+        if self.rng.random() < self.profile.load_prob:
+            return self._emit_load(block, state, fp)
+        return _Value(reg=self._random_pool(fp), fp=fp)
+
+    def _emit_dag(self, block: BasicBlock, state: _DagState) -> None:
+        """One chain-biased expression DAG (a braid candidate)."""
+        profile = self.profile
+        rng = self.rng
+        fp = rng.random() < profile.fp_fraction
+        self._dag_addr_reg = None  # each DAG computes its own addresses
+
+        size = max(1, round(rng.expovariate(1.0 / profile.op_size_mean)))
+        size = min(size, 24)
+
+        current = self._dag_input(block, state, fp)
+        steps = max(1, size - 1)
+        for step in range(steps):
+            last = step == steps - 1
+            store_result = last and rng.random() < profile.store_prob
+            if last and not store_result:
+                dest = self._next_pool(fp)
+            else:
+                dest = state.scratch(fp)
+            if not last and rng.random() < profile.join_prob:
+                current = self._emit_join(block, state, current, dest, fp)
+                continue
+            current = self._emit_dag_step(block, state, current, dest, fp)
+            if not last and rng.random() < profile.fanout2_prob:
+                state.protect(current)
+            if store_result:
+                addr = self._dag_addr(block)
+                displacement = 8 * rng.randrange(0, 32)
+                opcode = "stt" if fp else "stq"
+                self._emit(block, opcode, current.reg, addr, imm=displacement)
+
+        # Occasionally fold the result into the accumulator (keeps it live).
+        if rng.random() < profile.accum_prob:
+            if fp:
+                self._emit(block, "addt", _ACCUM_FP, current.reg, dest=_ACCUM_FP)
+            else:
+                self._emit(block, "addq", _ACCUM_INT, current.reg, dest=_ACCUM_INT)
+
+    def _emit_join(self, block: BasicBlock, state: _DagState,
+                   current: _Value, dest: Register, fp: bool) -> _Value:
+        """Merge a short, freshly-computed side chain into the main chain.
+
+        Joins give braids their (slightly) greater-than-one width and create
+        the two-live-producer patterns that stress dependence steering.
+        """
+        side_seed = self._dag_input(block, state, fp)
+        side = self._emit_dag_step(block, state, side_seed, state.scratch(fp), fp)
+        merge_op = "addt" if fp else "addq"
+        self._emit(block, merge_op, current.reg, side.reg, dest=dest)
+        return _Value(reg=dest, fp=fp)
+
+    def _emit_dag_step(self, block: BasicBlock, state: _DagState,
+                       current: _Value, dest: Register, fp: bool) -> _Value:
+        rng = self.rng
+        profile = self.profile
+        if fp:
+            if rng.random() < profile.div_prob:
+                self._emit(block, "sqrtt", current.reg, dest=dest)
+                return _Value(reg=dest, fp=True)
+            shape = rng.random()
+            if shape < 0.65:
+                other = self._dag_input(block, state, True)
+                name = rng.choice(_FP_CHAIN_OPS)
+                self._emit(block, name, current.reg, other.reg, dest=dest)
+            else:
+                name = rng.choice(("addt", "mult"))
+                self._emit(block, name, current.reg, current.reg, dest=dest)
+            return _Value(reg=dest, fp=True)
+
+        if rng.random() < profile.mul_prob:
+            self._emit(block, "mulqi", current.reg,
+                       imm=rng.randrange(3, 1 << 12), dest=dest)
+            return _Value(reg=dest, fp=False)
+        shape = rng.random()
+        if shape < 0.55:
+            other = self._dag_input(block, state, False)
+            name = rng.choice(_INT_CHAIN_OPS)
+            self._emit(block, name, current.reg, other.reg, dest=dest)
+        else:
+            name = rng.choice(_INT_IMM_OPS)
+            imm = rng.randrange(1, 1 << 12)
+            if name in ("srli", "slli"):
+                imm = rng.randrange(1, 16)
+            self._emit(block, name, current.reg, imm=imm, dest=dest)
+        return _Value(reg=dest, fp=False)
+
+
+def generate(profile: BenchmarkProfile) -> Program:
+    """Generate the synthetic program for ``profile``."""
+    return BenchmarkGenerator(profile).build()

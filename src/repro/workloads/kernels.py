@@ -1,0 +1,304 @@
+"""Hand-written kernels, including the paper's Figure 2 example.
+
+These small programs complement the synthetic suite: they are readable,
+their braid structure is known by inspection, and the test suite asserts the
+partitioner recovers exactly that structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+#: The gcc life-analysis loop of paper Figure 2, adapted to this ISA.  The
+#: LOOP block partitions into the paper's three braids (plus the branch):
+#: the large mask-computation braid, the induction-increment braid, and the
+#: single-instruction ``lda`` braid.
+GCC_LIFE = """
+.program gcc_life
+.block ENTRY
+    addq r31, #64,   r6     ; regset_size (t9)
+    addq r31, #0,    r5     ; j (t5)
+    addq r31, #32768, r1    ; basic_block_new_live_at_end (a1)
+    addq r31, #40960, r2    ; basic_block_live_at_end (a0)
+    addq r31, #49152, r3    ; basic_block_significant (t8)
+    addq r31, #0,    r4     ; byte offset (t4)
+.block LOOP
+    addq r1, r4, r8         ; addq a1, t4, t0
+    addq r2, r4, r9         ; addq a0, t4, t1
+    addq r3, r4, r10        ; addq t8, t4, t2
+    ldl  r11, 0(r8)         ; ldl t3, 0(t0)
+    addl r5, #1, r5         ; addl t5, #1, t5
+    ldl  r8, 0(r9)          ; ldl t0, 0(t1)
+    cmpeq r6, r5, r7        ; cmpeq t9, t5, t7
+    ldl  r9, 0(r10)         ; ldl t1, 0(t2)
+    lda  r4, 4(r4)          ; lda t4, 4(t4)
+    andnot r11, r8, r8      ; andnot t3, t0, t0
+    addl r31, r8, r8        ; addl zero, t0, t0
+    and  r8, r9, r9         ; and t0, t1, t1
+    zapnot r9, #15, r9      ; zapnot t1, #15, t1
+    cmovne r8, #1, r12      ; cmovne t0, #1, t6 (consider = 1)
+    bne  r9, FOUND          ; bne t1, ...
+.block BACK
+    beq r7, LOOP            ; loop while j != regset_size
+.block DONE
+    stq r12, 0(r1)
+    nop
+.block FOUND
+    addq r31, #1, r13       ; must_rescan = 1
+    stq r13, 8(r1)
+    stq r12, 16(r1)
+    nop
+"""
+
+#: daxpy: y[i] = a*x[i] + y[i] — the canonical streaming FP kernel.
+DAXPY = """
+.program daxpy
+.block ENTRY
+    addq r31, #32768, r1    ; x base
+    addq r31, #65536, r2    ; y base
+    addq r31, #0, r4        ; i
+    addq r31, #128, r5      ; n
+    addq r31, #3, r6
+    itoft r6, f3            ; a = 3.0
+.block LOOP
+    slli r4, #3, r7
+    addq r1, r7, r8
+    addq r2, r7, r9
+    ldt  f1, 0(r8)
+    ldt  f2, 0(r9)
+    mult f1, f3, f1
+    addt f1, f2, f2
+    stt  f2, 0(r9)
+    addqi r4, #1, r4
+    cmplt r4, r5, r10
+    bne  r10, LOOP
+.block DONE
+    nop
+"""
+
+#: Reduction: sum += a[i] * b[i] with a data-dependent accumulate skip.
+DOT_PRODUCT = """
+.program dot_product
+.block ENTRY
+    addq r31, #32768, r1
+    addq r31, #65536, r2
+    addq r31, #0, r4
+    addq r31, #96, r5
+    addq r31, #0, r20       ; checksum accumulator
+.block LOOP
+    slli r4, #3, r7
+    addq r1, r7, r8
+    addq r2, r7, r9
+    ldq  r10, 0(r8)
+    ldq  r11, 0(r9)
+    mulq r10, r11, r12
+    addq r20, r12, r20
+    addqi r4, #1, r4
+    cmplt r4, r5, r13
+    bne  r13, LOOP
+.block DONE
+    stq r20, 0(r1)
+    nop
+"""
+
+#: Pointer-chase-like loop with serial loads (mcf-flavoured behaviour).
+POINTER_CHASE = """
+.program pointer_chase
+.block ENTRY
+    addq r31, #32768, r1
+    addq r31, #0, r4
+    addq r31, #200, r5
+    addq r31, #0, r20
+.block SETUP
+    ; build a linked structure: cell i points at cell (i*7+3) mod 128
+    mulqi r4, #7, r7
+    addqi r7, #3, r7
+    andi  r7, #127, r7
+    slli  r7, #3, r7
+    slli  r4, #3, r8
+    addq  r1, r8, r8
+    stq   r7, 0(r8)
+    addqi r4, #1, r4
+    cmplti r4, #128, r9
+    bne  r9, SETUP
+.block PREP
+    addq r31, #0, r6        ; cursor offset
+    addq r31, #0, r4
+.block CHASE
+    addq r1, r6, r7
+    ldq  r6, 0(r7)          ; serial dependence: next offset
+    addq r20, r6, r20
+    addqi r4, #1, r4
+    cmplt r4, r5, r8
+    bne  r8, CHASE
+.block DONE
+    stq r20, 8(r1)
+    nop
+"""
+
+#: A checksum/hash loop (gzip/bzip2-flavoured bit manipulation).
+CHECKSUM = """
+.program checksum
+.block ENTRY
+    addq r31, #32768, r1
+    addq r31, #0, r4
+    addq r31, #160, r5
+    addq r31, #12345, r20
+.block LOOP
+    slli r4, #3, r7
+    addq r1, r7, r8
+    ldq  r9, 0(r8)
+    xor  r20, r9, r10
+    slli r10, #5, r11
+    srli r10, #11, r12
+    bis  r11, r12, r10
+    addq r10, r9, r20
+    stq  r20, 0(r8)
+    addqi r4, #1, r4
+    cmplt r4, r5, r13
+    bne  r13, LOOP
+.block DONE
+    stq r20, 0(r1)
+    nop
+"""
+
+#: Blocked matrix multiply inner kernel: C[i][j] += A[i][k] * B[k][j] over a
+#: small 8x8 tile (fully unrolled k handled by the loop).
+MATMUL = """
+.program matmul
+.block ENTRY
+    addq r31, #32768, r1    ; A
+    addq r31, #40960, r2    ; B
+    addq r31, #49152, r3    ; C
+    addq r31, #0, r4        ; i
+.block ROW
+    addq r31, #0, r5        ; j
+.block COL
+    addq r31, #0, r6        ; k
+    itoft r31, f4           ; acc = 0.0
+.block DOT
+    slli r4, #3, r7         ; i*8
+    addq r7, r6, r8         ; i*8 + k
+    slli r8, #3, r8
+    addq r1, r8, r8         ; &A[i][k]
+    ldt  f1, 0(r8)
+    slli r6, #3, r9         ; k*8
+    addq r9, r5, r10        ; k*8 + j
+    slli r10, #3, r10
+    addq r2, r10, r10       ; &B[k][j]
+    ldt  f2, 0(r10)
+    mult f1, f2, f3
+    addt f4, f3, f4
+    addqi r6, #1, r6
+    cmplti r6, #8, r11
+    bne  r11, DOT
+.block STORE
+    slli r4, #3, r7
+    addq r7, r5, r8
+    slli r8, #3, r8
+    addq r3, r8, r8         ; &C[i][j]
+    stt  f4, 0(r8)
+    addqi r5, #1, r5
+    cmplti r5, #8, r11
+    bne  r11, COL
+.block NEXT_ROW
+    addqi r4, #1, r4
+    cmplti r4, #8, r11
+    bne  r11, ROW
+.block DONE
+    nop
+"""
+
+#: 1-D 3-point stencil sweep (the heart of mgrid/swim-style codes):
+#: b[i] = 0.25*a[i-1] + 0.5*a[i] + 0.25*a[i+1].
+STENCIL = """
+.program stencil
+.block ENTRY
+    addq r31, #32768, r1    ; a
+    addq r31, #40960, r2    ; b
+    addq r31, #1, r4        ; i = 1
+    addq r31, #126, r5      ; n-1
+    addq r31, #1, r6
+    itoft r6, f5            ; 1.0
+    addt f5, f5, f6         ; 2.0
+    addt f6, f6, f7         ; 4.0
+    divt f5, f6, f8         ; 0.5
+    divt f5, f7, f9         ; 0.25
+.block SWEEP
+    slli r4, #3, r7
+    addq r1, r7, r8         ; &a[i]
+    ldt  f1, -8(r8)
+    ldt  f2, 0(r8)
+    ldt  f3, 8(r8)
+    mult f1, f9, f1
+    mult f2, f8, f2
+    mult f3, f9, f3
+    addt f1, f2, f2
+    addt f2, f3, f4
+    addq r2, r7, r9
+    stt  f4, 0(r9)          ; b[i]
+    addqi r4, #1, r4
+    cmplt r4, r5, r10
+    bne  r10, SWEEP
+.block DONE
+    nop
+"""
+
+#: Histogram of pseudo-random bytes: read-modify-write memory traffic with
+#: data-dependent addresses (bzip2/gzip-flavoured).
+HISTOGRAM = """
+.program histogram
+.block ENTRY
+    addq r31, #32768, r1    ; bins
+    addq r31, #12345, r7    ; lcg state
+    addq r31, #0, r4
+    addq r31, #200, r5
+.block LOOP
+    mulqi r7, #1103515, r7
+    addqi r7, #12345, r7
+    srli r7, #16, r8
+    andi r8, #63, r8        ; bin index
+    slli r8, #3, r8
+    addq r1, r8, r9         ; &bins[index]
+    ldq  r10, 0(r9)
+    addqi r10, #1, r10
+    stq  r10, 0(r9)
+    addqi r4, #1, r4
+    cmplt r4, r5, r11
+    bne  r11, LOOP
+.block DONE
+    stq r4, 512(r1)
+    nop
+"""
+
+_KERNEL_SOURCES: Dict[str, str] = {
+    "gcc_life": GCC_LIFE,
+    "daxpy": DAXPY,
+    "dot_product": DOT_PRODUCT,
+    "pointer_chase": POINTER_CHASE,
+    "checksum": CHECKSUM,
+    "matmul": MATMUL,
+    "stencil": STENCIL,
+    "histogram": HISTOGRAM,
+}
+
+KERNEL_NAMES: Tuple[str, ...] = tuple(_KERNEL_SOURCES)
+
+
+def kernel(name: str) -> Program:
+    """Assemble one hand-written kernel by name."""
+    try:
+        source = _KERNEL_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {KERNEL_NAMES}"
+        ) from None
+    return assemble(source, name=name)
+
+
+def all_kernels() -> Dict[str, Program]:
+    """Every hand-written kernel, assembled."""
+    return {name: kernel(name) for name in KERNEL_NAMES}

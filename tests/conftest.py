@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import braidify
+from repro.harness import ExperimentContext
+from repro.isa import assemble
+from repro.workloads import build_program, kernel
+
+
+@pytest.fixture(scope="session")
+def gcc_life():
+    """The paper's Figure 2 kernel."""
+    return kernel("gcc_life")
+
+
+@pytest.fixture(scope="session")
+def gcc_life_compiled(gcc_life):
+    return braidify(gcc_life)
+
+
+@pytest.fixture(scope="session")
+def small_program():
+    """A tiny two-block loop used by unit tests."""
+    return assemble(
+        """
+        .program tiny
+        .block ENTRY
+            addq r31, #5, r1
+            addq r31, #0, r2
+        .block LOOP
+            addq r2, r1, r3
+            stq  r3, 0(r1)
+            addqi r2, #1, r2
+            cmplt r2, r1, r4
+            bne  r4, LOOP
+        .block DONE
+            nop
+        """
+    )
+
+
+@pytest.fixture(scope="session")
+def gcc_program():
+    """The synthetic gcc benchmark (small but full-featured)."""
+    return build_program("gcc")
+
+
+@pytest.fixture(scope="session")
+def quick_context():
+    """Experiment context over two fast benchmarks."""
+    return ExperimentContext(benchmarks=("gcc", "mcf"), max_instructions=20_000)

@@ -1,0 +1,101 @@
+"""Tests for value fanout/lifetime characterization (paper section 1.1)."""
+
+import pytest
+
+from repro.analysis.values import (
+    ValueCharacterization,
+    average_fractions,
+    characterize_suite,
+    characterize_values,
+)
+from repro.isa import assemble
+
+
+class TestHandBuiltPrograms:
+    def test_single_use_value(self):
+        chars = characterize_values(
+            assemble(
+                """
+                addq r1, r2, r3
+                addq r3, r1, r4
+                """
+            )
+        )
+        # r3: one read; r4: zero reads; live-ins r1/r2 are not counted as
+        # produced values (they were never defined).
+        assert chars.fanout[1] == 1
+        assert chars.fanout[0] == 1
+        assert chars.total_values == 2
+
+    def test_fanout_two(self):
+        chars = characterize_values(
+            assemble(
+                """
+                addq r1, r2, r3
+                addq r3, r3, r4
+                """
+            )
+        )
+        assert chars.fanout[2] == 1
+
+    def test_redefinition_closes_value(self):
+        chars = characterize_values(
+            assemble(
+                """
+                addq r1, r2, r3
+                addq r1, r1, r3
+                addq r3, r3, r4
+                """
+            )
+        )
+        assert chars.fanout[0] == 2  # first r3 dead, r4 dead
+        assert chars.fanout[2] == 1  # second r3 read twice
+
+    def test_lifetime_distance(self):
+        chars = characterize_values(
+            assemble(
+                """
+                addq r1, r2, r3
+                nop
+                nop
+                addq r3, r1, r4
+                """
+            )
+        )
+        assert chars.lifetime == {3: 1}
+        assert chars.lifetime_fraction(2) == 0.0
+        assert chars.lifetime_fraction(3) == 1.0
+
+    def test_dynamic_values_in_loop(self, small_program):
+        chars = characterize_values(small_program)
+        # Five iterations: each produces fresh dynamic values.
+        assert chars.total_values > 10
+
+
+class TestFractions:
+    def test_fractions_sum_consistency(self, gcc_program):
+        chars = characterize_values(gcc_program, max_instructions=20_000)
+        assert 0.0 <= chars.fraction_unused <= 1.0
+        assert chars.fraction_single_use <= chars.fraction_at_most_two_uses
+        assert (
+            chars.fanout_fraction(10**9)
+            == pytest.approx(1.0)
+        )
+
+    def test_empty_characterization(self):
+        chars = ValueCharacterization(name="empty")
+        assert chars.fraction_single_use == 0.0
+        assert chars.fraction_short_lived == 0.0
+
+    def test_average_fractions(self, gcc_program):
+        rows = characterize_suite({"gcc": gcc_program}, max_instructions=10_000)
+        averages = average_fractions(rows.values())
+        assert set(averages) == {
+            "single_use", "at_most_two_uses", "unused", "lifetime_le_32",
+        }
+        assert average_fractions([]) == {}
+
+    def test_paper_headline_on_gcc(self, gcc_program):
+        chars = characterize_values(gcc_program, max_instructions=30_000)
+        assert chars.fraction_single_use > 0.5
+        assert chars.fraction_short_lived > 0.7

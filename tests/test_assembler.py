@@ -1,0 +1,164 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.registers import Space, fp_reg, int_reg
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        program = assemble("nop")
+        assert program.static_size == 1
+        assert program.blocks[0].instructions[0].is_nop
+
+    def test_program_directive(self):
+        program = assemble(".program hello\nnop")
+        assert program.name == "hello"
+
+    def test_name_argument_overridden_by_directive(self):
+        program = assemble(".program inner\nnop", name="outer")
+        assert program.name == "inner"
+
+    def test_comments_ignored(self):
+        program = assemble("nop ; trailing comment\n; full line comment\n")
+        assert program.static_size == 1
+
+    def test_entry_directive(self):
+        program = assemble(
+            ".entry B\n.block A\n nop\n.block B\n nop\n"
+        )
+        assert program.entry == 1
+
+
+class TestOperandForms:
+    def test_three_register_alu(self):
+        inst = assemble("addq r1, r2, r3").blocks[0].instructions[0]
+        assert inst.opcode.name == "addq"
+        assert inst.srcs == (int_reg(1), int_reg(2))
+        assert inst.dest is int_reg(3)
+
+    def test_immediate_second_operand_rewrites_opcode(self):
+        inst = assemble("addq r1, #4, r3").blocks[0].instructions[0]
+        assert inst.opcode.name == "addqi"
+        assert inst.srcs == (int_reg(1),)
+        assert inst.imm == 4
+
+    def test_bare_literal_without_hash(self):
+        inst = assemble("subq r1, 10, r3").blocks[0].instructions[0]
+        assert inst.opcode.name == "subqi"
+        assert inst.imm == 10
+
+    def test_hex_and_negative_immediates(self):
+        inst = assemble("addq r1, #0x10, r3").blocks[0].instructions[0]
+        assert inst.imm == 16
+        inst = assemble("addq r1, #-3, r3").blocks[0].instructions[0]
+        assert inst.imm == -3
+
+    def test_load(self):
+        inst = assemble("ldl r4, 8(r2)").blocks[0].instructions[0]
+        assert inst.is_load
+        assert inst.dest is int_reg(4)
+        assert inst.base_reg is int_reg(2)
+        assert inst.imm == 8
+
+    def test_store(self):
+        inst = assemble("stq r4, -16(r2)").blocks[0].instructions[0]
+        assert inst.is_store
+        assert inst.srcs == (int_reg(4), int_reg(2))
+        assert inst.imm == -16
+
+    def test_lda_uses_memory_syntax(self):
+        inst = assemble("lda r4, 4(r4)").blocks[0].instructions[0]
+        assert inst.opcode.name == "lda"
+        assert inst.srcs == (int_reg(4),)
+        assert inst.imm == 4
+
+    def test_fp_load(self):
+        inst = assemble("ldt f2, 0(r9)").blocks[0].instructions[0]
+        assert inst.dest is fp_reg(2)
+        assert inst.base_reg is int_reg(9)
+
+    def test_cmov_register_form_reads_old_dest(self):
+        inst = assemble("cmovne r1, r2, r3").blocks[0].instructions[0]
+        assert inst.srcs == (int_reg(1), int_reg(2), int_reg(3))
+        assert inst.dest is int_reg(3)
+
+    def test_cmov_immediate_form(self):
+        inst = assemble("cmovne r1, #1, r3").blocks[0].instructions[0]
+        assert inst.opcode.name == "cmovnei"
+        assert inst.srcs == (int_reg(1), int_reg(3))
+        assert inst.imm == 1
+
+
+class TestControlFlow:
+    SOURCE = """
+    .block TOP
+        addq r1, r2, r3
+        bne r3, BOTTOM
+    .block MID
+        br TOP
+    .block BOTTOM
+        nop
+    """
+
+    def test_branch_targets_resolve(self):
+        program = assemble(self.SOURCE)
+        branch = program.blocks[0].terminator
+        assert branch.target == program.block_by_label("BOTTOM").index
+        jump = program.blocks[1].terminator
+        assert jump.target == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined block label"):
+            assemble("bne r1, NOWHERE")
+
+    def test_forward_and_backward_references(self):
+        program = assemble(self.SOURCE)
+        program.validate()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("frob r1, r2, r3", "unknown opcode"),
+            ("ldl r1, r2", "malformed memory operand"),
+            ("addq r1, r2", "malformed register|addq"),
+            ("bne r1", "expected"),
+            (".frobnicate x", "unknown directive"),
+            ("", "no instructions"),
+            ("stq r1, bogus", "malformed memory operand"),
+        ],
+    )
+    def test_malformed_input(self, source, match):
+        with pytest.raises(AssemblerError, match=match):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nnop\nfrob r1")
+        except AssemblerError as exc:
+            assert exc.line_number == 3
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblerError")
+
+    def test_branch_mid_block_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".block A\n bne r1, A\n nop\n")
+
+
+class TestRoundTrip:
+    def test_kernels_assemble_and_validate(self):
+        from repro.workloads import KERNEL_NAMES, kernel
+
+        for name in KERNEL_NAMES:
+            program = kernel(name)
+            program.validate()
+            assert program.static_size > 0
+
+    def test_unannotated_instructions_are_external(self):
+        program = assemble("addq r1, r2, r3")
+        inst = program.blocks[0].instructions[0]
+        assert inst.annot.src_space(0) is Space.EXTERNAL
+        assert inst.annot.dest_external

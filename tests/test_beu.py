@@ -1,0 +1,86 @@
+"""Unit tests for the braid execution unit and the distribute stage."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import braidify
+from repro.sim import braid_config, prepare_workload
+from repro.sim.beu import BraidExecutionUnit
+from repro.sim.run import build_core
+from repro.workloads import kernel
+
+
+class _FakeInst:
+    pass
+
+
+class TestCapacityRules:
+    def test_fresh_beu_accepts(self):
+        beu = BraidExecutionUnit(0, braid_config(8))
+        assert beu.can_accept_braid()
+        assert beu.drained
+
+    def test_single_braid_policy_blocks_until_drained(self):
+        beu = BraidExecutionUnit(0, braid_config(8))
+        beu.start_braid()
+        beu.enqueue(_FakeInst())
+        assert not beu.can_accept_braid()
+        beu.fifo.popleft()  # instruction issued
+        assert beu.can_accept_braid()
+
+    def test_queueing_policy_only_needs_space(self):
+        config = replace(braid_config(8), beu_queue_braids=True)
+        beu = BraidExecutionUnit(0, config)
+        beu.enqueue(_FakeInst())
+        assert beu.can_accept_braid()
+
+    def test_fifo_overflow_guard(self):
+        config = replace(braid_config(8), cluster_entries=2)
+        beu = BraidExecutionUnit(0, config)
+        beu.enqueue(_FakeInst())
+        beu.enqueue(_FakeInst())
+        assert not beu.has_space()
+        with pytest.raises(RuntimeError):
+            beu.enqueue(_FakeInst())
+
+    def test_default_internal_regfile_spec(self):
+        config = replace(braid_config(8), internal_regfile=None)
+        beu = BraidExecutionUnit(0, config)
+        assert beu.internal_reads.ports == 4
+        assert beu.internal_writes.ports == 2
+
+
+class TestDistribution:
+    @pytest.fixture(scope="class")
+    def core(self):
+        program = kernel("gcc_life")
+        compilation = braidify(program)
+        workload = prepare_workload(compilation.translated)
+        core = build_core(workload, braid_config(8))
+        core.run()
+        return core
+
+    def test_braids_accepted_counter(self, core):
+        accepted = sum(beu.braids_accepted for beu in core.beus)
+        starts = sum(
+            1 for d in core.workload.trace if d.inst.annot.start
+        )
+        assert accepted == starts
+
+    def test_all_fifos_drain(self, core):
+        for beu in core.beus:
+            assert beu.drained
+
+    def test_round_robin_spreads_braids(self, core):
+        used = [beu for beu in core.beus if beu.braids_accepted > 0]
+        assert len(used) >= 2
+
+    def test_busybit_traffic_recorded(self, core):
+        sets = sum(beu.busybits.set_events for beu in core.beus)
+        ext_dests = sum(
+            1
+            for d in core.workload.trace
+            if d.inst.writes() is not None and d.inst.annot.dest_external
+        )
+        assert sets == ext_dests

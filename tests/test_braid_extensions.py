@@ -1,0 +1,99 @@
+"""Tests for the braid core's exception mode (§3.4) and clustering (§5.2)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import braidify
+from repro.sim import braid_config, inorder_config, prepare_workload, simulate
+from repro.sim.run import build_core
+from repro.workloads import build_program
+
+
+@pytest.fixture(scope="module")
+def braided_gcc():
+    program = build_program("gcc")
+    compilation = braidify(program)
+    return prepare_workload(compilation.translated)
+
+
+class TestExceptionMode:
+    def test_exception_mode_is_correct(self, braided_gcc):
+        config = replace(
+            braid_config(8), beu_exception_mode=True, name="braid-excmode"
+        )
+        result = simulate(braided_gcc, config)
+        assert result.instructions == len(braided_gcc.trace)
+
+    def test_exception_mode_serializes(self, braided_gcc):
+        normal = simulate(braided_gcc, braid_config(8))
+        exception = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_exception_mode=True,
+                    name="braid-excmode"),
+        )
+        # "forcing instructions to one BEU turns the processor into a
+        # strict in-order processor" — far slower than normal operation.
+        assert exception.ipc < normal.ipc * 0.7
+
+    def test_exception_mode_uses_one_beu(self, braided_gcc):
+        config = replace(
+            braid_config(8), beu_exception_mode=True, name="braid-excmode"
+        )
+        core = build_core(braided_gcc, config)
+        core.run()
+        issued = core.beu_utilization()
+        assert issued[0] == len(braided_gcc.trace)
+        assert all(count == 0 for count in issued[1:])
+
+    def test_exception_mode_close_to_inorder(self, braided_gcc):
+        # The paper's claim: exception mode ~= an in-order machine.
+        exception = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_exception_mode=True,
+                    name="braid-excmode"),
+        )
+        program = build_program("gcc")
+        inorder = simulate(prepare_workload(program), inorder_config(8))
+        assert exception.ipc == pytest.approx(inorder.ipc, rel=0.6)
+
+
+class TestClustering:
+    def test_clustering_is_correct(self, braided_gcc):
+        config = replace(
+            braid_config(8), beu_cluster_size=2, inter_cluster_delay=2,
+            name="braid-clustered",
+        )
+        result = simulate(braided_gcc, config)
+        assert result.instructions == len(braided_gcc.trace)
+
+    def test_cross_cluster_delay_costs_performance(self, braided_gcc):
+        flat = simulate(braided_gcc, braid_config(8))
+        clustered = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_cluster_size=2,
+                    inter_cluster_delay=4, name="braid-cl2d4"),
+        )
+        assert clustered.ipc <= flat.ipc
+
+    def test_whole_machine_cluster_is_free(self, braided_gcc):
+        flat = simulate(braided_gcc, braid_config(8))
+        one_cluster = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_cluster_size=8,
+                    inter_cluster_delay=4, name="braid-cl8"),
+        )
+        assert one_cluster.cycles == flat.cycles
+
+    def test_delay_scales_cost(self, braided_gcc):
+        small = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_cluster_size=2,
+                    inter_cluster_delay=1, name="braid-cl2d1"),
+        )
+        large = simulate(
+            braided_gcc,
+            replace(braid_config(8), beu_cluster_size=2,
+                    inter_cluster_delay=8, name="braid-cl2d8"),
+        )
+        assert large.cycles >= small.cycles

@@ -1,0 +1,130 @@
+"""Property-based tests for the braid compilation pipeline.
+
+Hypothesis drives the synthetic workload generator with random profile
+parameters and checks the translator's global invariants on every generated
+program:
+
+* observable equivalence (memory state, control path, dynamic length);
+* partition soundness (every instruction in exactly one braid, braids
+  contiguous, braids never cross block boundaries);
+* the internal working-set bound (never more than the internal register
+  limit simultaneously live, by construction of the allocator).
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import braidify
+from repro.isa.registers import NUM_INTERNAL_REGS, Space
+from repro.sim import observably_equivalent
+from repro.workloads.generator import generate
+from repro.workloads.profiles import BenchmarkProfile
+
+
+@st.composite
+def profiles(draw):
+    return BenchmarkProfile(
+        name="hypo",
+        suite=draw(st.sampled_from(["int", "fp"])),
+        ops_per_block=draw(st.floats(0.5, 4.0)),
+        op_size_mean=draw(st.floats(1.0, 10.0)),
+        fanout2_prob=draw(st.floats(0.0, 0.5)),
+        join_prob=draw(st.floats(0.0, 0.4)),
+        load_prob=draw(st.floats(0.0, 0.8)),
+        store_prob=draw(st.floats(0.0, 0.8)),
+        mul_prob=draw(st.floats(0.0, 0.2)),
+        div_prob=draw(st.floats(0.0, 0.1)),
+        regions=draw(st.integers(1, 3)),
+        body_blocks=draw(st.integers(1, 4)),
+        diamond_prob=draw(st.floats(0.0, 0.8)),
+        branch_bias=draw(st.floats(0.0, 1.0)),
+        branch_noise=draw(st.floats(0.0, 1.0)),
+        accum_prob=draw(st.floats(0.0, 0.5)),
+        inner_trips=draw(st.integers(1, 6)),
+        outer_trips=draw(st.integers(1, 2)),
+        array_words=draw(st.sampled_from([64, 256, 1024])),
+        fp_fraction=draw(st.floats(0.0, 1.0)),
+        single_filler=draw(st.floats(0.0, 1.5)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(profiles())
+def test_translation_preserves_observable_behaviour(profile):
+    program = generate(profile)
+    compilation = braidify(program)
+    assert observably_equivalent(
+        program, compilation.translated, max_instructions=30_000
+    )
+
+
+@_SETTINGS
+@given(profiles())
+def test_partition_covers_every_instruction_exactly_once(profile):
+    program = generate(profile)
+    compilation = braidify(program)
+    for translation in compilation.report.blocks:
+        positions = sorted(
+            p for braid in translation.braids for p in braid.positions
+        )
+        assert positions == list(range(len(translation.original.instructions)))
+
+
+@_SETTINGS
+@given(profiles())
+def test_braid_bits_are_consistent(profile):
+    program = generate(profile)
+    compilation = braidify(program)
+    for block in compilation.translated.blocks:
+        current = None
+        for inst in block.instructions:
+            if inst.annot.start:
+                current = inst.annot.braid_id
+            assert inst.annot.braid_id == current
+            # A value is never steered to both files under this allocator.
+            assert not (inst.annot.dest_internal and inst.annot.dest_external)
+            if inst.annot.dest_internal:
+                assert inst.dest.index < NUM_INTERNAL_REGS
+            for position in range(len(inst.srcs)):
+                if inst.annot.src_space(position) is Space.INTERNAL:
+                    assert inst.srcs[position].index < NUM_INTERNAL_REGS
+        if block.instructions:
+            assert block.instructions[0].annot.start
+
+
+@_SETTINGS
+@given(profiles(), st.sampled_from([2, 4, 8]))
+def test_internal_limit_respected(profile, limit):
+    program = generate(profile)
+    compilation = braidify(program, internal_limit=limit)
+    # The allocator raises RegAllocError if the pressure-splitting pass ever
+    # under-delivers, so reaching here proves the bound; spot-check slots.
+    for block in compilation.translated.blocks:
+        for inst in block.instructions:
+            if inst.annot.dest_internal:
+                assert inst.dest.index < limit
+    assert observably_equivalent(
+        program, compilation.translated, max_instructions=30_000
+    )
+
+
+@_SETTINGS
+@given(profiles())
+def test_generated_programs_execute_and_terminate(profile):
+    program = generate(profile)
+    program.validate()
+    from repro.sim import execute
+
+    _, stats = execute(program, max_instructions=100_000)
+    assert stats.completed
+    assert stats.dynamic_instructions > 0

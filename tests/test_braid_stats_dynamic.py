@@ -1,0 +1,80 @@
+"""Dynamic (execution-weighted) braid statistics cross-checks.
+
+Tables 1-3 are computed statically; these tests confirm the *dynamic*
+picture a timing run sees is consistent with the static statistics — the
+property that actually matters to the microarchitecture (the distribute
+stage sees braids at their dynamic frequency).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import braidify
+from repro.sim import braid_config, prepare_workload
+from repro.sim.run import build_core
+from repro.workloads import build_program
+
+
+@pytest.fixture(scope="module")
+def traced():
+    program = build_program("gcc")
+    compilation = braidify(program)
+    workload = prepare_workload(compilation.translated, max_instructions=8000)
+    core = build_core(workload, braid_config(8))
+    core.trace_log = []
+    core.run()
+    return compilation, core
+
+
+class TestDynamicBraidShape:
+    def _dynamic_braids(self, core):
+        """Split the dynamic trace at S bits into braid instances."""
+        braids = []
+        current = []
+        for winst in core.trace_log:
+            if winst.dyn.inst.annot.start and current:
+                braids.append(current)
+                current = []
+            current.append(winst)
+        if current:
+            braids.append(current)
+        return braids
+
+    def test_dynamic_braid_sizes_match_static_range(self, traced):
+        compilation, core = traced
+        dynamic = self._dynamic_braids(core)
+        sizes = [len(b) for b in dynamic]
+        static_sizes = {
+            braid.size
+            for translation in compilation.report.blocks
+            for braid in translation.braids
+        }
+        assert set(sizes) <= static_sizes
+
+    def test_dynamic_mean_size_close_to_paper_band(self, traced):
+        _, core = traced
+        dynamic = self._dynamic_braids(core)
+        mean = sum(len(b) for b in dynamic) / len(dynamic)
+        assert 1.5 <= mean <= 6.0  # paper int range around 2.3-3.4
+
+    def test_each_dynamic_braid_on_one_beu(self, traced):
+        _, core = traced
+        for braid in self._dynamic_braids(core):
+            assert len({w.cluster for w in braid}) == 1
+
+    def test_braid_instances_per_beu_are_balanced(self, traced):
+        _, core = traced
+        counts = Counter(
+            w.cluster for w in core.trace_log if w.dyn.inst.annot.start
+        )
+        values = sorted(counts.values())
+        assert len(values) >= 4
+        assert values[0] > 0
+
+    def test_99_percent_of_braids_fit_fifo(self, traced):
+        # The paper sizes the FIFO at 32 because 99% of braids fit.
+        _, core = traced
+        dynamic = self._dynamic_braids(core)
+        fitting = sum(1 for b in dynamic if len(b) <= 32)
+        assert fitting / len(dynamic) > 0.99

@@ -1,0 +1,104 @@
+"""Unit tests for the cache hierarchy."""
+
+import pytest
+
+from repro.uarch.cache import Cache, MemoryHierarchy, MemoryHierarchyConfig
+
+
+class TestSingleLevel:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="L1", size_bytes=1024, associativity=2, latency=3,
+            line_bytes=64, memory_latency=100,
+        )
+        defaults.update(kwargs)
+        return Cache(**defaults)
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access(0x100) == 103  # miss -> memory
+        assert cache.access(0x100) == 3  # hit
+
+    def test_same_line_hits(self):
+        cache = self.make()
+        cache.access(0x100)
+        assert cache.access(0x100 + 63) == 3
+
+    def test_adjacent_line_misses(self):
+        cache = self.make()
+        cache.access(0x100 & ~63)
+        assert cache.access((0x100 & ~63) + 64) == 103
+
+    def test_lru_eviction(self):
+        cache = self.make()  # 1024/2/64 = 8 sets, 2 ways
+        set_stride = 8 * 64  # same set every stride
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) == 3
+        assert cache.access(b) == 103  # was evicted
+
+    def test_lookup_does_not_mutate(self):
+        cache = self.make()
+        assert not cache.lookup(0x200)
+        cache.access(0x200)
+        assert cache.lookup(0x200)
+        assert cache.stats.accesses == 1
+
+    def test_stats(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_bytes=1000, associativity=3, latency=1)
+
+    def test_flush(self):
+        cache = self.make()
+        cache.access(0)
+        cache.flush()
+        assert not cache.lookup(0)
+
+
+class TestHierarchy:
+    def test_paper_geometry(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.l1i.size_bytes == 64 * 1024
+        assert hierarchy.l1i.associativity == 4
+        assert hierarchy.l1d.associativity == 2
+        assert hierarchy.l2.size_bytes == 1024 * 1024
+        assert hierarchy.l2.associativity == 8
+        assert hierarchy.config.memory_latency == 400
+
+    def test_miss_path_latencies(self):
+        hierarchy = MemoryHierarchy()
+        # Cold: L1 miss + L2 miss + memory.
+        assert hierarchy.data_access(0x1000) == 3 + 6 + 400
+        # Now everything hits in L1.
+        assert hierarchy.data_access(0x1000) == 3
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = MemoryHierarchyConfig(l1d_size=128, l1d_assoc=1)
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.data_access(0x0)
+        hierarchy.data_access(0x80)  # evicts 0x0 from the 2-set L1
+        assert hierarchy.data_access(0x0) == 3 + 6  # L1 miss, L2 hit
+
+    def test_unified_l2_shared_by_instruction_and_data(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.instruction_fetch(0x4000)
+        # Data access to the same line: L1D misses but L2 already has it.
+        assert hierarchy.data_access(0x4000) == 3 + 6
+
+    def test_perfect_mode(self):
+        hierarchy = MemoryHierarchy(MemoryHierarchyConfig(perfect=True))
+        assert hierarchy.data_access(0xDEAD00) == 3
+        assert hierarchy.instruction_fetch(0xBEEF00) == 3

@@ -1,0 +1,88 @@
+"""Tests for the design-complexity analysis (paper section 5.1)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    compare_complexity,
+    regfile_area,
+    structure_cost,
+)
+from repro.sim.config import braid_config, depsteer_config, inorder_config, ooo_config
+
+
+class TestRegfileAreaModel:
+    def test_quadratic_in_ports(self):
+        base = regfile_area(entries=64, reads=4, writes=2)
+        doubled = regfile_area(entries=64, reads=8, writes=4)
+        assert doubled == pytest.approx(4 * base)
+
+    def test_linear_in_entries(self):
+        assert regfile_area(128, 4, 2) == pytest.approx(2 * regfile_area(64, 4, 2))
+
+
+class TestStructureCosts:
+    def test_braid_register_area_far_below_ooo(self):
+        # Paper: partitioning + port reduction "greatly reduce the total
+        # area required by the register files".
+        braid = structure_cost(braid_config(8))
+        ooo = structure_cost(ooo_config(8))
+        assert braid.regfile_area < ooo.regfile_area / 10
+
+    def test_braid_has_no_broadcast_comparators(self):
+        assert structure_cost(braid_config(8)).scheduler_comparators == 0
+        assert structure_cost(ooo_config(8)).scheduler_comparators == (
+            8 * 32 * 2 * 8
+        )
+
+    def test_braid_bypass_far_cheaper(self):
+        braid = structure_cost(braid_config(8))
+        ooo = structure_cost(ooo_config(8))
+        # 1 level x 2^2 vs 3 levels x 8^2.
+        assert braid.bypass_wires == 4
+        assert ooo.bypass_wires == 192
+
+    def test_braid_rename_narrower(self):
+        braid = structure_cost(braid_config(8))
+        ooo = structure_cost(ooo_config(8))
+        assert braid.rename_ports == 12
+        assert ooo.rename_ports == 24
+
+    def test_braid_checkpoints_smaller(self):
+        # Internal register values are not checkpointed (section 3.4).
+        braid = structure_cost(braid_config(8))
+        ooo = structure_cost(ooo_config(8))
+        assert braid.checkpoint_words < ooo.checkpoint_words
+
+    def test_inorder_is_cheapest(self):
+        inorder = structure_cost(inorder_config(8))
+        braid = structure_cost(braid_config(8))
+        assert inorder.scheduler_comparators == 0
+        assert inorder.rename_ports == 0
+        # Braid complexity is "almost in-order": same comparator count.
+        assert braid.scheduler_comparators == inorder.scheduler_comparators
+
+    def test_depsteer_comparable_to_braid(self):
+        dep = structure_cost(depsteer_config(8))
+        braid = structure_cost(braid_config(8))
+        assert dep.scheduler_comparators == braid.scheduler_comparators
+
+
+class TestComparison:
+    def test_ratios(self):
+        comparison = compare_complexity(braid_config(8), ooo_config(8))
+        assert comparison.ratio("regfile_area") < 0.1
+        assert comparison.ratio("bypass_wires") < 0.05
+        assert comparison.ratio("scheduler_comparators") == 0.0
+
+    def test_render(self):
+        comparison = compare_complexity(braid_config(8), ooo_config(8))
+        text = comparison.render()
+        assert "regfile_area" in text
+        assert "braid-8w" in text and "ooo-8w" in text
+
+    def test_as_dict(self):
+        cost = structure_cost(braid_config(8))
+        assert set(cost.as_dict()) == {
+            "regfile_area", "scheduler_comparators", "bypass_wires",
+            "rename_ports", "checkpoint_words",
+        }

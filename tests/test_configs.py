@@ -1,0 +1,100 @@
+"""Tests that machine configurations match paper Table 4."""
+
+from repro.sim.config import (
+    CoreKind,
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+
+
+class TestOutOfOrderDefaults:
+    def test_table4_parameters(self):
+        config = ooo_config(8)
+        assert config.kind is CoreKind.OUT_OF_ORDER
+        assert config.issue_width == 8
+        assert config.clusters == 8 and config.cluster_entries == 32
+        assert config.regfile.entries == 256
+        assert config.regfile.read_ports == 16
+        assert config.regfile.write_ports == 8
+        assert config.bypass_levels == 3 and config.bypass_width == 8
+        assert config.functional_units == 8
+        assert config.front_end.fetch_width == 8
+        assert config.front_end.branches_per_cycle == 3
+        assert config.front_end.alloc_width == 8
+        assert config.front_end.rename_src_ops == 16
+        assert config.front_end.rename_dest_ops == 8
+
+    def test_mispredict_penalty_is_23(self):
+        assert ooo_config(8).front_end.min_mispredict_penalty == 23
+
+    def test_width_scaling(self):
+        config = ooo_config(16)
+        assert config.clusters == 16
+        assert config.regfile.entries == 512
+        assert config.front_end.rename_src_ops == 32
+
+
+class TestBraidDefaults:
+    def test_table4_parameters(self):
+        config = braid_config(8)
+        assert config.kind is CoreKind.BRAID
+        assert config.clusters == 8  # BEUs
+        assert config.cluster_entries == 32  # FIFO entries
+        assert config.beu_window == 2
+        assert config.beu_functional_units == 2
+        assert config.internal_regfile.entries == 8
+        assert config.internal_regfile.read_ports == 4
+        assert config.internal_regfile.write_ports == 2
+        assert config.regfile.entries == 8
+        assert config.regfile.read_ports == 6
+        assert config.regfile.write_ports == 3
+        assert config.bypass_levels == 1 and config.bypass_width == 2
+        assert config.front_end.alloc_width == 4
+        assert config.front_end.rename_src_ops == 8
+        assert config.front_end.rename_dest_ops == 4
+
+    def test_mispredict_penalty_is_19(self):
+        assert braid_config(8).front_end.min_mispredict_penalty == 19
+
+    def test_pipeline_four_stages_shorter(self):
+        assert (
+            ooo_config(8).front_end.min_mispredict_penalty
+            - braid_config(8).front_end.min_mispredict_penalty
+            == 4
+        )
+
+    def test_sixteen_functional_units_total(self):
+        config = braid_config(8)
+        assert config.clusters * config.beu_functional_units == 16
+
+    def test_single_braid_per_beu_default(self):
+        assert not braid_config(8).beu_queue_braids
+
+
+class TestOtherParadigms:
+    def test_inorder_shares_conventional_front_end(self):
+        config = inorder_config(8)
+        assert config.kind is CoreKind.IN_ORDER
+        assert config.front_end.min_mispredict_penalty == 23
+
+    def test_depsteer_fifo_geometry(self):
+        config = depsteer_config(8)
+        assert config.kind is CoreKind.DEP_STEER
+        assert config.clusters == 8
+        assert config.cluster_entries == 32
+
+    def test_overrides(self):
+        config = braid_config(8, clusters=4)
+        assert config.clusters == 4
+        assert config.beu_window == 2
+
+    def test_renamed(self):
+        assert ooo_config(8).renamed("x").name == "x"
+
+    def test_shared_memory_hierarchy(self):
+        for factory in (ooo_config, braid_config, inorder_config, depsteer_config):
+            config = factory(8)
+            assert config.memory.l2_size == 1024 * 1024
+            assert config.memory.memory_latency == 400

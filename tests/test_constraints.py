@@ -1,0 +1,163 @@
+"""Unit tests for ordering constraints and braid-breaking rules."""
+
+from repro.core.braid import internal_pressure
+from repro.core.constraints import (
+    enforce_internal_pressure,
+    first_pressure_exceed,
+    instruction_order_constraints,
+    predecessor_map,
+)
+from repro.core.partition import partition_block
+from repro.dataflow.graph import BlockGraph
+from repro.dataflow.liveness import LivenessAnalysis
+from repro.isa import assemble
+
+
+def constraints_of(source: str):
+    block = assemble(source).blocks[0]
+    return set(instruction_order_constraints(block))
+
+
+class TestRegisterConstraints:
+    def test_raw(self):
+        edges = constraints_of(
+            """
+            addq r1, r2, r3
+            addq r3, r1, r4
+            """
+        )
+        assert (0, 1) in edges
+
+    def test_war(self):
+        edges = constraints_of(
+            """
+            addq r3, r2, r4
+            addq r1, r1, r3
+            """
+        )
+        assert (0, 1) in edges  # read of r3 must stay before the write
+
+    def test_waw(self):
+        edges = constraints_of(
+            """
+            addq r1, r2, r3
+            addq r4, r5, r3
+            """
+        )
+        assert (0, 1) in edges
+
+    def test_self_increment_has_no_self_loop(self):
+        edges = constraints_of("addqi r5, #1, r5")
+        assert all(a != b for a, b in edges)
+
+    def test_independent_instructions_unconstrained(self):
+        edges = constraints_of(
+            """
+            addq r1, r2, r3
+            addq r4, r5, r6
+            """
+        )
+        assert edges == set()
+
+    def test_all_edges_point_forward(self, gcc_life):
+        for block in gcc_life.blocks:
+            for earlier, later in instruction_order_constraints(block):
+                assert earlier < later
+
+    def test_memory_edges_included(self):
+        edges = constraints_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 0(r4)
+            """
+        )
+        assert (0, 1) in edges
+
+    def test_predecessor_map(self):
+        preds = predecessor_map(3, [(0, 2), (1, 2)])
+        assert preds[2] == {0, 1}
+        assert preds[0] == set()
+
+
+class TestInternalPressure:
+    def _wide_block(self, live: int) -> str:
+        """A block producing ``live`` simultaneously-live internal values."""
+        defs = "\n".join(
+            f"addq r1, r2, r{3 + i}" for i in range(live)
+        )
+        # Join all produced values pairwise into one consumer chain so the
+        # braid is connected and every def is consumed late.
+        chain = []
+        prev = "r3"
+        for i in range(1, live):
+            chain.append(f"addq {prev}, r{3 + i}, r30")
+            prev = "r30"
+        chain.append("stq r30, 0(r1)")
+        return defs + "\n" + "\n".join(chain)
+
+    def pressure_of(self, source: str) -> int:
+        program = assemble(source)
+        block = program.blocks[0]
+        graph = BlockGraph(block)
+        liveness = LivenessAnalysis(program)
+        escaping = set(liveness.escaping_defs(block))
+        braids = partition_block(graph)
+        big = max(braids, key=lambda b: b.size)
+        return internal_pressure(big, graph, escaping)
+
+    def test_chain_has_unit_pressure(self):
+        assert self.pressure_of(
+            """
+            addq r1, r2, r3
+            addq r3, r3, r4
+            addq r4, r4, r5
+            stq r5, 0(r1)
+            """
+        ) == 1
+
+    def test_parallel_defs_raise_pressure(self):
+        assert self.pressure_of(self._wide_block(6)) == 6
+
+    def test_first_exceed_detects_boundary(self):
+        program = assemble(self._wide_block(10))
+        block = program.blocks[0]
+        graph = BlockGraph(block)
+        liveness = LivenessAnalysis(program)
+        escaping = set(liveness.escaping_defs(block))
+        braids = partition_block(graph)
+        big = max(braids, key=lambda b: b.size)
+        index = first_pressure_exceed(big, graph, escaping, limit=8)
+        assert index == 8  # the ninth simultaneously-live def crosses
+
+    def test_enforce_splits_over_limit(self):
+        program = assemble(self._wide_block(10))
+        block = program.blocks[0]
+        graph = BlockGraph(block)
+        liveness = LivenessAnalysis(program)
+        escaping = set(liveness.escaping_defs(block))
+        braids = partition_block(graph)
+        split, stats = enforce_internal_pressure(braids, graph, escaping, limit=8)
+        assert stats.pressure_splits >= 1
+        for braid in split:
+            assert internal_pressure(braid, graph, escaping, ) <= 8
+
+    def test_enforce_keeps_low_pressure_braids(self, gcc_life):
+        liveness = LivenessAnalysis(gcc_life)
+        for block in gcc_life.blocks:
+            graph = BlockGraph(block)
+            escaping = set(liveness.escaping_defs(block))
+            braids = partition_block(graph)
+            split, stats = enforce_internal_pressure(braids, graph, escaping)
+            assert stats.pressure_splits == 0
+            assert len(split) == len(braids)
+
+    def test_split_preserves_order_and_coverage(self):
+        program = assemble(self._wide_block(12))
+        block = program.blocks[0]
+        graph = BlockGraph(block)
+        liveness = LivenessAnalysis(program)
+        escaping = set(liveness.escaping_defs(block))
+        braids = partition_block(graph)
+        split, _ = enforce_internal_pressure(braids, graph, escaping, limit=4)
+        covered = sorted(p for b in split for p in b.positions)
+        assert covered == sorted(p for b in braids for p in b.positions)

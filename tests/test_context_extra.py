@@ -1,0 +1,51 @@
+"""Additional ExperimentContext coverage: variants, limits, suites."""
+
+import pytest
+
+from repro.harness import ExperimentContext
+from repro.sim import braid_config, ooo_config
+
+
+class TestVariantIsolation:
+    def test_internal_limit_workloads_are_distinct(self):
+        ctx = ExperimentContext(benchmarks=("gcc",), max_instructions=5000)
+        default = ctx.workload("gcc", braided=True)
+        tight = ctx.workload("gcc", braided=True, internal_limit=2)
+        assert default is not tight
+        # Same dynamic behaviour, different binaries.
+        assert len(default) == len(tight)
+
+    def test_braided_workload_uses_translated_program(self):
+        ctx = ExperimentContext(benchmarks=("gcc",), max_instructions=5000)
+        braided = ctx.workload("gcc", braided=True)
+        assert any(
+            d.inst.annot.start for d in braided.trace
+        )
+        plain = ctx.workload("gcc")
+        assert not any(d.inst.annot.braid_id is not None for d in plain.trace)
+
+    def test_max_instructions_cap_applies(self):
+        ctx = ExperimentContext(benchmarks=("gcc",), max_instructions=1000)
+        assert len(ctx.workload("gcc")) == 1000
+
+    def test_scale_threads_through_to_programs(self):
+        short_ctx = ExperimentContext(benchmarks=("gcc",), scale=1.0,
+                                      max_instructions=100_000)
+        long_ctx = ExperimentContext(benchmarks=("gcc",), scale=2.0,
+                                     max_instructions=100_000)
+        assert len(long_ctx.workload("gcc")) > len(short_ctx.workload("gcc"))
+
+
+class TestRunVariants:
+    def test_braided_and_plain_runs_differ(self):
+        ctx = ExperimentContext(benchmarks=("gcc",), max_instructions=5000)
+        plain = ctx.run("gcc", ooo_config(8))
+        braided = ctx.run("gcc", braid_config(8), braided=True)
+        assert plain.machine != braided.machine
+        assert plain.instructions == braided.instructions
+
+    def test_perfect_run_is_at_least_as_fast(self):
+        ctx = ExperimentContext(benchmarks=("mcf",), max_instructions=5000)
+        real = ctx.run("mcf", ooo_config(8))
+        ideal = ctx.run("mcf", ooo_config(8), perfect=True)
+        assert ideal.cycles <= real.cycles

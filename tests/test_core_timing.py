@@ -1,0 +1,171 @@
+"""White-box tests of the shared timing machinery on crafted programs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import braidify
+from repro.isa import assemble
+from repro.sim import (
+    SimulationError,
+    braid_config,
+    inorder_config,
+    ooo_config,
+    prepare_workload,
+    simulate,
+)
+from repro.sim.run import build_core
+
+
+def workload_of(source: str, perfect: bool = True):
+    return prepare_workload(assemble(source), perfect=perfect)
+
+
+class TestLatencies:
+    def test_dependent_chain_is_latency_bound(self):
+        # 10 dependent 1-cycle adds: cycles >= ~10 + pipeline fill.
+        source = "\n".join(["addq r31, #1, r1"] + ["addq r1, r1, r1"] * 10)
+        result = simulate(workload_of(source), ooo_config(8))
+        fill = ooo_config(8).front_end.depth
+        assert result.cycles >= 10 + fill
+
+    def test_independent_work_is_width_bound(self):
+        source = "\n".join(
+            f"addq r31, #{i}, r{1 + (i % 24)}" for i in range(64)
+        )
+        result = simulate(workload_of(source), ooo_config(8))
+        # 64 independent adds at 8 wide: near 8 per cycle in steady state.
+        assert result.cycles < 64
+
+    def test_multiply_latency_respected(self):
+        chain = "addq r31, #3, r1\n" + "mulq r1, r1, r1\n" * 5
+        result = simulate(workload_of(chain), ooo_config(8))
+        assert result.cycles >= 5 * 7  # IMUL latency 7
+
+    def test_load_use_delay(self):
+        source = """
+        addq r31, #4096, r1
+        ldq r2, 0(r1)
+        addq r2, r2, r3
+        """
+        result = simulate(workload_of(source), ooo_config(8))
+        assert result.cycles >= 3 + 3  # cache latency on the critical path
+
+
+class TestMispredictionPenalty:
+    def _loop(self):
+        # A tight loop whose branch alternates via a counter pattern the
+        # predictor must warm up on.
+        return assemble(
+            """
+            .block ENTRY
+                addq r31, #40, r1
+                addq r31, #0, r2
+            .block LOOP
+                addqi r2, #1, r2
+                cmplt r2, r1, r3
+                bne r3, LOOP
+            .block DONE
+                nop
+            """
+        )
+
+    def test_mispredicts_cost_cycles(self):
+        program = self._loop()
+        real = prepare_workload(program)  # warm-up mispredicts exist
+        perfect = prepare_workload(program, perfect=True)
+        slow = simulate(real, ooo_config(8))
+        fast = simulate(perfect, ooo_config(8))
+        assert slow.cycles >= fast.cycles
+        assert slow.mispredicts == len(real.mispredicted)
+
+    def test_braid_pays_smaller_penalty(self):
+        program = self._loop()
+        compilation = braidify(program)
+        braided = prepare_workload(compilation.translated)
+        short = simulate(braided, braid_config(8))
+        long_front = replace(braid_config(8).front_end, depth=8, redirect=13)
+        long = simulate(
+            braided, replace(braid_config(8), front_end=long_front,
+                             name="braid-longpipe")
+        )
+        if short.mispredicts:
+            assert short.cycles < long.cycles
+
+
+class TestStructuralStalls:
+    def test_register_entry_stalls_counted(self):
+        source = "\n".join(
+            f"mulq r{1 + (i % 8)}, r{1 + (i % 8)}, r{9 + (i % 8)}"
+            for i in range(64)
+        )
+        tiny_rf = replace(
+            ooo_config(8),
+            regfile=replace(ooo_config(8).regfile, entries=2),
+            name="ooo-tiny-rf",
+        )
+        result = simulate(workload_of(source), tiny_rf)
+        baseline = simulate(workload_of(source), ooo_config(8))
+        assert result.cycles > baseline.cycles
+
+    def test_fu_limit_binds(self):
+        source = "\n".join(
+            f"addq r31, #{i}, r{1 + (i % 24)}" for i in range(64)
+        )
+        one_fu = replace(ooo_config(8), functional_units=1, name="ooo-1fu")
+        slow = simulate(workload_of(source), one_fu)
+        fast = simulate(workload_of(source), ooo_config(8))
+        assert slow.cycles > fast.cycles
+
+    def test_inorder_head_blocking(self):
+        # A long multiply followed by independent adds: the in-order core
+        # cannot start the adds early.
+        # Chain A: two dependent multiplies (14 cycles).  Chain B: twenty
+        # dependent adds, independent of A but later in program order.  The
+        # out-of-order core overlaps the chains; the in-order core serializes
+        # B behind A's stalled head.
+        source = (
+            "addq r31, #3, r1\n"
+            "mulq r1, r1, r2\n"
+            "mulq r2, r2, r4\n"
+            "addq r31, #1, r5\n"
+            + "addq r5, r5, r5\n" * 20
+        )
+        inorder = simulate(workload_of(source), inorder_config(8))
+        ooo = simulate(workload_of(source), ooo_config(8))
+        assert inorder.cycles > ooo.cycles
+
+    def test_store_load_forwarding_on_timing_path(self):
+        source = """
+        addq r31, #4096, r1
+        addq r31, #7, r2
+        stq r2, 0(r1)
+        ldq r3, 0(r1)
+        addq r3, r3, r4
+        """
+        result = simulate(workload_of(source), ooo_config(8))
+        assert result.extra["lsq_forwards"] >= 1
+
+    def test_simulation_error_on_wedge(self):
+        workload = workload_of("addq r1, r2, r3")
+        core = build_core(workload, ooo_config(8))
+        with pytest.raises(SimulationError):
+            core.run(max_cycles=0)
+
+
+class TestBypassTiming:
+    def test_values_falling_off_bypass_wait_for_writeback(self):
+        # With zero bypass, every dependent pair pays the writeback delay.
+        source = "addq r31, #1, r1\n" + "addq r1, r1, r1\n" * 8
+        no_bypass = replace(
+            ooo_config(8), bypass_levels=0, bypass_width=0, name="ooo-nobypass"
+        )
+        slow = simulate(workload_of(source), no_bypass)
+        fast = simulate(workload_of(source), ooo_config(8))
+        assert slow.cycles > fast.cycles
+
+    def test_bypass_forward_statistics(self):
+        source = "addq r31, #1, r1\n" + "addq r1, r1, r1\n" * 8
+        core = build_core(workload_of(source), ooo_config(8))
+        result = core.run()
+        assert result.extra["bypass_forwards"] >= 4

@@ -1,0 +1,97 @@
+"""Unit tests for the FIFO dependence-steering core's steering heuristic."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import depsteer_config, ooo_config, prepare_workload, simulate
+from repro.sim.run import build_core
+
+
+def workload_of(source: str):
+    return prepare_workload(assemble(source), perfect=True)
+
+
+class TestSteering:
+    def test_chain_stays_in_one_fifo(self):
+        source = "addq r31, #1, r1\n" + "addq r1, r1, r1\n" * 6
+        core = build_core(workload_of(source), depsteer_config(8))
+        core.dispatch_stage(0)  # nothing fetched yet
+        core.run()
+        clusters = set()
+        # Replay: every chained instruction should have landed in the same
+        # FIFO as its producer at dispatch (the producer was at the tail).
+        # We can't observe history after the run, so check the weaker global
+        # fact: the chain used very few clusters.
+        # (Re-run with instrumentation.)
+        core = build_core(workload_of(source), depsteer_config(8))
+        trace_clusters = []
+        original_accept = core.accept
+
+        def spy(winst, cycle):
+            ok = original_accept(winst, cycle)
+            if ok:
+                trace_clusters.append(winst.cluster)
+            return ok
+
+        core.accept = spy
+        core.run()
+        chain_clusters = set(trace_clusters[1:])  # skip the seed constant
+        assert len(chain_clusters) <= 2
+
+    def test_independent_work_spreads_across_fifos(self):
+        source = "\n".join(
+            f"addq r31, #{i}, r{1 + (i % 24)}" for i in range(24)
+        )
+        core = build_core(workload_of(source), depsteer_config(8))
+        clusters = []
+        original_accept = core.accept
+
+        def spy(winst, cycle):
+            ok = original_accept(winst, cycle)
+            if ok:
+                clusters.append(winst.cluster)
+            return ok
+
+        core.accept = spy
+        core.run()
+        assert len(set(clusters)) >= 4
+
+    def test_dispatch_stalls_when_no_fifo_fits(self):
+        # More live chains than FIFOs: rule 2 runs out of empty FIFOs.
+        config = replace(depsteer_config(8), clusters=2, name="dep-2fifo")
+        source = "\n".join(
+            "addq r31, #1, r{0}\nmulq r{0}, r{0}, r{0}".format(1 + i)
+            for i in range(8)
+        )
+        result = simulate(workload_of(source), config)
+        assert result.stalls.structure_full > 0
+
+    def test_head_blocking_hurts_vs_ooo(self):
+        # A stalled chain head blocks younger independent instructions that
+        # were steered behind it.
+        source = (
+            "addq r31, #3, r1\n"
+            "mulq r1, r1, r1\n"
+            "mulq r1, r1, r1\n"
+            "addq r1, r31, r2\n"   # tail of the chain fifo
+            "addq r2, r31, r3\n"
+            + "addq r3, r3, r3\n" * 20
+        )
+        dep = simulate(workload_of(source), depsteer_config(8))
+        ooo = simulate(workload_of(source), ooo_config(8))
+        assert dep.cycles >= ooo.cycles
+
+
+class TestComparison:
+    def test_depsteer_between_inorder_and_ooo_on_benchmarks(self):
+        from repro.sim import inorder_config
+        from repro.workloads import build_program
+
+        program = build_program("twolf")
+        workload = prepare_workload(program)
+        dep = simulate(workload, depsteer_config(8))
+        inorder = simulate(workload, inorder_config(8))
+        ooo = simulate(workload, ooo_config(8))
+        assert inorder.ipc < dep.ipc <= ooo.ipc * 1.05

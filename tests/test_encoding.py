@@ -1,0 +1,178 @@
+"""Unit and property tests for the 64-bit braid instruction encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import IMM_MAX, IMM_MIN, EncodingError, decode, encode
+from repro.isa.instruction import BraidAnnotation, Instruction
+from repro.isa.opcodes import all_opcodes, opcode_by_name
+from repro.isa.registers import Register, RegClass, Space, fp_reg, int_reg
+
+
+def annotated(inst, **kwargs):
+    return inst.with_annotation(BraidAnnotation(**kwargs))
+
+
+class TestRoundTrip:
+    def test_alu(self):
+        inst = Instruction(
+            opcode=opcode_by_name("addq"), dest=int_reg(3),
+            srcs=(int_reg(1), int_reg(2)),
+        )
+        decoded = decode(encode(inst))
+        assert decoded.opcode is inst.opcode
+        assert decoded.dest is inst.dest
+        assert decoded.srcs == inst.srcs
+
+    def test_branch_target(self):
+        inst = Instruction(
+            opcode=opcode_by_name("bne"), srcs=(int_reg(9),), target=42
+        )
+        decoded = decode(encode(inst))
+        assert decoded.is_branch
+        assert decoded.target == 42
+
+    def test_negative_immediate(self):
+        inst = Instruction(
+            opcode=opcode_by_name("ldq"), dest=int_reg(1),
+            srcs=(int_reg(2),), imm=-64,
+        )
+        assert decode(encode(inst)).imm == -64
+
+    def test_cmov_three_sources(self):
+        inst = Instruction(
+            opcode=opcode_by_name("cmovne"), dest=int_reg(3),
+            srcs=(int_reg(1), int_reg(2), int_reg(3)),
+        )
+        assert decode(encode(inst)).srcs == inst.srcs
+
+    def test_fp_register_banks_survive(self):
+        inst = Instruction(
+            opcode=opcode_by_name("addt"), dest=fp_reg(5),
+            srcs=(fp_reg(1), fp_reg(2)),
+        )
+        decoded = decode(encode(inst))
+        assert decoded.dest is fp_reg(5)
+        assert all(s.rclass is RegClass.FP for s in decoded.srcs)
+
+
+class TestBraidBits:
+    def test_start_bit(self):
+        inst = annotated(
+            Instruction(opcode=opcode_by_name("nop")), start=True
+        )
+        assert decode(encode(inst)).annot.start
+
+    def test_temporary_source_bits(self):
+        inst = annotated(
+            Instruction(
+                opcode=opcode_by_name("addq"), dest=int_reg(3),
+                srcs=(int_reg(1), int_reg(2)),
+            ),
+            src_spaces=(Space.INTERNAL, Space.EXTERNAL),
+        )
+        decoded = decode(encode(inst))
+        assert decoded.annot.src_space(0) is Space.INTERNAL
+        assert decoded.annot.src_space(1) is Space.EXTERNAL
+
+    def test_internal_destination_bits(self):
+        inst = annotated(
+            Instruction(
+                opcode=opcode_by_name("addq"), dest=int_reg(3),
+                srcs=(int_reg(1), int_reg(2)),
+            ),
+            dest_internal=True,
+            dest_external=False,
+        )
+        decoded = decode(encode(inst))
+        assert decoded.annot.dest_internal
+        assert not decoded.annot.dest_external
+
+    def test_word_fits_in_64_bits(self):
+        inst = annotated(
+            Instruction(
+                opcode=opcode_by_name("addq"), dest=int_reg(31),
+                srcs=(int_reg(31), int_reg(31)), imm=0,
+            ),
+            start=True, dest_internal=True,
+        )
+        assert 0 <= encode(inst) < (1 << 64)
+
+
+class TestErrors:
+    def test_immediate_overflow(self):
+        inst = Instruction(
+            opcode=opcode_by_name("ldq"), dest=int_reg(1),
+            srcs=(int_reg(2),), imm=IMM_MAX + 1,
+        )
+        with pytest.raises(EncodingError):
+            encode(inst)
+
+    def test_immediate_underflow(self):
+        inst = Instruction(
+            opcode=opcode_by_name("ldq"), dest=int_reg(1),
+            srcs=(int_reg(2),), imm=IMM_MIN - 1,
+        )
+        with pytest.raises(EncodingError):
+            encode(inst)
+
+    def test_unknown_opcode_number(self):
+        with pytest.raises(EncodingError):
+            decode(0xFF << 55)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trip over the whole opcode space
+# ---------------------------------------------------------------------------
+_ENCODABLE = [op for op in all_opcodes()]
+
+
+@st.composite
+def instructions(draw):
+    opcode = draw(st.sampled_from(_ENCODABLE))
+    regs = []
+    for fp in opcode.srcs_fp:
+        index = draw(st.integers(0, 31))
+        regs.append(fp_reg(index) if fp else int_reg(index))
+    dest = None
+    if opcode.has_dest:
+        index = draw(st.integers(0, 31))
+        dest = fp_reg(index) if opcode.dest_fp else int_reg(index)
+    imm = draw(st.integers(IMM_MIN, IMM_MAX))
+    target = None
+    if opcode.is_branch:
+        target = draw(st.integers(0, 1000))
+        imm = 0
+    spaces = tuple(
+        draw(st.sampled_from([Space.EXTERNAL, Space.INTERNAL]))
+        for _ in range(opcode.num_srcs)
+    )
+    annot = BraidAnnotation(
+        start=draw(st.booleans()),
+        src_spaces=spaces,
+        dest_internal=draw(st.booleans()) if opcode.has_dest else False,
+        dest_external=opcode.has_dest,
+    )
+    return Instruction(
+        opcode=opcode, dest=dest, srcs=tuple(regs), imm=imm, target=target,
+        annot=annot,
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(instructions())
+def test_encode_decode_round_trip(inst):
+    decoded = decode(encode(inst))
+    assert decoded.opcode is inst.opcode
+    assert decoded.dest == inst.dest
+    assert decoded.srcs == inst.srcs
+    if inst.is_branch:
+        assert decoded.target == inst.target
+    else:
+        assert decoded.imm == inst.imm
+    assert decoded.annot.start == inst.annot.start
+    for position in range(inst.opcode.num_srcs):
+        assert decoded.annot.src_space(position) is inst.annot.src_space(position)
+    if inst.opcode.has_dest:
+        assert decoded.annot.dest_internal == inst.annot.dest_internal

@@ -1,0 +1,66 @@
+"""Whole-program encoding tests: braided binaries survive the bit format."""
+
+import pytest
+
+from repro.core import braidify
+from repro.isa import decode_block, encode_block
+from repro.isa.registers import Space
+from repro.workloads import KERNEL_NAMES, build_program, kernel
+
+
+def roundtrip(block):
+    return decode_block(encode_block(block.instructions))
+
+
+class TestBraidedKernels:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_kernel_blocks_round_trip(self, name):
+        compilation = braidify(kernel(name))
+        for block in compilation.translated.blocks:
+            decoded = roundtrip(block)
+            for original, restored in zip(block.instructions, decoded):
+                assert restored.opcode is original.opcode
+                assert restored.dest == original.dest
+                assert restored.srcs == original.srcs
+                assert restored.annot.start == original.annot.start
+                assert (
+                    restored.annot.dest_internal == original.annot.dest_internal
+                )
+                for position in range(len(original.srcs)):
+                    assert restored.annot.src_space(
+                        position
+                    ) is original.annot.src_space(position)
+
+    def test_s_bits_delimit_same_braid_count(self):
+        compilation = braidify(kernel("gcc_life"))
+        for translation, block in zip(
+            compilation.report.blocks, compilation.translated.blocks
+        ):
+            decoded = roundtrip(block)
+            starts = sum(1 for inst in decoded if inst.annot.start)
+            assert starts == len(translation.braids)
+
+
+class TestBenchmarkBinaries:
+    @pytest.mark.parametrize("name", ("gcc", "swim", "mcf"))
+    def test_benchmark_encodes(self, name):
+        compilation = braidify(build_program(name))
+        for block in compilation.translated.blocks:
+            decoded = roundtrip(block)
+            assert len(decoded) == len(block.instructions)
+
+    def test_internal_operands_marked_in_bits(self):
+        compilation = braidify(build_program("gcc"))
+        internal_sources = 0
+        for block in compilation.translated.blocks:
+            for inst in roundtrip(block):
+                for position in range(len(inst.srcs)):
+                    if inst.annot.src_space(position) is Space.INTERNAL:
+                        internal_sources += 1
+        assert internal_sources > 0
+
+    def test_code_size_is_eight_bytes_per_instruction(self):
+        program = build_program("gcc")
+        words = encode_block(list(program.instructions()))
+        assert len(words) == program.static_size
+        assert all(0 <= word < (1 << 64) for word in words)

@@ -1,0 +1,88 @@
+"""Tests for the dynamic energy estimation (paper section 5.1)."""
+
+import pytest
+
+from repro.analysis.energy import (
+    compare_energy,
+    energy_per_instruction,
+    estimate_energy,
+)
+from repro.core import braidify
+from repro.sim import braid_config, ooo_config, prepare_workload, simulate
+from repro.workloads import build_program
+
+
+@pytest.fixture(scope="module")
+def runs():
+    program = build_program("gcc")
+    compilation = braidify(program)
+    plain = prepare_workload(program)
+    braided = prepare_workload(compilation.translated)
+    ooo = simulate(plain, ooo_config(8))
+    braid = simulate(braided, braid_config(8))
+    return {
+        "ooo": (ooo_config(8), ooo),
+        "braid": (braid_config(8), braid),
+    }
+
+
+class TestActivityCounters:
+    def test_rf_activity_recorded(self, runs):
+        _, result = runs["ooo"]
+        assert result.extra["rf_reads"] > 0
+        assert result.extra["rf_writes"] > 0
+
+    def test_braid_internal_activity_recorded(self, runs):
+        _, result = runs["braid"]
+        assert result.extra["internal_rf_reads"] > 0
+        assert result.extra["internal_rf_writes"] > 0
+        assert result.extra["busybit_sets"] > 0
+
+    def test_braid_external_writes_below_ooo(self, runs):
+        # Most braid values die internally: far fewer external RF writes.
+        _, ooo = runs["ooo"]
+        _, braid = runs["braid"]
+        assert braid.extra["rf_writes"] < 0.6 * ooo.extra["rf_writes"]
+
+    def test_braid_bypass_traffic_below_ooo(self, runs):
+        _, ooo = runs["ooo"]
+        _, braid = runs["braid"]
+        assert braid.extra["bypass_forwards"] < ooo.extra["bypass_forwards"]
+
+
+class TestEnergyModel:
+    def test_breakdown_fields(self, runs):
+        config, result = runs["ooo"]
+        breakdown = estimate_energy(config, result)
+        assert breakdown.total == pytest.approx(
+            breakdown.regfile + breakdown.scheduler + breakdown.bypass
+        )
+        assert set(breakdown.as_dict()) == {
+            "regfile", "scheduler", "bypass", "total",
+        }
+
+    def test_braid_scheduler_energy_tiny(self, runs):
+        ooo = estimate_energy(*runs["ooo"])
+        braid = estimate_energy(*runs["braid"])
+        # Broadcast wakeup (2 x 256 comparators per completion) vs checking
+        # two window entries: orders of magnitude apart.
+        assert braid.scheduler < ooo.scheduler / 20
+
+    def test_braid_total_energy_below_ooo(self, runs):
+        ooo = estimate_energy(*runs["ooo"])
+        braid = estimate_energy(*runs["braid"])
+        assert energy_per_instruction(braid) < 0.5 * energy_per_instruction(ooo)
+
+    def test_compare_energy_ratios(self, runs):
+        ooo = estimate_energy(*runs["ooo"])
+        braid = estimate_energy(*runs["braid"])
+        ratios = compare_energy(braid, ooo)
+        assert ratios["scheduler"] < 0.05
+        assert ratios["total"] < 1.0
+        assert 0.0 < ratios["per_instruction"] < 1.0
+
+    def test_zero_instruction_guard(self, runs):
+        config, result = runs["ooo"]
+        breakdown = estimate_energy(config, result)
+        object.__setattr__(breakdown, "_instructions", 0.0)
+        assert energy_per_instruction(breakdown) == 0.0

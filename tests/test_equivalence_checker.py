@@ -1,0 +1,65 @@
+"""Tests for the observable-equivalence checker itself.
+
+The checker underwrites every translator property test, so it must actually
+*fail* when programs differ — a vacuously-true oracle would silently disable
+the whole validation story.
+"""
+
+from repro.isa import assemble
+from repro.sim import observably_equivalent
+
+
+BASE = """
+.block ENTRY
+    addq r31, #4096, r1
+    addq r31, #5, r2
+    addq r31, #7, r3
+.block BODY
+    mulq r2, r3, r4
+    stq r4, 0(r1)
+    addqi r2, #-1, r2
+    bne r2, BODY
+.block DONE
+    nop
+"""
+
+
+class TestDetectsDifferences:
+    def test_identical_programs_are_equivalent(self):
+        assert observably_equivalent(assemble(BASE), assemble(BASE))
+
+    def test_different_memory_result_detected(self):
+        # Storing the loop counter instead of the product leaves a different
+        # final value at the same address (1*7=7 would coincide; r2 ends 1).
+        changed = BASE.replace("stq r4, 0(r1)", "stq r2, 0(r1)")
+        assert not observably_equivalent(assemble(BASE), assemble(changed))
+
+    def test_different_store_address_detected(self):
+        changed = BASE.replace("stq r4, 0(r1)", "stq r4, 8(r1)")
+        assert not observably_equivalent(assemble(BASE), assemble(changed))
+
+    def test_different_control_path_detected(self):
+        changed = BASE.replace("addq r31, #5, r2", "addq r31, #6, r2")
+        assert not observably_equivalent(assemble(BASE), assemble(changed))
+
+    def test_extra_instruction_detected(self):
+        changed = BASE.replace(".block DONE\n    nop", ".block DONE\n    nop\n    nop")
+        assert not observably_equivalent(assemble(BASE), assemble(changed))
+
+    def test_dead_register_change_is_tolerated(self):
+        # Changing a value never observed through memory or control flow is
+        # exactly what braid internalization does; the checker must accept it.
+        changed = BASE.replace(
+            "addq r31, #7, r3", "addq r31, #7, r3\n    addq r3, r3, r20"
+        )
+        # r20 is never read or stored... but the extra instruction changes
+        # the dynamic count, so make the count equal by padding the base.
+        padded = BASE.replace(
+            "addq r31, #7, r3", "addq r31, #7, r3\n    addq r3, r3, r21"
+        )
+        assert observably_equivalent(assemble(padded), assemble(changed))
+
+    def test_instruction_cap_applies_to_both(self):
+        assert observably_equivalent(
+            assemble(BASE), assemble(BASE), max_instructions=10
+        )

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end to end and prints its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, *args):
+    monkeypatch.setattr(sys, "argv", [name, *args])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py")
+        assert "braided program" in out
+        assert "braid achieves" in out
+        assert ";S" in out  # annotated braid start bits visible
+
+    def test_braid_inspector(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "braid_inspector.py", "gcc_life")
+        assert "braid 0" in out
+        assert "value characterization" in out
+        assert "ext-in" in out
+
+    def test_braid_inspector_rejects_unknown(self, monkeypatch, capsys):
+        with pytest.raises(SystemExit):
+            run_example(monkeypatch, capsys, "braid_inspector.py", "quake3")
+
+    def test_design_space_explorer(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "design_space_explorer.py", "gcc", "0.5"
+        )
+        assert "number of BEUs" in out
+        assert "equal FU budget" in out
+
+    def test_paradigm_faceoff(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "paradigm_faceoff.py", "8", "gcc"
+        )
+        assert "in-order" in out
+        assert "average" in out
+
+    def test_complexity_report(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "complexity_report.py", "gcc")
+        assert "structure costs" in out
+        assert "braid/ooo IPC" in out
+
+    def test_pipeline_trace(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "pipeline_trace.py", "checksum", "8"
+        )
+        assert "f=fetch" in out
+        assert "braid 8-wide" in out

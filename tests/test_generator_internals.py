@@ -1,0 +1,125 @@
+"""White-box tests of the synthetic workload generator."""
+
+import random
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.sim import execute
+from repro.sim.functional import FunctionalExecutor
+from repro.workloads.generator import (
+    _SCRATCH_INT,
+    BenchmarkGenerator,
+    _DagState,
+    _Value,
+    generate,
+)
+from repro.workloads.profiles import BenchmarkProfile, profile
+
+
+def tiny_profile(**kw):
+    base = dict(
+        name="tiny", suite="int", ops_per_block=1.0, op_size_mean=3.0,
+        regions=1, body_blocks=2, inner_trips=4, outer_trips=2,
+        array_words=64, seed=3,
+    )
+    base.update(kw)
+    return BenchmarkProfile(**base)
+
+
+class TestDagState:
+    def test_scratch_ring_rotates(self):
+        state = _DagState(random.Random(1))
+        a = state.scratch(fp=False)
+        b = state.scratch(fp=False)
+        assert a is not b
+
+    def test_protected_values_are_skipped(self):
+        state = _DagState(random.Random(1))
+        value = _Value(reg=_SCRATCH_INT[0], fp=False)
+        state.protect(value)
+        state.int_cursor = 0
+        allocated = [state.scratch(fp=False) for _ in range(len(_SCRATCH_INT) - 1)]
+        assert value.reg not in allocated
+
+    def test_take_protected_matches_bank(self):
+        state = _DagState(random.Random(1))
+        state.protect(_Value(reg=_SCRATCH_INT[0], fp=False))
+        assert state.take_protected(fp=True) is None
+        taken = state.take_protected(fp=False)
+        assert taken.reg is _SCRATCH_INT[0]
+        assert state.take_protected(fp=False) is None
+
+
+class TestDrawCount:
+    def test_mean_is_respected(self):
+        generator = BenchmarkGenerator(tiny_profile())
+        draws = [generator._draw_count(1.4) for _ in range(4000)]
+        assert 1.3 < sum(draws) / len(draws) < 1.5
+
+    def test_integer_means_are_exact(self):
+        generator = BenchmarkGenerator(tiny_profile())
+        assert all(generator._draw_count(2.0) == 2 for _ in range(50))
+
+
+class TestBranchBehaviour:
+    def _taken_fraction(self, program, pcs=None):
+        executor = FunctionalExecutor(program, max_instructions=100_000)
+        outcomes = [
+            bool(d.taken) for d in executor.trace() if d.is_branch
+        ]
+        return sum(outcomes) / len(outcomes)
+
+    def test_low_bias_means_mostly_not_taken_diamonds(self):
+        low = generate(tiny_profile(diamond_prob=1.0, branch_bias=0.05,
+                                    branch_noise=1.0, inner_trips=40))
+        high = generate(tiny_profile(diamond_prob=1.0, branch_bias=0.9,
+                                     branch_noise=1.0, inner_trips=40))
+        assert self._taken_fraction(low) < self._taken_fraction(high)
+
+    def test_zero_diamond_prob_means_only_loop_branches(self):
+        program = generate(tiny_profile(diamond_prob=0.0))
+        _, stats = execute(program)
+        # loop branches only: regions*(outer) latch executions + outer latch
+        names = Counter(
+            inst.opcode.name
+            for block in program.blocks
+            for inst in block.instructions
+            if inst.is_branch
+        )
+        assert set(names) == {"bne"}
+
+
+class TestProgramShape:
+    def test_block_count_scales_with_structure(self):
+        small = generate(tiny_profile(regions=1, body_blocks=1))
+        large = generate(tiny_profile(regions=3, body_blocks=4))
+        assert len(large.blocks) > len(small.blocks)
+
+    def test_memory_accesses_stay_in_array_regions(self):
+        program = generate(tiny_profile(load_prob=0.9, store_prob=0.9,
+                                        inner_trips=8))
+        executor = FunctionalExecutor(program, max_instructions=50_000)
+        for dyn in executor.trace():
+            if dyn.mem_addr is not None:
+                assert 0x8000 <= dyn.mem_addr < 0x8000 + 4 * 0x8_0000 + 0x1000
+
+    def test_fp_profile_emits_fp_ops(self):
+        program = generate(tiny_profile(suite="fp", fp_fraction=1.0))
+        names = {inst.opcode.name for inst in program.instructions()}
+        assert names & {"addt", "mult", "subt", "adds"}
+        assert "ldt" in names or "stt" in names
+
+    def test_single_filler_generates_lda_and_nop(self):
+        program = generate(tiny_profile(single_filler=2.0))
+        names = Counter(inst.opcode.name for inst in program.instructions())
+        assert names["nop"] > 1  # fillers plus the exit nop
+        assert names["lda"] >= 1
+
+    def test_known_profiles_unchanged_by_generation(self):
+        # generate() must not mutate the shared profile objects.
+        gcc = profile("gcc")
+        before = repr(gcc)
+        generate(gcc)
+        assert repr(profile("gcc")) == before

@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (context, experiments, reporting)."""
+
+import pytest
+
+from repro.harness import ALL_EXPERIMENTS, ExperimentContext, benchmarks_from_env
+from repro.harness.experiments import (
+    fig11_braid_window,
+    fig14_equal_fus,
+    tab1_braids_per_block,
+)
+from repro.harness.reporting import ExperimentResult, normalize_rows
+from repro.workloads import ALL_BENCHMARKS, QUICK_BENCHMARKS
+
+
+class TestContext:
+    def test_program_cached(self, quick_context):
+        assert quick_context.program("gcc") is quick_context.program("gcc")
+
+    def test_compilation_cached_per_limit(self, quick_context):
+        a = quick_context.compilation("gcc")
+        b = quick_context.compilation("gcc", internal_limit=8)
+        c = quick_context.compilation("gcc", internal_limit=4)
+        assert a is b and a is not c
+
+    def test_workload_variants_distinct(self, quick_context):
+        plain = quick_context.workload("gcc")
+        braided = quick_context.workload("gcc", braided=True)
+        perfect = quick_context.workload("gcc", perfect=True)
+        assert plain is not braided and plain is not perfect
+        assert perfect.mispredicted == set()
+
+    def test_run_produces_result(self, quick_context):
+        from repro.sim import ooo_config
+
+        result = quick_context.run("gcc", ooo_config(8))
+        assert result.benchmark == "gcc"
+        assert result.ipc > 0
+
+    def test_suite_of(self, quick_context):
+        assert quick_context.suite_of("gcc") == "int"
+        assert quick_context.suite_of("swim") == "fp"
+
+
+class TestEnvSelection:
+    def test_default_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCHMARKS", raising=False)
+        assert benchmarks_from_env() == ALL_BENCHMARKS
+
+    def test_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "quick")
+        assert benchmarks_from_env() == QUICK_BENCHMARKS
+
+    def test_explicit_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc, swim")
+        assert benchmarks_from_env() == ("gcc", "swim")
+
+    def test_unknown_name_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gcc, quake3")
+        with pytest.raises(ValueError):
+            benchmarks_from_env()
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "F1", "VC", "T1", "T2", "T3", "F5", "F6", "F7", "F8", "F9",
+            "F10", "F11", "F12", "F13", "F14", "D1", "A1", "A2",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_tab1_shape(self, quick_context):
+        result = tab1_braids_per_block(quick_context)
+        assert set(result.rows) == set(quick_context.benchmarks)
+        assert result.columns == ["braids/bb", "excl-single"]
+        for row in result.rows.values():
+            assert row["braids/bb"] >= row["excl-single"]
+
+    def test_fig11_normalized_to_ooo(self, quick_context):
+        result = fig11_braid_window(quick_context, windows=(1, 2))
+        for row in result.rows.values():
+            assert row["1"] <= row["2"] * 1.05  # monotone (small tolerance)
+
+    def test_fig14_default_is_unity(self, quick_context):
+        result = fig14_equal_fus(quick_context)
+        for row in result.rows.values():
+            assert row["8x2"] == 1.0
+
+
+class TestReporting:
+    def make_result(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="test",
+            paper_expectation="n/a",
+            columns=["a", "b"],
+            rows={"bench1": {"a": 2.0, "b": 4.0}, "bench2": {"a": 1.0, "b": 3.0}},
+        )
+        return result
+
+    def test_column_average(self):
+        result = self.make_result()
+        assert result.column_average("a") == pytest.approx(1.5)
+
+    def test_column_geomean(self):
+        result = self.make_result()
+        assert result.column_geomean("a") == pytest.approx(2 ** 0.5)
+
+    def test_finalize_averages(self):
+        result = self.make_result()
+        result.finalize_averages()
+        assert result.averages["b"] == pytest.approx(3.5)
+
+    def test_normalize_rows(self):
+        result = self.make_result()
+        normalize_rows(result, "a")
+        assert result.rows["bench1"] == {"a": 1.0, "b": 2.0}
+        assert result.rows["bench2"] == {"a": 1.0, "b": 3.0}
+
+    def test_render_contains_everything(self):
+        result = self.make_result()
+        result.finalize_averages()
+        result.notes.append("shape only")
+        text = result.render()
+        assert "== X: test" in text
+        assert "bench1" in text and "average" in text
+        assert "note: shape only" in text
+
+    def test_render_handles_missing_cells(self):
+        result = self.make_result()
+        del result.rows["bench2"]["b"]
+        assert "bench2" in result.render()

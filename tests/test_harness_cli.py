@@ -1,0 +1,30 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["T1", "--benchmarks", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "T1: braids per basic block" in out
+        assert "gcc" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["T2", "T3", "--benchmarks", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "T3" in out
+
+    def test_quick_selector(self, capsys):
+        assert main(["T1", "--benchmarks", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "equake" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["F99", "--benchmarks", "gcc"])
+
+    def test_scale_flag(self, capsys):
+        assert main(["T1", "--benchmarks", "gcc", "--scale", "0.5"]) == 0

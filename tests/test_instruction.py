@@ -1,0 +1,134 @@
+"""Unit tests for the instruction model and braid annotations."""
+
+import pytest
+
+from repro.isa.instruction import PLAIN, BraidAnnotation, Instruction
+from repro.isa.opcodes import opcode_by_name
+from repro.isa.registers import ZERO, Space, fp_reg, int_reg
+
+
+def make(name, **kwargs):
+    return Instruction(opcode=opcode_by_name(name), **kwargs)
+
+
+class TestConstruction:
+    def test_simple_alu(self):
+        inst = make("addq", dest=int_reg(3), srcs=(int_reg(1), int_reg(2)))
+        assert inst.dest is int_reg(3)
+        assert not inst.is_mem and not inst.is_branch
+
+    def test_wrong_source_count(self):
+        with pytest.raises(ValueError):
+            make("addq", dest=int_reg(3), srcs=(int_reg(1),))
+
+    def test_missing_destination(self):
+        with pytest.raises(ValueError):
+            make("addq", srcs=(int_reg(1), int_reg(2)))
+
+    def test_unexpected_destination(self):
+        with pytest.raises(ValueError):
+            make("stq", dest=int_reg(1), srcs=(int_reg(1), int_reg(2)))
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            make("bne", srcs=(int_reg(1),))
+
+    def test_nop(self):
+        inst = make("nop")
+        assert inst.is_nop
+        assert inst.reads() == ()
+        assert inst.writes() is None
+
+
+class TestReadsWrites:
+    def test_zero_register_reads_are_dropped(self):
+        inst = make("addq", dest=int_reg(1), srcs=(ZERO, int_reg(2)))
+        assert inst.reads() == (int_reg(2),)
+
+    def test_zero_register_writes_are_dropped(self):
+        inst = make("addq", dest=ZERO, srcs=(int_reg(1), int_reg(2)))
+        assert inst.writes() is None
+
+    def test_store_reads_both(self):
+        inst = make("stq", srcs=(int_reg(1), int_reg(2)), imm=8)
+        assert set(inst.reads()) == {int_reg(1), int_reg(2)}
+        assert inst.base_reg is int_reg(2)
+
+    def test_load_base(self):
+        inst = make("ldq", dest=int_reg(1), srcs=(int_reg(2),), imm=16)
+        assert inst.base_reg is int_reg(2)
+
+    def test_base_reg_rejects_non_memory(self):
+        inst = make("addq", dest=int_reg(1), srcs=(int_reg(1), int_reg(2)))
+        with pytest.raises(ValueError):
+            _ = inst.base_reg
+
+
+class TestAnnotation:
+    def test_plain_defaults(self):
+        assert not PLAIN.start
+        assert PLAIN.dest_external
+        assert not PLAIN.dest_internal
+        assert PLAIN.src_space(0) is Space.EXTERNAL
+        assert PLAIN.src_space(5) is Space.EXTERNAL
+
+    def test_with_annotation_copies(self):
+        inst = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        annot = BraidAnnotation(
+            braid_id=2,
+            start=True,
+            src_spaces=(Space.INTERNAL, Space.EXTERNAL),
+            dest_internal=True,
+            dest_external=False,
+        )
+        copy = inst.with_annotation(annot)
+        assert copy is not inst
+        assert copy.annot.start
+        assert copy.annot.src_space(0) is Space.INTERNAL
+        assert copy.annot.src_space(1) is Space.EXTERNAL
+        assert inst.annot is PLAIN  # original untouched
+
+    def test_with_operands(self):
+        inst = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        rewritten = inst.with_operands(dest=int_reg(9))
+        assert rewritten.dest is int_reg(9)
+        assert rewritten.srcs == inst.srcs
+
+    def test_retargeted(self):
+        inst = make("bne", srcs=(int_reg(1),), target=3)
+        assert inst.retargeted(7).target == 7
+        alu = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        with pytest.raises(ValueError):
+            alu.retargeted(1)
+
+
+class TestRendering:
+    def test_load_render(self):
+        inst = make("ldl", dest=int_reg(3), srcs=(int_reg(8),), imm=4)
+        assert inst.render() == "ldl r3, 4(r8)"
+
+    def test_store_render(self):
+        inst = make("stl", srcs=(int_reg(3), int_reg(8)), imm=4)
+        assert inst.render() == "stl r3, 4(r8)"
+
+    def test_branch_render(self):
+        inst = make("bne", srcs=(int_reg(1),), target=2)
+        assert "B2" in inst.render()
+
+    def test_annotated_render_marks_start(self):
+        inst = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        annotated = inst.with_annotation(BraidAnnotation(braid_id=0, start=True))
+        assert ";S" in annotated.render()
+
+    def test_fp_render(self):
+        inst = make("addt", dest=fp_reg(1), srcs=(fp_reg(2), fp_reg(3)))
+        assert "f1" in inst.render()
+
+
+class TestIdentity:
+    def test_instructions_compare_by_identity(self):
+        a = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        b = make("addq", dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        assert a != b
+        assert a == a
+        assert len({id(a), id(b)}) == 2

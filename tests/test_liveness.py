@@ -1,0 +1,115 @@
+"""Unit tests for global liveness analysis."""
+
+from repro.dataflow.liveness import LivenessAnalysis, dead_definitions
+from repro.isa import assemble
+from repro.isa.registers import int_reg
+
+
+class TestStraightLine:
+    def test_use_before_def_is_live_in(self):
+        program = assemble(
+            """
+            .block A
+                addq r1, r2, r3
+            """
+        )
+        liveness = LivenessAnalysis(program)
+        assert int_reg(1) in liveness.live_in(program.blocks[0])
+        assert int_reg(2) in liveness.live_in(program.blocks[0])
+        assert int_reg(3) not in liveness.live_in(program.blocks[0])
+
+    def test_nothing_live_out_of_last_block(self):
+        program = assemble("addq r1, r2, r3")
+        liveness = LivenessAnalysis(program)
+        assert liveness.live_out(program.blocks[0]) == set()
+
+
+class TestLoop:
+    SOURCE = """
+    .block ENTRY
+        addq r31, #10, r1
+        addq r31, #0, r2
+    .block LOOP
+        addq r2, r1, r3
+        addqi r2, #1, r2
+        cmplt r2, r1, r4
+        bne r4, LOOP
+    .block EXIT
+        stq r3, 0(r1)
+        nop
+    """
+
+    def test_loop_carried_values_live_around_backedge(self):
+        program = assemble(self.SOURCE)
+        liveness = LivenessAnalysis(program)
+        loop = program.block_by_label("LOOP")
+        # r1 (bound) and r2 (counter) circulate around the loop.
+        assert int_reg(1) in liveness.live_in(loop)
+        assert int_reg(2) in liveness.live_in(loop)
+        assert int_reg(1) in liveness.live_out(loop)
+        assert int_reg(2) in liveness.live_out(loop)
+
+    def test_value_read_in_later_block_is_live_out(self):
+        program = assemble(self.SOURCE)
+        liveness = LivenessAnalysis(program)
+        loop = program.block_by_label("LOOP")
+        assert int_reg(3) in liveness.live_out(loop)  # stored in EXIT
+
+    def test_escaping_defs(self):
+        program = assemble(self.SOURCE)
+        liveness = LivenessAnalysis(program)
+        loop = program.block_by_label("LOOP")
+        escaping = liveness.escaping_defs(loop)
+        # positions: 0 addq(r3), 1 addqi(r2), 2 cmplt(r4)
+        assert escaping[0] is int_reg(3)
+        assert escaping[1] is int_reg(2)
+        # r4 is consumed by the branch inside the block and dead outside.
+        assert 2 not in escaping
+
+    def test_redefined_register_only_last_def_escapes(self):
+        program = assemble(
+            """
+            .block A
+                addq r1, r2, r3
+                addq r3, r3, r3
+            .block B
+                stq r3, 0(r1)
+            """
+        )
+        liveness = LivenessAnalysis(program)
+        escaping = liveness.escaping_defs(program.blocks[0])
+        assert list(escaping) == [1]
+
+
+class TestDeadDefinitions:
+    def test_unread_value_is_dead(self):
+        program = assemble(
+            """
+            addq r1, r2, r3
+            addq r1, r2, r4
+            stq r4, 0(r1)
+            """
+        )
+        liveness = LivenessAnalysis(program)
+        dead = dead_definitions(program, liveness)
+        assert len(dead) == 1
+        assert dead[0].dest is int_reg(3)
+
+    def test_overwritten_before_read_is_dead(self):
+        program = assemble(
+            """
+            addq r1, r2, r3
+            addq r2, r2, r3
+            stq r3, 0(r1)
+            """
+        )
+        liveness = LivenessAnalysis(program)
+        dead = dead_definitions(program, liveness)
+        assert len(dead) == 1
+
+    def test_all_values_used_means_no_dead(self, small_program):
+        liveness = LivenessAnalysis(small_program)
+        dead = dead_definitions(small_program, liveness)
+        # small_program stores/uses everything except possibly the final
+        # compare; allow only branch-test values read in-block.
+        assert all(inst.dest is not None for inst in dead)

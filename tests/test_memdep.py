@@ -1,0 +1,126 @@
+"""Unit tests for static memory disambiguation."""
+
+from repro.dataflow.memdep import (
+    MemoryEdge,
+    memory_order_edges,
+    ordering_violated,
+    provably_independent,
+)
+from repro.isa import assemble
+
+
+def block_of(source: str):
+    return assemble(source).blocks[0]
+
+
+class TestIndependence:
+    def test_same_base_different_words(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 8(r2)
+            """
+        )
+        assert provably_independent(block, 0, 1)
+
+    def test_same_base_same_word(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 0(r2)
+            """
+        )
+        assert not provably_independent(block, 0, 1)
+
+    def test_sub_word_displacements_conflict(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 4(r2)
+            """
+        )
+        # 0 and 4 fall in the same 8-byte word.
+        assert not provably_independent(block, 0, 1)
+
+    def test_different_bases_unknown(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 8(r4)
+            """
+        )
+        assert not provably_independent(block, 0, 1)
+
+    def test_base_redefinition_blocks_proof(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            addq r2, r1, r2
+            ldq r3, 8(r2)
+            """
+        )
+        assert not provably_independent(block, 0, 2)
+
+
+class TestEdges:
+    def test_load_load_never_ordered(self):
+        block = block_of(
+            """
+            ldq r1, 0(r2)
+            ldq r3, 0(r2)
+            """
+        )
+        assert memory_order_edges(block) == []
+
+    def test_store_load_conflict_creates_edge(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            ldq r3, 0(r4)
+            """
+        )
+        assert memory_order_edges(block) == [MemoryEdge(0, 1)]
+
+    def test_store_store_same_word(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            stq r3, 0(r2)
+            """
+        )
+        assert memory_order_edges(block) == [MemoryEdge(0, 1)]
+
+    def test_disambiguated_pairs_create_no_edges(self):
+        block = block_of(
+            """
+            stq r1, 0(r2)
+            stq r3, 8(r2)
+            ldq r4, 16(r2)
+            """
+        )
+        assert memory_order_edges(block) == []
+
+    def test_non_memory_instructions_ignored(self):
+        block = block_of(
+            """
+            addq r1, r2, r3
+            stq r3, 0(r2)
+            addq r3, r3, r4
+            """
+        )
+        assert memory_order_edges(block) == []
+
+
+class TestViolations:
+    def test_preserved_order_has_no_violations(self):
+        edges = [MemoryEdge(0, 2), MemoryEdge(1, 2)]
+        assert ordering_violated(edges, [0, 1, 2]) == set()
+
+    def test_swap_detected(self):
+        edges = [MemoryEdge(0, 1)]
+        assert ordering_violated(edges, [1, 0]) == {(0, 1)}
+
+    def test_partial_reorder(self):
+        edges = [MemoryEdge(0, 2)]
+        # instruction 1 moved first; 0 still before 2 -> fine
+        assert ordering_violated(edges, [1, 0, 2]) == set()

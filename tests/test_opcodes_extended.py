@@ -1,0 +1,105 @@
+"""Tests for the extended Alpha opcode set (scaled adds, byte ops, umulh)."""
+
+import pytest
+
+from repro.isa.opcodes import MASK64, OpCategory, opcode_by_name, to_unsigned
+
+
+def run(name, srcs, imm=0):
+    return opcode_by_name(name).semantics(srcs, imm)
+
+
+class TestScaledAdds:
+    def test_s4addq(self):
+        assert run("s4addq", (10, 3)) == 43
+
+    def test_s8addq_computes_word_addresses(self):
+        base, index = 0x8000, 5
+        assert run("s8addq", (index, base)) == base + 8 * index
+
+    def test_s4subq(self):
+        assert run("s4subq", (10, 3)) == 37
+
+    def test_s8subq_wraps(self):
+        assert run("s8subq", (0, 1)) == to_unsigned(-1)
+
+    def test_latency_is_single_cycle(self):
+        assert opcode_by_name("s8addq").latency == 1
+
+
+class TestByteManipulation:
+    VALUE = 0x8877665544332211
+
+    @pytest.mark.parametrize("byte,expected", [(0, 0x11), (3, 0x44), (7, 0x88)])
+    def test_extbl(self, byte, expected):
+        assert run("extbl", (self.VALUE, byte)) == expected
+
+    def test_insbl(self):
+        assert run("insbl", (0xAB, 2)) == 0xAB0000
+
+    def test_insbl_masks_to_byte(self):
+        assert run("insbl", (0x1FF, 0)) == 0xFF
+
+    def test_mskbl(self):
+        assert run("mskbl", (self.VALUE, 1)) == 0x8877665544330011
+
+    def test_extract_insert_mask_compose(self):
+        # Classic byte-store sequence: replace byte 3 of VALUE with 0x5A.
+        cleared = run("mskbl", (self.VALUE, 3))
+        inserted = run("insbl", (0x5A, 3))
+        result = run("bis", (cleared, inserted))
+        assert run("extbl", (result, 3)) == 0x5A
+        assert run("extbl", (result, 2)) == 0x33
+
+    def test_shift_counts_wrap_at_eight(self):
+        assert run("extbl", (self.VALUE, 8)) == run("extbl", (self.VALUE, 0))
+
+
+class TestUmulh:
+    def test_high_half_of_small_product_is_zero(self):
+        assert run("umulh", (3, 4)) == 0
+
+    def test_high_half_of_large_product(self):
+        assert run("umulh", (MASK64, MASK64)) == MASK64 - 1
+
+    def test_category_is_multiply(self):
+        assert opcode_by_name("umulh").category is OpCategory.IMUL
+        assert opcode_by_name("umulh").latency == 7
+
+
+class TestIntegrationWithAssembler:
+    def test_assembles_and_executes(self):
+        from repro.isa import assemble
+        from repro.sim import execute
+
+        program = assemble(
+            """
+            addq r31, #5, r1
+            addq r31, #32768, r2
+            s8addq r1, r2, r3     ; &array[5]
+            stq r1, 0(r3)
+            extbl r1, r31, r4     ; low byte of 5
+            """
+        )
+        state, _ = execute(program)
+        assert state.int_regs[3] == 32768 + 40
+        assert state.memory[32768 + 40] == 5
+        assert state.int_regs[4] == 5
+
+    def test_braidifies(self):
+        from repro.core import braidify
+        from repro.isa import assemble
+        from repro.sim import observably_equivalent
+
+        program = assemble(
+            """
+            addq r31, #7, r1
+            addq r31, #32768, r2
+            s8addq r1, r2, r3
+            umulh r1, r1, r4
+            insbl r1, r4, r5
+            stq r5, 0(r3)
+            """
+        )
+        compilation = braidify(program)
+        assert observably_equivalent(program, compilation.translated)

@@ -1,0 +1,139 @@
+"""Unit tests for braid identification (graph colouring)."""
+
+from repro.core.partition import braid_of_position, partition_block
+from repro.dataflow.graph import BlockGraph
+from repro.isa import assemble
+
+
+def partition(source: str, block: int = 0):
+    program = assemble(source)
+    graph = BlockGraph(program.blocks[block])
+    return graph, partition_block(graph)
+
+
+class TestBasics:
+    def test_every_instruction_in_exactly_one_braid(self, gcc_life):
+        for block in gcc_life.blocks:
+            graph = BlockGraph(block)
+            braids = partition_block(graph)
+            covered = sorted(p for b in braids for p in b.positions)
+            assert covered == list(range(len(block.instructions)))
+
+    def test_braids_ordered_by_first_position(self, gcc_life):
+        for block in gcc_life.blocks:
+            braids = partition_block(BlockGraph(block))
+            firsts = [braid.first_position for braid in braids]
+            assert firsts == sorted(firsts)
+
+    def test_empty_block(self):
+        program = assemble("nop")
+        program.blocks[0].instructions.clear()
+        assert partition_block(BlockGraph(program.blocks[0])) == []
+
+    def test_braid_of_position_map(self):
+        _, braids = partition(
+            """
+            addq r1, r2, r3
+            addq r3, r3, r4
+            addq r5, r6, r7
+            """
+        )
+        owner = braid_of_position(braids)
+        assert owner[0] == owner[1]
+        assert owner[2] != owner[0]
+
+
+class TestPaperExample:
+    """The Figure 2 LOOP block must partition into the paper's braids."""
+
+    def loop_braids(self, gcc_life):
+        loop = gcc_life.block_by_label("LOOP")
+        graph = BlockGraph(loop)
+        return loop, partition_block(graph)
+
+    def test_loop_has_four_braids(self, gcc_life):
+        # Braid 1 (mask computation incl. the bne), braid 2 (induction
+        # increment + compare), braid 3 (single lda), and the cmovne's
+        # chain is part of braid 1.  The beq lives in the next block.
+        _, braids = self.loop_braids(gcc_life)
+        assert len(braids) == 3
+
+    def test_big_braid_contains_loads_and_branch(self, gcc_life):
+        loop, braids = self.loop_braids(gcc_life)
+        big = max(braids, key=lambda b: b.size)
+        opcodes = {loop.instructions[p].opcode.name for p in big.positions}
+        assert {"ldl", "andnot", "and", "zapnoti", "cmovnei", "bne"} <= opcodes
+
+    def test_induction_braid(self, gcc_life):
+        loop, braids = self.loop_braids(gcc_life)
+        induction = [
+            b for b in braids
+            if {loop.instructions[p].opcode.name for p in b.positions}
+            == {"addli", "cmpeq"}
+        ]
+        assert len(induction) == 1
+        assert induction[0].size == 2
+
+    def test_lda_is_single_instruction_braid(self, gcc_life):
+        loop, braids = self.loop_braids(gcc_life)
+        singles = [b for b in braids if b.is_single]
+        assert len(singles) == 1
+        only = loop.instructions[singles[0].positions[0]]
+        assert only.opcode.name == "lda"
+
+
+class TestShapes:
+    def test_size_and_width(self):
+        graph, braids = partition(
+            """
+            addq r1, r2, r3
+            addq r3, r3, r4
+            addq r4, r4, r5
+            """
+        )
+        assert len(braids) == 1
+        assert braids[0].size == 3
+        assert braids[0].width(graph) == 1.0
+
+    def test_wide_braid(self):
+        graph, braids = partition(
+            """
+            addq r1, r2, r3
+            addq r4, r5, r6
+            addq r3, r6, r7
+            """
+        )
+        assert len(braids) == 1
+        assert braids[0].width(graph) == 1.5
+
+    def test_cmov_links_old_destination(self):
+        # cmovne reads its old destination, so the producer of that value
+        # lands in the same braid.
+        _, braids = partition(
+            """
+            addq r1, r2, r3
+            cmovne r4, r5, r3
+            """
+        )
+        assert len(braids) == 1
+
+    def test_split_at(self):
+        _, braids = partition(
+            """
+            addq r1, r2, r3
+            addq r3, r3, r4
+            addq r4, r4, r5
+            """
+        )
+        head, tail = braids[0].split_at(1)
+        assert head.positions == [0]
+        assert tail.positions == [1, 2]
+
+    def test_split_bounds(self):
+        import pytest
+
+        _, braids = partition("addq r1, r2, r3")
+        with pytest.raises(ValueError):
+            braids[0].split_at(0)
+        with pytest.raises(ValueError):
+            braids[0].split_at(1)

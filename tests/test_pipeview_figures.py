@@ -1,0 +1,115 @@
+"""Tests for the pipeline visualizer and ASCII figure rendering."""
+
+import pytest
+
+from repro.harness.figures import render_bars, render_series
+from repro.harness.reporting import ExperimentResult
+from repro.isa import assemble
+from repro.sim import ooo_config, prepare_workload
+from repro.sim.pipeview import PipeviewError, render_pipeview, stage_latencies
+from repro.sim.run import build_core
+
+
+@pytest.fixture(scope="module")
+def traced_core():
+    program = assemble(
+        """
+        addq r31, #5, r1
+        mulq r1, r1, r2
+        addq r2, r2, r3
+        stq r3, 0(r1)
+        """
+    )
+    core = build_core(prepare_workload(program, perfect=True), ooo_config(8))
+    core.trace_log = []
+    core.run()
+    return core
+
+
+class TestPipeview:
+    def test_renders_every_instruction(self, traced_core):
+        text = render_pipeview(traced_core.trace_log)
+        assert text.count("\n") == len(traced_core.trace_log)
+        assert "mulq" in text and "stq" in text
+
+    def test_stage_marks_in_order(self, traced_core):
+        for line in render_pipeview(traced_core.trace_log).splitlines()[1:]:
+            lane = line.split("|")[1]
+            positions = {
+                mark: lane.index(mark) for mark in "fdicr" if mark in lane
+            }
+            ordered = [positions[m] for m in "fdicr" if m in positions]
+            assert ordered == sorted(ordered)
+
+    def test_execute_shading_for_long_ops(self, traced_core):
+        lines = render_pipeview(traced_core.trace_log).splitlines()
+        mul_line = next(line for line in lines if "mulq" in line)
+        assert "=" in mul_line  # 7-cycle multiply occupies several columns
+
+    def test_requires_trace(self):
+        with pytest.raises(PipeviewError):
+            render_pipeview(None)
+        with pytest.raises(PipeviewError):
+            render_pipeview([], start=0)
+
+    def test_offset_out_of_range(self, traced_core):
+        with pytest.raises(PipeviewError):
+            render_pipeview(traced_core.trace_log, start=999)
+
+    def test_narrow_window_marks_overflow(self, traced_core):
+        text = render_pipeview(traced_core.trace_log, width=8)
+        assert ">" in text
+
+    def test_stage_latencies(self, traced_core):
+        summary = stage_latencies(traced_core.trace_log)
+        assert summary["front_end"] >= ooo_config(8).front_end.depth
+        assert summary["execute"] >= 1.0
+        assert stage_latencies([]) == {
+            "front_end": 0.0, "wait_issue": 0.0, "execute": 0.0,
+            "wait_retire": 0.0,
+        }
+
+
+class TestFigures:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="X",
+            title="demo",
+            paper_expectation="demo expectation",
+            columns=["a", "b"],
+            rows={
+                "bench1": {"a": 1.0, "b": 0.5},
+                "bench2": {"a": 0.8, "b": 0.9},
+            },
+        )
+
+    def test_render_bars_structure(self):
+        result = self.make_result()
+        result.finalize_averages()
+        text = render_bars(result)
+        assert "bench1" in text and "bench2" in text
+        assert "average" in text
+        assert "#" in text
+
+    def test_bar_lengths_track_values(self):
+        result = self.make_result()
+        text = render_bars(result, bar_width=20, include_average=False)
+        bar_lines = [
+            line for line in text.splitlines()
+            if "#" in line or "*" in line
+        ]
+        full = next(line for line in bar_lines if "1.00" in line)
+        half = next(line for line in bar_lines if "0.50" in line)
+        # Series 'a' uses '#', series 'b' uses '*'; the 1.0 bar is full.
+        assert full.count("#") == 20
+        assert half.count("*") == 10
+
+    def test_render_series_compact(self):
+        result = self.make_result()
+        text = render_series(result)
+        assert "suite average" in text
+        assert len(text.splitlines()) == 2 + len(result.columns)
+
+    def test_empty_result(self):
+        result = ExperimentResult("E", "t", "p", columns=["x"])
+        assert "(no data)" in render_bars(result)

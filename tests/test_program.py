@@ -1,0 +1,123 @@
+"""Unit tests for programs and basic blocks."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import opcode_by_name
+from repro.isa.program import BasicBlock, Program, ProgramError
+from repro.isa.registers import int_reg
+
+
+def alu(dest, a, b):
+    return Instruction(
+        opcode=opcode_by_name("addq"), dest=int_reg(dest),
+        srcs=(int_reg(a), int_reg(b)),
+    )
+
+
+def branch(name, test, target):
+    return Instruction(
+        opcode=opcode_by_name(name), srcs=(int_reg(test),), target=target
+    )
+
+
+def uncond(target):
+    return Instruction(opcode=opcode_by_name("br"), target=target)
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock(0, [alu(1, 2, 3), branch("bne", 1, 0)])
+        assert block.terminator is not None
+        assert len(block.body) == 1
+
+    def test_no_terminator(self):
+        block = BasicBlock(0, [alu(1, 2, 3)])
+        assert block.terminator is None
+        assert block.body == block.instructions
+
+    def test_interior_branch_rejected(self):
+        block = BasicBlock(0, [branch("bne", 1, 0), alu(1, 2, 3)])
+        with pytest.raises(ProgramError):
+            block.validate()
+
+    def test_name_defaults_to_index(self):
+        assert BasicBlock(3).name == "B3"
+        assert BasicBlock(3, label="HEAD").name == "HEAD"
+
+
+class TestProgram:
+    def build(self):
+        return Program(
+            name="p",
+            blocks=[
+                BasicBlock(0, [alu(1, 2, 3)], label="A"),
+                BasicBlock(1, [alu(2, 1, 1), branch("bne", 2, 0)], label="B"),
+                BasicBlock(2, [uncond(0)], label="C"),
+                BasicBlock(3, [alu(3, 1, 2)], label="D"),
+            ],
+        )
+
+    def test_successors_fallthrough_only(self):
+        program = self.build()
+        taken, fallthrough = program.successors(program.blocks[0])
+        assert taken is None and fallthrough == 1
+
+    def test_successors_conditional(self):
+        program = self.build()
+        taken, fallthrough = program.successors(program.blocks[1])
+        assert taken == 0 and fallthrough == 2
+
+    def test_successors_unconditional_has_no_fallthrough(self):
+        program = self.build()
+        taken, fallthrough = program.successors(program.blocks[2])
+        assert taken == 0 and fallthrough is None
+
+    def test_last_block_has_no_fallthrough(self):
+        program = self.build()
+        taken, fallthrough = program.successors(program.blocks[3])
+        assert taken is None and fallthrough is None
+
+    def test_block_by_label(self):
+        program = self.build()
+        assert program.block_by_label("C").index == 2
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                name="dup",
+                blocks=[BasicBlock(0, label="X"), BasicBlock(1, label="X")],
+            )
+
+    def test_reindex_renumbers(self):
+        program = self.build()
+        program.blocks.reverse()
+        program.reindex()
+        assert [b.index for b in program.blocks] == [0, 1, 2, 3]
+
+    def test_validate_rejects_bad_target(self):
+        program = self.build()
+        program.blocks[1].instructions[-1] = branch("bne", 2, 99)
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ProgramError):
+            Program(name="empty", blocks=[]).validate()
+
+    def test_static_size(self):
+        assert self.build().static_size == 5
+
+    def test_render_mentions_labels(self):
+        text = self.build().render()
+        assert "A:" in text and "D:" in text
+
+    def test_copy_structure_keeps_name_and_entry(self):
+        program = self.build()
+        copy = program.copy_structure(program.blocks)
+        assert copy.name == program.name
+        assert copy.entry == program.entry
+
+    def test_instructions_iterates_in_layout_order(self):
+        program = self.build()
+        assert len(list(program.instructions())) == program.static_size

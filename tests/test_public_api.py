@@ -1,0 +1,63 @@
+"""Public API surface tests: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.workloads",
+    "repro.dataflow",
+    "repro.core",
+    "repro.uarch",
+    "repro.sim",
+    "repro.analysis",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_imports(self, package):
+        module = importlib.import_module(package)
+        assert module is not None
+
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a docstring"
+
+
+class TestPublicCallablesDocumented:
+    @pytest.mark.parametrize("package", PACKAGES[1:])
+    def test_exported_callables_have_docstrings(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) and not isinstance(obj, type):
+                if not getattr(obj, "__doc__", None):
+                    undocumented.append(name)
+        assert not undocumented, f"{package}: {undocumented}"
+
+    @pytest.mark.parametrize("package", PACKAGES[1:])
+    def test_exported_classes_have_docstrings(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if isinstance(obj, type) and not obj.__doc__:
+                undocumented.append(name)
+        assert not undocumented, f"{package}: {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

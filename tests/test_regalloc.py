@@ -1,0 +1,143 @@
+"""Unit tests for braid register allocation (both passes)."""
+
+import pytest
+
+from repro.core import braidify
+from repro.core.regalloc import compact_external_registers
+from repro.isa import assemble
+from repro.isa.registers import NUM_INTERNAL_REGS, Space
+from repro.sim import execute, observably_equivalent
+from repro.workloads import kernel
+
+
+class TestInternalAllocation:
+    def test_internal_destinations_use_small_indices(self, gcc_life_compiled):
+        for block in gcc_life_compiled.translated.blocks:
+            for inst in block.instructions:
+                if inst.annot.dest_internal:
+                    assert inst.dest.index < NUM_INTERNAL_REGS
+
+    def test_internal_sources_use_small_indices(self, gcc_life_compiled):
+        for block in gcc_life_compiled.translated.blocks:
+            for inst in block.instructions:
+                for position, reg in enumerate(inst.srcs):
+                    if inst.annot.src_space(position) is Space.INTERNAL:
+                        assert reg.index < NUM_INTERNAL_REGS
+
+    def test_never_both_internal_and_external(self, gcc_life_compiled):
+        # This allocator's policy: a value lives in exactly one space.
+        for block in gcc_life_compiled.translated.blocks:
+            for inst in block.instructions:
+                assert not (
+                    inst.annot.dest_internal and inst.annot.dest_external
+                )
+
+    def test_escaping_values_stay_external(self, gcc_life_compiled):
+        # The induction variable (r5) and loop bound compare flag (r7) are
+        # read in later blocks, so their defs must write the external file.
+        loop = gcc_life_compiled.translated.block_by_label("LOOP")
+        by_name = {}
+        for inst in loop.instructions:
+            by_name.setdefault(inst.opcode.name, inst)
+        assert by_name["addli"].annot.dest_external  # r5 next iteration
+        assert by_name["cmpeq"].annot.dest_external  # r7 read by BACK block
+
+    def test_purely_local_values_are_internal(self, gcc_life_compiled):
+        loop = gcc_life_compiled.translated.block_by_label("LOOP")
+        internal = [
+            inst for inst in loop.instructions if inst.annot.dest_internal
+        ]
+        # The three loads and the mask chain stay inside the braid.
+        assert len(internal) >= 4
+
+    def test_consumer_of_internal_value_uses_t_bit(self, gcc_life_compiled):
+        loop = gcc_life_compiled.translated.block_by_label("LOOP")
+        internal_uses = sum(
+            1
+            for inst in loop.instructions
+            for position in range(len(inst.srcs))
+            if inst.annot.src_space(position) is Space.INTERNAL
+        )
+        assert internal_uses >= 4
+
+    def test_tight_limit_still_allocates(self, gcc_life):
+        compilation = braidify(gcc_life, internal_limit=2)
+        assert observably_equivalent(gcc_life, compilation.translated)
+        for block in compilation.translated.blocks:
+            for inst in block.instructions:
+                if inst.annot.dest_internal:
+                    assert inst.dest.index < 2
+
+
+class TestExternalCompaction:
+    SOURCE = """
+    .block A
+        addq r31, #1, r1
+        addq r31, #2, r5
+        addq r1, r5, r9
+        stq r9, 0(r1)
+    .block B
+        addq r31, #3, r20
+        stq r20, 8(r20)
+        nop
+    """
+
+    def test_compaction_reduces_register_count(self):
+        program = assemble(self.SOURCE)
+        result = compact_external_registers(program)
+        assert result.registers_after <= result.registers_before
+        # r20's live range does not overlap r1/r5/r9 wholesale names: at
+        # least one merge must happen.
+        assert result.registers_after < result.registers_before
+
+    def test_compaction_preserves_semantics(self):
+        program = assemble(self.SOURCE)
+        result = compact_external_registers(program)
+        state_a, _ = execute(program)
+        state_b, _ = execute(result.program)
+        assert state_a.memory == state_b.memory
+
+    def test_compaction_on_kernels_is_sound(self):
+        for name in ("gcc_life", "daxpy", "checksum"):
+            program = kernel(name)
+            result = compact_external_registers(program)
+            state_a, stats_a = execute(program)
+            state_b, stats_b = execute(result.program)
+            assert state_a.memory == state_b.memory
+            assert stats_a.block_counts == stats_b.block_counts
+
+    def test_zero_register_never_remapped(self):
+        program = assemble(self.SOURCE)
+        result = compact_external_registers(program)
+        for source, target in result.mapping.items():
+            if source.is_zero:
+                assert target is source
+
+    def test_full_pipeline_with_compaction(self, gcc_life):
+        compilation = braidify(gcc_life, compact_external=True)
+        assert compilation.compaction is not None
+        # Equivalence is judged against the compacted program (the rename
+        # intentionally changes which architectural registers hold values).
+        assert observably_equivalent(
+            compilation.compaction.program, compilation.translated
+        )
+
+
+class TestDeadValues:
+    def test_dead_value_parked_internally(self):
+        program = assemble(
+            """
+            .block A
+                addq r1, r2, r9    ; never read anywhere
+                addq r1, r2, r3
+                stq r3, 0(r1)
+            """
+        )
+        compilation = braidify(program)
+        block = compilation.translated.blocks[0]
+        dead = next(
+            inst for inst in block.instructions
+            if inst.opcode.name == "addq" and not inst.annot.dest_external
+        )
+        assert dead.annot.dest_internal
+        assert observably_equivalent(program, compilation.translated)

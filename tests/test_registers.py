@@ -1,0 +1,107 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    FZERO,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    ZERO,
+    RegClass,
+    Register,
+    Space,
+    all_registers,
+    fp_reg,
+    int_reg,
+    parse_register,
+)
+
+
+class TestInterning:
+    def test_same_register_is_identical(self):
+        assert int_reg(5) is int_reg(5)
+        assert fp_reg(7) is fp_reg(7)
+
+    def test_different_banks_differ(self):
+        assert int_reg(5) is not fp_reg(5)
+        assert int_reg(5) != fp_reg(5)
+
+    def test_equality_and_hash(self):
+        assert int_reg(3) == Register(RegClass.INT, 3)
+        assert hash(int_reg(3)) == hash(Register(RegClass.INT, 3))
+        assert len({int_reg(1), int_reg(1), fp_reg(1)}) == 2
+
+
+class TestZeroRegisters:
+    def test_int_zero(self):
+        assert ZERO.is_zero
+        assert ZERO is int_reg(31)
+
+    def test_fp_zero(self):
+        assert FZERO.is_zero
+        assert FZERO is fp_reg(31)
+
+    def test_ordinary_registers_are_not_zero(self):
+        assert not int_reg(0).is_zero
+        assert not fp_reg(30).is_zero
+
+
+class TestBounds:
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_reg(NUM_INT_REGS)
+
+    def test_out_of_range_fp(self):
+        with pytest.raises(ValueError):
+            fp_reg(NUM_FP_REGS)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("r0", int_reg(0)),
+            ("R12", int_reg(12)),
+            ("f31", fp_reg(31)),
+            ("zero", ZERO),
+            ("fzero", FZERO),
+            (" r7 ", int_reg(7)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_register(text) is expected
+
+    @pytest.mark.parametrize("text", ["x1", "r", "rA", "32", "", "g5"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_register(text)
+
+
+class TestEnumeration:
+    def test_all_registers_count(self):
+        regs = all_registers()
+        assert len(regs) == NUM_INT_REGS + NUM_FP_REGS
+        assert len(set(regs)) == len(regs)
+
+    def test_names_round_trip(self):
+        for reg in all_registers():
+            assert parse_register(reg.name) is reg
+
+    def test_sorting_is_deterministic(self):
+        regs = sorted(all_registers())
+        assert regs[0].rclass is RegClass.FP  # "fp" < "int" lexically
+        assert regs[0].index == 0
+
+
+class TestSpace:
+    def test_space_values(self):
+        assert Space.EXTERNAL.value == "ext"
+        assert Space.INTERNAL.value == "int"
+
+    def test_is_fp(self):
+        assert fp_reg(2).is_fp
+        assert not int_reg(2).is_fp

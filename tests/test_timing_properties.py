@@ -1,0 +1,149 @@
+"""Property-style invariant tests over the timing cores.
+
+These run real workloads with tracing enabled and check machine-wide
+invariants that must hold for *every* instruction on *every* paradigm:
+stage monotonicity, in-order retirement, dependence-respecting issue,
+per-cycle width bounds, and determinism.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import braidify
+from repro.sim import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+    prepare_workload,
+)
+from repro.sim.run import build_core
+from repro.workloads import build_program
+
+CONFIGS = [
+    ("ooo", ooo_config(8), False),
+    ("inorder", inorder_config(8), False),
+    ("depsteer", depsteer_config(8), False),
+    ("braid", braid_config(8), True),
+]
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    program = build_program("twolf")
+    compilation = braidify(program)
+    plain = prepare_workload(program, max_instructions=6000)
+    braided = prepare_workload(compilation.translated, max_instructions=6000)
+    runs = {}
+    for name, config, braided_flag in CONFIGS:
+        core = build_core(braided if braided_flag else plain, config)
+        core.trace_log = []
+        result = core.run()
+        runs[name] = (core, result)
+    return runs
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CONFIGS])
+class TestPerInstructionInvariants:
+    def test_stage_monotonicity(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        for winst in core.trace_log:
+            assert winst.fetch_cycle <= winst.dispatch_cycle
+            assert winst.dispatch_cycle < winst.issue_cycle
+            assert winst.issue_cycle < winst.complete_cycle
+            assert winst.complete_cycle < winst.retire_cycle
+
+    def test_every_instruction_retired_once(self, traced_runs, name):
+        core, result = traced_runs[name]
+        assert len(core.trace_log) == result.instructions
+        seqs = [w.seq for w in core.trace_log]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_retirement_is_in_program_order(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        retire_cycles = [w.retire_cycle for w in core.trace_log]
+        assert retire_cycles == sorted(retire_cycles)
+
+    def test_issue_respects_register_dependences(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        for winst in core.trace_log:
+            for producer, internal in winst.deps:
+                if producer is None:
+                    continue
+                assert producer.complete_cycle <= winst.issue_cycle
+
+    def test_execution_latency_at_least_opcode_latency(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        for winst in core.trace_log:
+            span = winst.complete_cycle - winst.issue_cycle
+            if winst.is_load:
+                assert span >= core.l1d_latency
+            else:
+                assert span >= winst.latency
+
+    def test_issue_width_bound_every_cycle(self, traced_runs, name):
+        core, result = traced_runs[name]
+        per_cycle = Counter(w.issue_cycle for w in core.trace_log)
+        config = dict((c[0], c[1]) for c in CONFIGS)[name]
+        if name == "braid":
+            bound = config.clusters * config.beu_functional_units
+        else:
+            bound = config.issue_width
+        assert max(per_cycle.values()) <= bound
+
+    def test_retire_width_bound_every_cycle(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        per_cycle = Counter(w.retire_cycle for w in core.trace_log)
+        config = dict((c[0], c[1]) for c in CONFIGS)[name]
+        assert max(per_cycle.values()) <= config.issue_width
+
+    def test_dispatch_width_bound_every_cycle(self, traced_runs, name):
+        core, _ = traced_runs[name]
+        per_cycle = Counter(w.dispatch_cycle for w in core.trace_log)
+        config = dict((c[0], c[1]) for c in CONFIGS)[name]
+        assert max(per_cycle.values()) <= config.front_end.alloc_width
+
+
+class TestInOrderSpecifics:
+    def test_inorder_issue_is_program_ordered(self, traced_runs):
+        core, _ = traced_runs["inorder"]
+        issue_cycles = [w.issue_cycle for w in core.trace_log]
+        assert issue_cycles == sorted(issue_cycles)
+
+
+class TestBraidSpecifics:
+    def test_braid_instructions_issue_in_order_within_beu_fifo_windows(
+        self, traced_runs
+    ):
+        # Issue order within a BEU may slip inside the window, but never by
+        # more than the window size.
+        core, _ = traced_runs["braid"]
+        per_beu = {}
+        for winst in core.trace_log:
+            per_beu.setdefault(winst.cluster, []).append(winst)
+        window = braid_config(8).beu_window
+        for instructions in per_beu.values():
+            issue_order = sorted(instructions, key=lambda w: (w.issue_cycle, w.seq))
+            for position, winst in enumerate(issue_order):
+                dispatch_rank = instructions.index(winst)
+                assert abs(dispatch_rank - position) < window + 8
+
+    def test_braids_never_split_across_beus(self, traced_runs):
+        core, _ = traced_runs["braid"]
+        current_braid_cluster = None
+        for winst in core.trace_log:
+            if winst.dyn.inst.annot.start:
+                current_braid_cluster = winst.cluster
+            assert winst.cluster == current_braid_cluster
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        program = build_program("gap")
+        workload = prepare_workload(program, max_instructions=3000)
+        first = build_core(workload, ooo_config(8)).run()
+        second = build_core(workload, ooo_config(8)).run()
+        assert first.cycles == second.cycles
+        assert first.extra == second.extra

@@ -1,0 +1,55 @@
+"""Width-scaling sanity: the Figure 13 trends hold on individual benchmarks."""
+
+import pytest
+
+from repro.core import braidify
+from repro.sim import (
+    braid_config,
+    ooo_config,
+    prepare_workload,
+    simulate,
+)
+from repro.workloads import build_program
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    program = build_program("crafty")
+    compilation = braidify(program)
+    return (
+        prepare_workload(program, perfect=True, max_instructions=6000),
+        prepare_workload(compilation.translated, perfect=True,
+                         max_instructions=6000),
+    )
+
+
+class TestOutOfOrderScaling:
+    def test_wider_is_monotonically_not_slower(self, workloads):
+        plain, _ = workloads
+        ipcs = [simulate(plain, ooo_config(width)).ipc for width in (4, 8, 16)]
+        assert ipcs[0] <= ipcs[1] * 1.02
+        assert ipcs[1] <= ipcs[2] * 1.02
+
+    def test_ipc_never_exceeds_width(self, workloads):
+        plain, _ = workloads
+        for width in (4, 8, 16):
+            assert simulate(plain, ooo_config(width)).ipc <= width
+
+
+class TestBraidScaling:
+    def test_braid_scales_with_width(self, workloads):
+        _, braided = workloads
+        narrow = simulate(braided, braid_config(4))
+        wide = simulate(braided, braid_config(16))
+        assert wide.ipc >= narrow.ipc
+
+    def test_braid_config_width_derives_beus(self):
+        assert braid_config(4).clusters == 4
+        assert braid_config(16).clusters == 16
+
+    def test_braid_competitive_at_every_width(self, workloads):
+        plain, braided = workloads
+        for width in (4, 8, 16):
+            ooo = simulate(plain, ooo_config(width))
+            braid = simulate(braided, braid_config(width))
+            assert braid.ipc > 0.5 * ooo.ipc

@@ -1,0 +1,127 @@
+"""Tests for the synthetic benchmark suite and its calibration."""
+
+import pytest
+
+from repro.analysis import braid_statistics, characterize_values
+from repro.core import braidify
+from repro.sim import execute
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    build_program,
+    build_suite,
+    profile,
+    quick_suite,
+    scaled,
+)
+
+
+class TestSuiteStructure:
+    def test_twenty_six_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 26
+        assert len(INT_BENCHMARKS) == 12
+        assert len(FP_BENCHMARKS) == 14
+
+    def test_paper_benchmark_names(self):
+        for name in ("gcc", "mcf", "crafty", "swim", "mgrid", "wupwise"):
+            assert name in ALL_BENCHMARKS
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            profile("doom")
+
+    def test_quick_suite_subset(self):
+        programs = quick_suite()
+        assert set(programs) == {"gcc", "mcf", "swim", "equake"}
+
+
+class TestDeterminism:
+    def test_same_profile_same_program(self):
+        a = build_program("gcc")
+        b = build_program("gcc")
+        assert a.render() == b.render()
+
+    def test_different_benchmarks_differ(self):
+        assert build_program("gcc").render() != build_program("vpr").render()
+
+    def test_scaling_changes_dynamic_not_static_shape(self):
+        short = build_program("gcc", scale=1.0)
+        long = build_program("gcc", scale=2.0)
+        assert short.static_size == long.static_size
+        _, s1 = execute(short)
+        _, s2 = execute(long)
+        assert s2.dynamic_instructions > s1.dynamic_instructions
+
+    def test_scaled_profile(self):
+        base = profile("gcc")
+        assert scaled(base, 3.0).outer_trips == base.outer_trips * 3
+        assert scaled(base, 0.01).outer_trips >= 1
+
+
+class TestExecutability:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_every_benchmark_terminates(self, name):
+        program = build_program(name)
+        program.validate()
+        _, stats = execute(program, max_instructions=400_000)
+        assert stats.completed
+        assert stats.stores > 0  # results are observable
+
+    @pytest.mark.parametrize("name", ("gcc", "swim"))
+    def test_every_benchmark_braidifies(self, name):
+        program = build_program(name)
+        compilation = braidify(program)
+        assert compilation.total_braids > 0
+
+
+class TestCalibration:
+    """The generated suite must reproduce the paper's headline statistics."""
+
+    @pytest.fixture(scope="class")
+    def suite_stats(self):
+        stats = {}
+        for name in ("gcc", "vpr", "twolf", "swim", "applu", "lucas"):
+            compilation = braidify(build_program(name))
+            suite = "int" if name in INT_BENCHMARKS else "fp"
+            stats[name] = braid_statistics(compilation, suite=suite)
+        return stats
+
+    def test_braids_per_block_in_paper_range(self, suite_stats):
+        for stats in suite_stats.values():
+            assert 1.5 <= stats.braids_per_block() <= 8.0
+
+    def test_braid_width_is_narrow(self, suite_stats):
+        # Paper Table 2: width ~1.0-1.4 everywhere.
+        for stats in suite_stats.values():
+            assert 1.0 <= stats.mean_width() <= 1.6
+
+    def test_external_outputs_below_inputs(self, suite_stats):
+        # Paper Table 3: ~0.7 outputs vs ~1.7-2.2 inputs per braid.
+        for stats in suite_stats.values():
+            assert stats.mean_external_outputs() < stats.mean_external_inputs() + 0.5
+
+    def test_value_fanout_headline(self):
+        chars = characterize_values(build_program("gcc"), max_instructions=30_000)
+        assert chars.fraction_single_use > 0.55
+        assert chars.fraction_at_most_two_uses > 0.80
+        assert chars.fraction_unused < 0.15
+
+    def test_value_lifetime_headline(self):
+        chars = characterize_values(build_program("gcc"), max_instructions=30_000)
+        assert chars.fraction_short_lived > 0.70
+
+    def test_fp_braids_larger_than_int(self):
+        int_stats = braid_statistics(braidify(build_program("gcc")), "int")
+        fp_stats = braid_statistics(braidify(build_program("swim")), "fp")
+        assert fp_stats.mean_size() > int_stats.mean_size()
+
+
+class TestBuildSuite:
+    def test_build_suite_selection(self):
+        programs = build_suite(("gcc", "swim"))
+        assert set(programs) == {"gcc", "swim"}
+
+    def test_program_names_match_keys(self):
+        programs = build_suite(("gcc",))
+        assert programs["gcc"].name == "gcc"
