@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Simulator speed microbenchmark: core throughput and sweep wall-clock.
+
+Measures, on the quick four-benchmark suite:
+
+* **per-core throughput** — simulated instructions per wall-clock second for
+  each timing-core kind (out-of-order, in-order, dependence-steering, braid)
+  with phase one (workload preparation) excluded, i.e. the hot-loop speed of
+  ``simulate`` alone;
+* **F9 sweep wall-clock** — the Figure 9 BEU sweep end to end under three
+  regimes: cold serial (no artifact cache), warm serial (persistent cache
+  populated), and warm parallel (``--jobs`` workers).  Every measurement uses
+  a fresh :class:`ExperimentContext` so in-memory memoization cannot hide
+  phase-one cost.
+
+Results land in ``BENCH_SPEED.json`` next to this script, alongside the
+recorded seed-commit baseline so speedups are visible at a glance::
+
+    PYTHONPATH=src python bench_speed.py [--jobs 4] [--output BENCH_SPEED.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.harness.experiments import fig9_braid_beus
+from repro.sim.config import braid_config, depsteer_config, inorder_config, ooo_config
+from repro.sim.run import simulate
+
+QUICK = ("gcc", "mcf", "swim", "equake")
+
+#: Measured at the seed commit on the reference container (1 CPU), same
+#: quick suite and max_instructions — the baseline the acceptance criteria
+#: compare against.
+SEED_BASELINE = {
+    "throughput_insts_per_sec": {
+        "ooo": 37071,
+        "inorder": 29281,
+        "depsteer": 48377,
+        "braid": 29624,
+    },
+    "f9_quick_serial_seconds": 4.74,
+}
+
+CORE_CONFIGS = {
+    "ooo": (ooo_config(8), False),
+    "inorder": (inorder_config(8), False),
+    "depsteer": (depsteer_config(8), False),
+    "braid": (braid_config(8), True),
+}
+
+
+def measure_throughput() -> dict:
+    """Simulated instructions/second per core kind, phase one excluded."""
+    ctx = ExperimentContext(
+        benchmarks=QUICK, jobs=1, cache=ArtifactCache(enabled=False)
+    )
+    workloads = {
+        braided: [ctx.workload(name, braided=braided) for name in QUICK]
+        for braided in (False, True)
+    }
+    throughput = {}
+    for kind, (config, braided) in CORE_CONFIGS.items():
+        instructions = 0
+        started = time.perf_counter()
+        for workload in workloads[braided]:
+            instructions += simulate(workload, config).instructions
+        elapsed = time.perf_counter() - started
+        throughput[kind] = {
+            "instructions": instructions,
+            "seconds": round(elapsed, 3),
+            "insts_per_sec": round(instructions / elapsed) if elapsed else 0,
+        }
+    return throughput
+
+
+def time_f9(jobs: int, cache: ArtifactCache) -> float:
+    """Wall-clock of the full Figure 9 quick sweep with a fresh context."""
+    ctx = ExperimentContext(benchmarks=QUICK, jobs=jobs, cache=cache)
+    started = time.perf_counter()
+    fig9_braid_beus(ctx)
+    return time.perf_counter() - started
+
+
+def measure_sweep(jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold = time_f9(1, ArtifactCache(enabled=False))
+        # Populate the cache, then measure warm regimes on fresh contexts.
+        time_f9(1, ArtifactCache(root=Path(tmp)))
+        warm_serial = time_f9(1, ArtifactCache(root=Path(tmp)))
+        warm_parallel = time_f9(jobs, ArtifactCache(root=Path(tmp)))
+    return {
+        "jobs": jobs,
+        "cold_serial_seconds": round(cold, 3),
+        "warm_serial_seconds": round(warm_serial, 3),
+        "warm_parallel_seconds": round(warm_parallel, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the warm parallel sweep (default 4)")
+    parser.add_argument("--output", default="BENCH_SPEED.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    throughput = measure_throughput()
+    sweep = measure_sweep(args.jobs)
+
+    seed_tp = SEED_BASELINE["throughput_insts_per_sec"]
+    notes = []
+    if (os.cpu_count() or 1) < args.jobs:
+        notes.append(
+            f"host exposes {os.cpu_count()} CPU(s) < --jobs {args.jobs}: "
+            "workers time-slice one core, so the parallel sweep pays pool "
+            "overhead without parallel speedup; on a multi-core host the "
+            "sweep points fan out across cores"
+        )
+    report = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "suite": {"benchmarks": list(QUICK), "max_instructions": 60_000},
+        "throughput": throughput,
+        "f9_quick_sweep": sweep,
+        "seed_baseline": SEED_BASELINE,
+        "speedup_vs_seed": {
+            "throughput": {
+                kind: round(entry["insts_per_sec"] / seed_tp[kind], 2)
+                for kind, entry in throughput.items()
+            },
+            "f9_warm_serial": round(
+                SEED_BASELINE["f9_quick_serial_seconds"]
+                / sweep["warm_serial_seconds"], 2,
+            ),
+            "f9_warm_parallel": round(
+                SEED_BASELINE["f9_quick_serial_seconds"]
+                / sweep["warm_parallel_seconds"], 2,
+            ),
+        },
+        "notes": notes,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

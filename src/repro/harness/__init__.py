@@ -1,6 +1,9 @@
 """Experiment harness: regenerate every table and figure of the paper."""
 
+from .artifacts import ArtifactCache, CACHE_FORMAT_VERSION, default_cache_dir
 from .context import ExperimentContext, benchmarks_from_env, scale_from_env
+from .parallel import jobs_from_env, run_points_parallel
+from .sweep import Cell, SweepPoint, sweep_experiment
 from .experiments import (
     abl_beu_occupancy,
     abl_internal_reg_limit,
@@ -49,6 +52,14 @@ __all__ = [
     "ExperimentContext",
     "benchmarks_from_env",
     "scale_from_env",
+    "jobs_from_env",
+    "run_points_parallel",
+    "ArtifactCache",
+    "CACHE_FORMAT_VERSION",
+    "default_cache_dir",
+    "SweepPoint",
+    "Cell",
+    "sweep_experiment",
     "render_bars",
     "render_series",
     "ExperimentResult",

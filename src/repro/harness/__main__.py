@@ -44,7 +44,19 @@ def main(argv=None) -> int:
         help="output style: per-benchmark table (default), grouped bar "
              "chart, or compact suite-average series",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for timing sweeps (overrides REPRO_JOBS; "
+             "default: CPU count; 1 runs everything in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent artifact cache (REPRO_CACHE_DIR) entirely",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
     for experiment_id in args.experiments:
@@ -76,7 +88,12 @@ def main(argv=None) -> int:
     }
     render = renderers[args.format]
 
-    context = ExperimentContext(benchmarks=benchmarks, scale=args.scale)
+    from .artifacts import ArtifactCache
+
+    cache = ArtifactCache(enabled=False) if args.no_cache else None
+    context = ExperimentContext(
+        benchmarks=benchmarks, scale=args.scale, jobs=args.jobs, cache=cache,
+    )
     for experiment_id in selected:
         started = time.time()
         result = ALL_EXPERIMENTS[experiment_id](context)

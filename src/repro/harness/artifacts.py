@@ -1,0 +1,147 @@
+"""Persistent on-disk cache for phase-one experiment artifacts.
+
+Every fresh session used to recompute program generation, braid compilation,
+functional traces, and predictor/cache oracles from scratch even though they
+are pure functions of ``(benchmark, scale, perfect, internal_limit,
+predictor, max_instructions)``.  This module stores those artifacts
+(:class:`~repro.sim.workload.PreparedWorkload`,
+:class:`~repro.core.pipeline.BraidCompilation`) as pickles under a cache
+directory so repeated bench runs skip phase one entirely.
+
+Layout and knobs:
+
+* the cache root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+* ``$REPRO_NO_CACHE=1`` (or ``ArtifactCache(enabled=False)``, or the harness
+  ``--no-cache`` flag) disables all reads and writes;
+* every key embeds :data:`CACHE_FORMAT_VERSION` — bump it whenever the
+  pickled artifact layout or the phase-one semantics change, and stale
+  entries are simply never looked up again;
+* unreadable or truncated entries are deleted and recomputed, so a crashed
+  writer cannot poison later runs; writes go through a temp file plus
+  ``os.replace`` so concurrent workers only ever see complete entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+#: Bump when artifact pickles or phase-one semantics change shape.
+CACHE_FORMAT_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from ``REPRO_CACHE_DIR`` (or ``~/.cache/repro``)."""
+    env = os.environ.get(_ENV_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_disabled_by_env() -> bool:
+    value = os.environ.get(_ENV_DISABLE, "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+class ArtifactCache:
+    """Content-addressed pickle store for phase-one artifacts."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> "ArtifactCache":
+        return cls(enabled=not cache_disabled_by_env())
+
+    # ------------------------------------------------------------------ paths
+    @staticmethod
+    def _digest(key: Tuple) -> str:
+        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+    def path_for(self, key: Tuple) -> Path:
+        """File that stores ``key`` (first element names the artifact kind)."""
+        return self.root / f"{key[0]}-{self._digest(key)}.pkl"
+
+    # -------------------------------------------------------------------- api
+    def get(self, key: Tuple) -> Optional[Any]:
+        """The cached artifact, or None on a miss (corrupt entries evicted)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/incompatible pickle: evict so the slot heals itself.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        """Store ``value`` atomically; failures are silent (cache is advisory)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------ key helpers
+    @staticmethod
+    def workload_key(
+        benchmark: str,
+        scale: float,
+        braided: bool,
+        perfect: bool,
+        internal_limit: int,
+        predictor: str,
+        max_instructions: int,
+    ) -> Tuple:
+        return (
+            "workload",
+            CACHE_FORMAT_VERSION,
+            benchmark,
+            scale,
+            braided,
+            perfect,
+            internal_limit,
+            predictor,
+            max_instructions,
+        )
+
+    @staticmethod
+    def compilation_key(benchmark: str, scale: float, internal_limit: int) -> Tuple:
+        return ("compilation", CACHE_FORMAT_VERSION, benchmark, scale,
+                internal_limit)

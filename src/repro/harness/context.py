@@ -3,17 +3,26 @@
 Every figure sweeps many machine configurations over the same benchmarks, so
 the expensive phase-one artifacts (program generation, braid compilation,
 functional traces, branch/cache oracles) are computed once per benchmark and
-shared.  Environment knobs:
+shared — in memory within a session, and across sessions through the
+persistent :class:`~repro.harness.artifacts.ArtifactCache`.  Timing results
+themselves are memoized per sweep point, so figures that share points (e.g.
+the 8-wide out-of-order baseline used by F5/F9–F14) simulate them once.
+
+Environment knobs:
 
 * ``REPRO_BENCHMARKS`` — comma-separated benchmark names, ``quick`` (the
-  four-program subset), or ``full`` (all 26; the default);
-* ``REPRO_SCALE`` — dynamic-length multiplier (default 1.0).
+  four-program subset), ``int`` / ``fp`` (one SPEC suite), or ``full``
+  (all 26; the default);
+* ``REPRO_SCALE`` — dynamic-length multiplier (default 1.0);
+* ``REPRO_JOBS`` — worker processes for sweeps (default: CPU count);
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — persistent artifact cache
+  location / kill switch.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import BraidCompilation, braidify
 from ..isa.program import Program
@@ -23,15 +32,26 @@ from ..sim.run import simulate
 from ..sim.workload import PreparedWorkload, prepare_workload
 from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
 from ..workloads.suite import QUICK_BENCHMARKS, build_program
+from .artifacts import ArtifactCache
+from .parallel import jobs_from_env, run_points_parallel
+from .sweep import SweepPoint
 
 
 def benchmarks_from_env(default: str = "full") -> Tuple[str, ...]:
-    """Resolve the benchmark selection from ``REPRO_BENCHMARKS``."""
+    """Resolve the benchmark selection from ``REPRO_BENCHMARKS``.
+
+    Accepts ``full`` (all 26), ``quick`` (the four-program subset), the
+    suite selectors ``int`` / ``fp``, or an explicit comma-separated list.
+    """
     value = os.environ.get("REPRO_BENCHMARKS", default).strip()
     if value == "full":
         return ALL_BENCHMARKS
     if value == "quick":
         return QUICK_BENCHMARKS
+    if value == "int":
+        return INT_BENCHMARKS
+    if value == "fp":
+        return FP_BENCHMARKS
     names = tuple(name.strip() for name in value.split(",") if name.strip())
     unknown = [name for name in names if name not in ALL_BENCHMARKS]
     if unknown:
@@ -41,26 +61,43 @@ def benchmarks_from_env(default: str = "full") -> Tuple[str, ...]:
 
 def scale_from_env(default: float = 1.0) -> float:
     """Resolve the dynamic-length multiplier from ``REPRO_SCALE``."""
-    return float(os.environ.get("REPRO_SCALE", default))
+    value = os.environ.get("REPRO_SCALE", "").strip()
+    if not value:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be a number (dynamic-length multiplier), "
+            f"got {value!r}"
+        ) from None
 
 
 class ExperimentContext:
     """Shared, cached state for one experiment session."""
+
+    #: branch predictor trained by phase one (part of every artifact key)
+    predictor = "perceptron"
 
     def __init__(
         self,
         benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
         max_instructions: int = 60_000,
+        jobs: Optional[int] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.benchmarks: Tuple[str, ...] = (
             tuple(benchmarks) if benchmarks is not None else benchmarks_from_env()
         )
         self.scale = scale if scale is not None else scale_from_env()
         self.max_instructions = max_instructions
+        self.jobs = jobs if jobs is not None else jobs_from_env()
+        self.cache = cache if cache is not None else ArtifactCache.from_env()
         self._programs: Dict[str, Program] = {}
         self._compilations: Dict[Tuple[str, int], BraidCompilation] = {}
         self._workloads: Dict[Tuple[str, bool, bool, int], PreparedWorkload] = {}
+        self._results: Dict[SweepPoint, SimResult] = {}
 
     def suite_of(self, name: str) -> str:
         if name in INT_BENCHMARKS:
@@ -78,9 +115,14 @@ class ExperimentContext:
     def compilation(self, name: str, internal_limit: int = 8) -> BraidCompilation:
         key = (name, internal_limit)
         if key not in self._compilations:
-            self._compilations[key] = braidify(
-                self.program(name), internal_limit=internal_limit
-            )
+            disk_key = self.cache.compilation_key(name, self.scale, internal_limit)
+            compilation = self.cache.get(disk_key)
+            if compilation is None:
+                compilation = braidify(
+                    self.program(name), internal_limit=internal_limit
+                )
+                self.cache.put(disk_key, compilation)
+            self._compilations[key] = compilation
         return self._compilations[key]
 
     def workload(
@@ -92,16 +134,27 @@ class ExperimentContext:
     ) -> PreparedWorkload:
         key = (name, braided, perfect, internal_limit)
         if key not in self._workloads:
-            program = (
-                self.compilation(name, internal_limit).translated
-                if braided
-                else self.program(name)
+            disk_key = self.cache.workload_key(
+                name, self.scale, braided, perfect, internal_limit,
+                self.predictor, self.max_instructions,
             )
-            self._workloads[key] = prepare_workload(
-                program,
-                perfect=perfect,
-                max_instructions=self.max_instructions,
-            )
+            workload = self.cache.get(disk_key)
+            if workload is None:
+                program = (
+                    self.compilation(name, internal_limit).translated
+                    if braided
+                    else self.program(name)
+                )
+                workload = prepare_workload(
+                    program,
+                    predictor=self.predictor,
+                    perfect=perfect,
+                    max_instructions=self.max_instructions,
+                )
+                # Decode before storing so warm sessions skip that pass too.
+                workload.decode()
+                self.cache.put(disk_key, workload)
+            self._workloads[key] = workload
         return self._workloads[key]
 
     # -------------------------------------------------------------------- runs
@@ -113,7 +166,45 @@ class ExperimentContext:
         perfect: bool = False,
         internal_limit: int = 8,
     ) -> SimResult:
-        workload = self.workload(
-            name, braided=braided, perfect=perfect, internal_limit=internal_limit
-        )
-        return simulate(workload, config)
+        point = SweepPoint(name, config, braided, perfect, internal_limit)
+        result = self._results.get(point)
+        if result is None:
+            workload = self.workload(
+                name, braided=braided, perfect=perfect,
+                internal_limit=internal_limit,
+            )
+            result = simulate(workload, config)
+            self._results[point] = result
+        return result
+
+    def run_many(
+        self, points: Sequence[SweepPoint]
+    ) -> Dict[SweepPoint, SimResult]:
+        """Simulate a batch of sweep points, deduplicated and memoized.
+
+        With ``jobs > 1`` the not-yet-memoized points fan out over the
+        process pool (deterministic, submission-ordered results); with
+        ``jobs = 1`` they run serially in-process, exactly like :meth:`run`.
+        """
+        fresh: List[SweepPoint] = []
+        seen = set()
+        for point in points:
+            if point in self._results or point in seen:
+                continue
+            seen.add(point)
+            fresh.append(point)
+        if self.jobs > 1 and len(fresh) > 1:
+            for point, result in zip(
+                fresh, run_points_parallel(self, fresh, self.jobs)
+            ):
+                self._results[point] = result
+        else:
+            for point in fresh:
+                self.run(
+                    point.benchmark,
+                    point.config,
+                    braided=point.braided,
+                    perfect=point.perfect,
+                    internal_limit=point.internal_limit,
+                )
+        return {point: self._results[point] for point in points}

@@ -1,23 +1,32 @@
 """Experiment definitions: one function per paper table/figure.
 
-Each function sweeps the relevant design parameter over the context's
-benchmark suite and returns an :class:`ExperimentResult` whose shape mirrors
-the paper's artifact (same series, same normalization).  The bench harness
-in ``benchmarks/`` simply calls these and prints the rendered table;
-EXPERIMENTS.md records paper-vs-measured for every one.
+Each function returns an :class:`ExperimentResult` whose shape mirrors the
+paper's artifact (same series, same normalization).  Timing figures are
+expressed declaratively as grids of :class:`~repro.harness.sweep.Cell`s and
+run through :func:`~repro.harness.sweep.sweep_experiment`, so every point of
+a figure is batched through ``ExperimentContext.run_many`` — the single
+place where memoization, the persistent artifact cache, and the
+multiprocessing pool apply.  Analysis-only tables (VC, T1-T3) read the
+compiler and traces directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..analysis.braidstats import braid_statistics
 from ..analysis.values import average_fractions, characterize_values
 from ..sim.config import braid_config, depsteer_config, inorder_config, ooo_config
 from ..uarch.regfile import RegFileSpec
 from .context import ExperimentContext
-from .reporting import ExperimentResult, normalize_rows
+from .reporting import ExperimentResult
+from .sweep import Cell, SweepPoint, sweep_experiment
+
+
+def _ooo8_baseline(name: str) -> SweepPoint:
+    """The paper's universal normalization point: 8-wide out-of-order."""
+    return SweepPoint(name, ooo_config(8))
 
 
 # ---------------------------------------------------------------------------
@@ -25,22 +34,23 @@ from .reporting import ExperimentResult, normalize_rows
 # ---------------------------------------------------------------------------
 def fig1_width_potential(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 1: OoO speedup at 8/16-wide over 4-wide, perfect front end."""
-    result = ExperimentResult(
+    widths = (4, 8, 16)
+    cells = [
+        Cell(name, f"{width}w",
+             SweepPoint(name, ooo_config(width), perfect=True))
+        for name in ctx.benchmarks
+        for width in widths
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F1",
         title="speedup of 8/16-wide over 4-wide out-of-order, "
               "perfect branch prediction and caches",
         paper_expectation="average speedup 1.44x at 8-wide, 1.83x at 16-wide",
-        columns=["4w", "8w", "16w"],
+        columns=[f"{w}w" for w in widths],
+        cells=cells,
+        normalize_to="4w",
     )
-    for name in ctx.benchmarks:
-        row: Dict[str, float] = {}
-        for width in (4, 8, 16):
-            run = ctx.run(name, ooo_config(width), perfect=True)
-            row[f"{width}w"] = run.ipc
-        result.rows[name] = row
-    normalize_rows(result, "4w")
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -158,27 +168,30 @@ def fig5_ooo_registers(
 ) -> ExperimentResult:
     """Figure 5: out-of-order IPC vs register file entries."""
     entries = tuple(entries)
-    result = ExperimentResult(
+
+    def config_for(count: int):
+        config = ooo_config(8)
+        return replace(
+            config,
+            name=f"ooo-8w-rf{count}",
+            regfile=RegFileSpec(count, config.regfile.read_ports,
+                                config.regfile.write_ports),
+        )
+
+    cells = [
+        Cell(name, str(count), SweepPoint(name, config_for(count)))
+        for name in ctx.benchmarks
+        for count in entries
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F5",
         title="out-of-order performance vs register file entries",
         paper_expectation="32 entries cost ~8%, 16 entries ~21%",
         columns=[str(e) for e in entries],
+        cells=cells,
+        normalize_to=str(entries[0]),
     )
-    for name in ctx.benchmarks:
-        row: Dict[str, float] = {}
-        for count in entries:
-            config = ooo_config(8)
-            config = replace(
-                config,
-                name=f"ooo-8w-rf{count}",
-                regfile=RegFileSpec(count, config.regfile.read_ports,
-                                    config.regfile.write_ports),
-            )
-            row[str(count)] = ctx.run(name, config).ipc
-        result.rows[name] = row
-    normalize_rows(result, str(entries[0]))
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -189,28 +202,32 @@ def fig6_braid_ext_registers(
 ) -> ExperimentResult:
     """Figure 6: braid IPC vs external register file entries."""
     entries = tuple(entries)
-    result = ExperimentResult(
+
+    def config_for(count: int):
+        config = braid_config(8)
+        return replace(
+            config,
+            name=f"braid-8w-ext{count}",
+            regfile=RegFileSpec(count, config.regfile.read_ports,
+                                config.regfile.write_ports),
+        )
+
+    cells = [
+        Cell(name, str(count),
+             SweepPoint(name, config_for(count), braided=True))
+        for name in ctx.benchmarks
+        for count in entries
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F6",
         title="braid performance vs external register file entries",
         paper_expectation="8 entries match a 256-entry file; "
                           "degradation only below 8",
         columns=[str(e) for e in entries],
+        cells=cells,
+        normalize_to=str(entries[0]),
     )
-    for name in ctx.benchmarks:
-        row: Dict[str, float] = {}
-        for count in entries:
-            config = braid_config(8)
-            config = replace(
-                config,
-                name=f"braid-8w-ext{count}",
-                regfile=RegFileSpec(count, config.regfile.read_ports,
-                                    config.regfile.write_ports),
-            )
-            row[str(count)] = ctx.run(name, config, braided=True).ipc
-        result.rows[name] = row
-    normalize_rows(result, str(entries[0]))
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -222,28 +239,29 @@ def fig7_braid_rf_ports(
 ) -> ExperimentResult:
     """Figure 7: braid IPC vs external register file ports."""
     ports = tuple(ports)
-    result = ExperimentResult(
+
+    def config_for(read_ports: int, write_ports: int):
+        config = braid_config(8)
+        return replace(
+            config,
+            name=f"braid-8w-p{read_ports}:{write_ports}",
+            regfile=RegFileSpec(config.regfile.entries, read_ports, write_ports),
+        )
+
+    cells = [
+        Cell(name, f"{r},{w}", SweepPoint(name, config_for(r, w), braided=True))
+        for name in ctx.benchmarks
+        for r, w in ports
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F7",
         title="braid performance vs external register file ports (read,write)",
         paper_expectation="6 read / 3 write ports within 0.5% of a full port set",
         columns=[f"{r},{w}" for r, w in ports],
+        cells=cells,
+        normalize_to=f"{ports[0][0]},{ports[0][1]}",
     )
-    for name in ctx.benchmarks:
-        row: Dict[str, float] = {}
-        for read_ports, write_ports in ports:
-            config = braid_config(8)
-            config = replace(
-                config,
-                name=f"braid-8w-p{read_ports}:{write_ports}",
-                regfile=RegFileSpec(config.regfile.entries, read_ports, write_ports),
-            )
-            row[f"{read_ports},{write_ports}"] = ctx.run(
-                name, config, braided=True
-            ).ipc
-        result.rows[name] = row
-    normalize_rows(result, f"{ports[0][0]},{ports[0][1]}")
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -254,23 +272,29 @@ def fig8_braid_bypass(
 ) -> ExperimentResult:
     """Figure 8: braid IPC vs bypass paths per cycle."""
     widths = tuple(widths)
-    result = ExperimentResult(
+    cells = [
+        Cell(
+            name,
+            str(width),
+            SweepPoint(
+                name,
+                replace(braid_config(8), name=f"braid-8w-bp{width}",
+                        bypass_width=width),
+                braided=True,
+            ),
+        )
+        for name in ctx.benchmarks
+        for width in widths
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F8",
         title="braid performance vs bypass paths per cycle",
         paper_expectation="2 bypass values per cycle within 1% of a full network",
         columns=[str(w) for w in widths],
+        cells=cells,
+        normalize_to=str(widths[0]),
     )
-    for name in ctx.benchmarks:
-        row: Dict[str, float] = {}
-        for width in widths:
-            config = replace(
-                braid_config(8), name=f"braid-8w-bp{width}", bypass_width=width
-            )
-            row[str(width)] = ctx.run(name, config, braided=True).ipc
-        result.rows[name] = row
-    normalize_rows(result, str(widths[0]))
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -281,24 +305,31 @@ def fig9_braid_beus(
 ) -> ExperimentResult:
     """Figure 9: braid IPC vs number of BEUs."""
     beus = tuple(beus)
-    result = ExperimentResult(
+    cells = [
+        Cell(
+            name,
+            str(count),
+            SweepPoint(
+                name,
+                replace(braid_config(8), name=f"braid-{count}beu",
+                        clusters=count),
+                braided=True,
+            ),
+            baseline=_ooo8_baseline(name),
+        )
+        for name in ctx.benchmarks
+        for count in beus
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F9",
         title="braid performance vs number of BEUs "
               "(normalized to 8-wide out-of-order)",
         paper_expectation="performance rises with BEU count; more ready braids "
                           "than BEUs",
         columns=[str(b) for b in beus],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        baseline = ctx.run(name, ooo_config(8)).ipc
-        row: Dict[str, float] = {}
-        for count in beus:
-            config = replace(braid_config(8), name=f"braid-{count}beu",
-                             clusters=count)
-            row[str(count)] = ctx.run(name, config, braided=True).ipc / baseline
-        result.rows[name] = row
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -309,24 +340,31 @@ def fig10_braid_fifo(
 ) -> ExperimentResult:
     """Figure 10: braid IPC vs FIFO entries per BEU."""
     entries = tuple(entries)
-    result = ExperimentResult(
+    cells = [
+        Cell(
+            name,
+            str(count),
+            SweepPoint(
+                name,
+                replace(braid_config(8), name=f"braid-fifo{count}",
+                        cluster_entries=count),
+                braided=True,
+            ),
+            baseline=_ooo8_baseline(name),
+        )
+        for name in ctx.benchmarks
+        for count in entries
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F10",
         title="braid performance vs FIFO entries per BEU "
               "(normalized to 8-wide out-of-order)",
         paper_expectation="32 entries capture almost all performance "
                           "(99% of braids are <= 32 instructions)",
         columns=[str(e) for e in entries],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        baseline = ctx.run(name, ooo_config(8)).ipc
-        row: Dict[str, float] = {}
-        for count in entries:
-            config = replace(braid_config(8), name=f"braid-fifo{count}",
-                             cluster_entries=count)
-            row[str(count)] = ctx.run(name, config, braided=True).ipc / baseline
-        result.rows[name] = row
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -337,23 +375,30 @@ def fig11_braid_window(
 ) -> ExperimentResult:
     """Figure 11: braid IPC vs scheduling window size."""
     windows = tuple(windows)
-    result = ExperimentResult(
+    cells = [
+        Cell(
+            name,
+            str(window),
+            SweepPoint(
+                name,
+                replace(braid_config(8), name=f"braid-win{window}",
+                        beu_window=window),
+                braided=True,
+            ),
+            baseline=_ooo8_baseline(name),
+        )
+        for name in ctx.benchmarks
+        for window in windows
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F11",
         title="braid performance vs FIFO scheduling window size "
               "(normalized to 8-wide out-of-order)",
         paper_expectation="steep rise from 1 to 2, plateau beyond 2",
         columns=[str(w) for w in windows],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        baseline = ctx.run(name, ooo_config(8)).ipc
-        row: Dict[str, float] = {}
-        for window in windows:
-            config = replace(braid_config(8), name=f"braid-win{window}",
-                             beu_window=window)
-            row[str(window)] = ctx.run(name, config, braided=True).ipc / baseline
-        result.rows[name] = row
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -364,27 +409,34 @@ def fig12_braid_window_fus(
 ) -> ExperimentResult:
     """Figure 12: braid IPC vs window size == FUs per BEU."""
     sizes = tuple(sizes)
-    result = ExperimentResult(
+    cells = [
+        Cell(
+            name,
+            str(size),
+            SweepPoint(
+                name,
+                replace(
+                    braid_config(8),
+                    name=f"braid-wf{size}",
+                    beu_window=size,
+                    beu_functional_units=size,
+                ),
+                braided=True,
+            ),
+            baseline=_ooo8_baseline(name),
+        )
+        for name in ctx.benchmarks
+        for size in sizes
+    ]
+    return sweep_experiment(
+        ctx,
         experiment_id="F12",
         title="braid performance vs window size == functional units per BEU "
               "(normalized to 8-wide out-of-order)",
         paper_expectation="same plateau as Figure 11: braid ILP is ~2",
         columns=[str(s) for s in sizes],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        baseline = ctx.run(name, ooo_config(8)).ipc
-        row: Dict[str, float] = {}
-        for size in sizes:
-            config = replace(
-                braid_config(8),
-                name=f"braid-wf{size}",
-                beu_window=size,
-                beu_functional_units=size,
-            )
-            row[str(size)] = ctx.run(name, config, braided=True).ipc / baseline
-        result.rows[name] = row
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -395,12 +447,28 @@ def fig13_paradigms(
 ) -> ExperimentResult:
     """Figure 13: the four paradigms at 4/8/16-wide."""
     widths = tuple(widths)
-    columns = []
+    columns: List[str] = []
     for width in widths:
         columns.extend(
             [f"io-{width}", f"dep-{width}", f"braid-{width}", f"ooo-{width}"]
         )
-    result = ExperimentResult(
+    cells = []
+    for name in ctx.benchmarks:
+        baseline = _ooo8_baseline(name)
+        for width in widths:
+            paradigms = [
+                (f"io-{width}", SweepPoint(name, inorder_config(width))),
+                (f"dep-{width}", SweepPoint(name, depsteer_config(width))),
+                (f"braid-{width}",
+                 SweepPoint(name, braid_config(width), braided=True)),
+                (f"ooo-{width}", SweepPoint(name, ooo_config(width))),
+            ]
+            cells.extend(
+                Cell(name, column, point, baseline=baseline)
+                for column, point in paradigms
+            )
+    return sweep_experiment(
+        ctx,
         experiment_id="F13",
         title="in-order / dependence-steering / braid / out-of-order IPC, "
               "normalized to 8-wide out-of-order",
@@ -408,20 +476,8 @@ def fig13_paradigms(
                           "gap closes as width grows; "
                           "ordering in-order < dep < braid < out-of-order",
         columns=columns,
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        baseline = ctx.run(name, ooo_config(8)).ipc
-        row: Dict[str, float] = {}
-        for width in widths:
-            row[f"io-{width}"] = ctx.run(name, inorder_config(width)).ipc / baseline
-            row[f"dep-{width}"] = ctx.run(name, depsteer_config(width)).ipc / baseline
-            row[f"braid-{width}"] = (
-                ctx.run(name, braid_config(width), braided=True).ipc / baseline
-            )
-            row[f"ooo-{width}"] = ctx.run(name, ooo_config(width)).ipc / baseline
-        result.rows[name] = row
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -429,35 +485,35 @@ def fig13_paradigms(
 # ---------------------------------------------------------------------------
 def fig14_equal_fus(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 14: equal-FU braid configurations."""
-    result = ExperimentResult(
+    cells = []
+    for name in ctx.benchmarks:
+        default = SweepPoint(name, braid_config(8), braided=True)
+        few_wide = SweepPoint(
+            name,
+            replace(braid_config(8), name="braid-4beu-2fu", clusters=4),
+            braided=True,
+        )
+        many_narrow = SweepPoint(
+            name,
+            replace(braid_config(8), name="braid-8beu-1fu",
+                    beu_functional_units=1),
+            braided=True,
+        )
+        cells.extend([
+            Cell(name, "4x2", few_wide, baseline=default),
+            Cell(name, "8x1", many_narrow, baseline=default),
+            Cell(name, "8x2", default, baseline=default),
+        ])
+    return sweep_experiment(
+        ctx,
         experiment_id="F14",
         title="equal-FU braid configurations, normalized to the default "
               "(8 BEUs x 2 FUs)",
         paper_expectation="more BEUs with fewer FUs each wins: "
                           "8 BEU x 1 FU > 4 BEU x 2 FU",
         columns=["4x2", "8x1", "8x2"],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        default = ctx.run(name, braid_config(8), braided=True).ipc
-        few_wide = ctx.run(
-            name,
-            replace(braid_config(8), name="braid-4beu-2fu", clusters=4),
-            braided=True,
-        ).ipc
-        many_narrow = ctx.run(
-            name,
-            replace(
-                braid_config(8), name="braid-8beu-1fu", beu_functional_units=1
-            ),
-            braided=True,
-        ).ipc
-        result.rows[name] = {
-            "4x2": few_wide / default,
-            "8x1": many_narrow / default,
-            "8x2": 1.0,
-        }
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -465,29 +521,30 @@ def fig14_equal_fus(ctx: ExperimentContext) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 def disc_pipeline_length(ctx: ExperimentContext) -> ExperimentResult:
     """Section 5.1: gain from the 4-stage-shorter pipeline."""
-    result = ExperimentResult(
+    long_front = replace(braid_config(8).front_end, depth=8, redirect=13)
+    cells = []
+    for name in ctx.benchmarks:
+        short = SweepPoint(name, braid_config(8), braided=True)
+        long = SweepPoint(
+            name,
+            replace(braid_config(8), name="braid-8w-longpipe",
+                    front_end=long_front),
+            braided=True,
+        )
+        cells.extend([
+            Cell(name, "short", short),
+            Cell(name, "long", long),
+            Cell(name, "gain", short, baseline=long),
+        ])
+    return sweep_experiment(
+        ctx,
         experiment_id="D1",
         title="braid speedup from the 4-stage-shorter pipeline "
               "(19- vs 23-cycle minimum misprediction penalty)",
         paper_expectation="average gain ~2.19%",
         columns=["short", "long", "gain"],
+        cells=cells,
     )
-    long_front = replace(
-        braid_config(8).front_end, depth=8, redirect=13
-    )
-    for name in ctx.benchmarks:
-        short = ctx.run(name, braid_config(8), braided=True).ipc
-        long_cfg = replace(
-            braid_config(8), name="braid-8w-longpipe", front_end=long_front
-        )
-        long = ctx.run(name, long_cfg, braided=True).ipc
-        result.rows[name] = {
-            "short": short,
-            "long": long,
-            "gain": short / long if long else 0.0,
-        }
-    result.finalize_averages()
-    return result
 
 
 # ---------------------------------------------------------------------------
@@ -495,24 +552,28 @@ def disc_pipeline_length(ctx: ExperimentContext) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 def abl_beu_occupancy(ctx: ExperimentContext) -> ExperimentResult:
     """Ablation A1: single braid per BEU vs queued braids."""
-    result = ExperimentResult(
+    cells = []
+    for name in ctx.benchmarks:
+        single = SweepPoint(name, braid_config(8), braided=True)
+        queued = SweepPoint(
+            name,
+            replace(braid_config(8), name="braid-8w-queued",
+                    beu_queue_braids=True),
+            braided=True,
+        )
+        cells.extend([
+            Cell(name, "single", single, baseline=single),
+            Cell(name, "queued", queued, baseline=single),
+        ])
+    return sweep_experiment(
+        ctx,
         experiment_id="A1",
         title="single braid per BEU vs queued braids (normalized to single)",
         paper_expectation="the paper's one-braid-at-a-time rule; queueing "
                           "suffers head-of-line blocking",
         columns=["single", "queued"],
+        cells=cells,
     )
-    for name in ctx.benchmarks:
-        single = ctx.run(name, braid_config(8), braided=True).ipc
-        queued = ctx.run(
-            name,
-            replace(braid_config(8), name="braid-8w-queued",
-                    beu_queue_braids=True),
-            braided=True,
-        ).ipc
-        result.rows[name] = {"single": 1.0, "queued": queued / single}
-    result.finalize_averages()
-    return result
 
 
 def abl_internal_reg_limit(
@@ -528,18 +589,27 @@ def abl_internal_reg_limit(
                           "~2% of braids",
         columns=[f"ipc-{k}" for k in limits] + [f"splits-{k}" for k in limits],
     )
+
+    def point_for(name: str, limit: int) -> SweepPoint:
+        config = replace(
+            braid_config(8),
+            name=f"braid-8w-int{limit}",
+            internal_regfile=RegFileSpec(limit, 4, 2),
+        )
+        return SweepPoint(name, config, braided=True, internal_limit=limit)
+
+    # Batch every timing point up front (splits come from the compiler).
+    ctx.run_many(
+        [point_for(name, limit) for name in ctx.benchmarks for limit in limits]
+    )
     for name in ctx.benchmarks:
         row: Dict[str, float] = {}
         base = None
         for limit in limits:
             compilation = ctx.compilation(name, internal_limit=limit)
-            config = replace(
-                braid_config(8),
-                name=f"braid-8w-int{limit}",
-                internal_regfile=RegFileSpec(limit, 4, 2),
-            )
+            point = point_for(name, limit)
             ipc = ctx.run(
-                name, config, braided=True, internal_limit=limit
+                name, point.config, braided=True, internal_limit=limit
             ).ipc
             if limit == 8:
                 base = ipc

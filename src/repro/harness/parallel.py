@@ -1,0 +1,134 @@
+"""Parallel sweep engine: fan sweep points out over a process pool.
+
+The timing cores are pure Python, so threads cannot scale them; this module
+uses a ``multiprocessing`` pool instead.  Each worker holds one long-lived
+:class:`~repro.harness.context.ExperimentContext`, so phase-one artifacts
+(programs, braid compilations, prepared workloads) are materialized at most
+once per worker — and usually not even that, because the parent pre-warms
+phase one before the pool starts:
+
+* on fork platforms the workers inherit the parent's warm context
+  copy-on-write and pay nothing;
+* on spawn platforms (or when a worker sees a benchmark the parent did not
+  warm) the worker reads the persistent artifact cache and pays one
+  unpickle.
+
+Results come back in submission order, so a parallel sweep is
+deterministically equal to the serial one (``jobs=1`` bypasses the pool
+entirely — tests and debugging see the plain in-process path).
+
+Knobs: ``REPRO_JOBS`` / ``--jobs`` on ``python -m repro.harness``; the
+default is ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.results import SimResult
+from .sweep import SweepPoint
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def jobs_from_env(default: Optional[int] = None) -> int:
+    """Resolve the worker count from ``REPRO_JOBS`` (default: CPU count)."""
+    value = os.environ.get(_ENV_JOBS, "").strip()
+    if value:
+        try:
+            jobs = int(value)
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_JOBS} must be a positive integer, got {value!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"{_ENV_JOBS} must be >= 1, got {jobs}")
+        return jobs
+    if default is not None:
+        return default
+    return os.cpu_count() or 1
+
+
+#: Worker-side context; under fork this aliases the parent's warm context.
+_WORKER_CONTEXT = None
+#: Set by run_points_parallel just before the pool forks.
+_PARENT_CONTEXT = None
+
+
+def _init_worker(spec: Tuple) -> None:
+    global _WORKER_CONTEXT
+    if _PARENT_CONTEXT is not None:
+        # Fork start method: reuse the parent's context (and its warm
+        # program/compilation/workload caches) copy-on-write.
+        _WORKER_CONTEXT = _PARENT_CONTEXT
+        return
+    from .artifacts import ArtifactCache
+    from .context import ExperimentContext
+
+    benchmarks, scale, max_instructions, cache_root, cache_enabled = spec
+    _WORKER_CONTEXT = ExperimentContext(
+        benchmarks=benchmarks,
+        scale=scale,
+        max_instructions=max_instructions,
+        jobs=1,
+        cache=ArtifactCache(root=cache_root, enabled=cache_enabled),
+    )
+
+
+def _run_point(point: SweepPoint) -> SimResult:
+    return _WORKER_CONTEXT.run(
+        point.benchmark,
+        point.config,
+        braided=point.braided,
+        perfect=point.perfect,
+        internal_limit=point.internal_limit,
+    )
+
+
+def run_points_parallel(
+    context, points: Sequence[SweepPoint], jobs: int
+) -> List[SimResult]:
+    """Simulate ``points`` on ``jobs`` workers; results in submission order."""
+    global _PARENT_CONTEXT
+    points = list(points)
+    if not points:
+        return []
+    jobs = min(jobs, len(points))
+
+    # Warm phase one in the parent so forked workers share it copy-on-write
+    # and the persistent cache covers spawn-start platforms.
+    for key in {
+        (p.benchmark, p.braided, p.perfect, p.internal_limit) for p in points
+    }:
+        benchmark, braided, perfect, internal_limit = key
+        context.workload(
+            benchmark,
+            braided=braided,
+            perfect=perfect,
+            internal_limit=internal_limit,
+        )
+
+    spec = (
+        context.benchmarks,
+        context.scale,
+        context.max_instructions,
+        str(context.cache.root),
+        context.cache.enabled,
+    )
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        mp_context = multiprocessing.get_context()
+
+    chunksize = max(1, len(points) // (jobs * 4))
+    _PARENT_CONTEXT = context
+    try:
+        with mp_context.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(spec,)
+        ) as pool:
+            results = pool.map(_run_point, points, chunksize=chunksize)
+    finally:
+        _PARENT_CONTEXT = None
+    return results

@@ -140,8 +140,21 @@ class Opcode:
     def __repr__(self) -> str:
         return f"Opcode({self.name})"
 
+    def __reduce__(self):
+        # Opcodes are registered module-level singletons whose ``semantics``
+        # lambdas cannot be pickled; serialize by name and rehydrate from the
+        # registry, which also preserves identity across a pickle round-trip.
+        if _REGISTRY.get(self.name) is self:
+            return (opcode_by_name, (self.name,))
+        return super().__reduce__()
+
 
 _REGISTRY: Dict[str, Opcode] = {}
+
+
+def opcode_by_name(name: str) -> Opcode:
+    """The registered opcode called ``name`` (pickle reconstruction hook)."""
+    return _REGISTRY[name]
 
 
 def _register(opcode: Opcode) -> Opcode:

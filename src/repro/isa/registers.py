@@ -67,6 +67,11 @@ class Register:
             cls._pool[key] = reg
         return reg
 
+    def __reduce__(self):
+        # Interned flyweight: serialize as (class, index) and rehydrate
+        # through __new__, which restores identity from the pool.
+        return (Register, (self.rclass, self.index))
+
     @property
     def is_zero(self) -> bool:
         """True for the hardwired zero registers r31 / f31."""

@@ -65,12 +65,12 @@ class BraidCore(TimingCore):
             if not beu.has_space():
                 self.distribute_stalls += 1
                 return False
-            if winst.dyn.inst.annot.start:
+            if winst.start:
                 beu.start_braid()
             beu.enqueue(winst)
             winst.cluster = 0
             return True
-        starts_braid = winst.dyn.inst.annot.start or self._open_beu is None
+        starts_braid = winst.start or self._open_beu is None
         if starts_braid:
             beu = self._find_free_beu()
             if beu is None:
@@ -100,32 +100,38 @@ class BraidCore(TimingCore):
             window_size = 1  # strictly in-order during exception handling
             strict = True
         for beu in self.beus:
-            if not beu.fifo:
+            fifo = beu.fifo
+            if not fifo:
                 continue
             if strict:
                 issued = 0
-                while issued < window_size and beu.fifo:
-                    winst = beu.fifo[0]
-                    if not self.try_issue(
+                while issued < window_size and fifo:
+                    winst = fifo[0]
+                    # pending > 0: a producer is outstanding, try_issue
+                    # would fail its dependence walk — skip the call.
+                    if winst.pending or not self.try_issue(
                         winst, cycle, beu.fus,
                         internal_reads=beu.internal_reads,
                         internal_writes=beu.internal_writes,
                     ):
                         break
-                    beu.fifo.popleft()
+                    fifo.popleft()
                     beu.instructions_issued += 1
                     self._note_issue(beu, winst)
                     issued += 1
             else:
-                window = list(beu.fifo)[:window_size]
+                depth = min(window_size, len(fifo))
+                window = [fifo[i] for i in range(depth)]
                 for winst in window:
+                    if winst.pending:
+                        continue
                     if not self.try_issue(
                         winst, cycle, beu.fus,
                         internal_reads=beu.internal_reads,
                         internal_writes=beu.internal_writes,
                     ):
                         continue
-                    beu.fifo.remove(winst)
+                    fifo.remove(winst)
                     beu.instructions_issued += 1
                     self._note_issue(beu, winst)
 

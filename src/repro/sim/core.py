@@ -20,14 +20,14 @@ import heapq
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from ..isa.registers import Register, Space
+from ..isa.registers import Register
 from ..uarch.bypass import BypassNetwork
 from ..uarch.checkpoint import CheckpointManager
 from ..uarch.funit import FunctionalUnitPool
 from ..uarch.lsq import LoadStoreQueue
 from .config import MachineConfig
 from .results import SimResult, StallCounters
-from .workload import PreparedWorkload
+from .workload import DecodedInst, PreparedWorkload
 
 
 class SimulationError(RuntimeError):
@@ -38,24 +38,24 @@ class WInst:
     """One in-flight dynamic instruction."""
 
     __slots__ = (
-        "dyn", "seq", "deps", "arch_reads", "waiters", "pending",
+        "dyn", "facts", "seq", "deps", "arch_reads", "waiters", "pending",
         "fetch_cycle", "dispatch_ready", "dispatch_cycle", "issue_cycle",
-        "complete_cycle", "writeback_cycle", "done", "retired",
-        "dest_external", "dest_internal", "latency",
+        "complete_cycle", "writeback_cycle", "done", "retired", "captured",
+        "dest_external", "dest_internal", "latency", "start",
         "is_load", "is_store", "is_branch", "mispredicted", "mem_word",
         "cluster", "ext_src_ops", "ext_dest_ops", "retire_cycle",
     )
 
-    def __init__(self, dyn, fetch_cycle: int, dispatch_ready: int,
-                 mispredicted: bool) -> None:
-        inst = dyn.inst
-        annot = inst.annot
+    def __init__(self, dyn, facts: DecodedInst, fetch_cycle: int,
+                 dispatch_ready: int, mispredicted: bool) -> None:
         self.dyn = dyn
+        self.facts = facts
         self.seq = dyn.seq
         self.deps: List[Tuple[Optional["WInst"], bool]] = []
         self.arch_reads = 0
         self.waiters: List["WInst"] = []
         self.pending = 0
+        self.captured = False
         self.fetch_cycle = fetch_cycle
         self.dispatch_ready = dispatch_ready
         self.dispatch_cycle = -1
@@ -65,23 +65,18 @@ class WInst:
         self.done = False
         self.retired = False
         self.retire_cycle: Optional[int] = None
-        written = inst.writes()
-        self.dest_external = written is not None and annot.dest_external
-        self.dest_internal = written is not None and annot.dest_internal
-        self.latency = inst.opcode.latency
-        self.is_load = inst.is_load
-        self.is_store = inst.is_store
-        self.is_branch = inst.is_branch
+        self.dest_external = facts.dest_external
+        self.dest_internal = facts.dest_internal
+        self.latency = facts.latency
+        self.start = facts.start
+        self.is_load = facts.is_load
+        self.is_store = facts.is_store
+        self.is_branch = facts.is_branch
         self.mispredicted = mispredicted
         self.mem_word = (dyn.mem_addr & ~0x7) if dyn.mem_addr is not None else None
         self.cluster = -1
-        # Rename bandwidth accounting: only external operands are renamed.
-        self.ext_src_ops = sum(
-            1
-            for position, reg in enumerate(inst.srcs)
-            if not reg.is_zero and annot.src_space(position) is Space.EXTERNAL
-        )
-        self.ext_dest_ops = 1 if self.dest_external else 0
+        self.ext_src_ops = facts.ext_src_ops
+        self.ext_dest_ops = facts.ext_dest_ops
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WInst(seq={self.seq}, {self.dyn.inst.opcode.name})"
@@ -94,6 +89,7 @@ class TimingCore:
         self.workload = workload
         self.config = config
         self.trace = workload.trace
+        self.decoded = workload.decode()
         self.mispredicted = workload.mispredicted
         self.load_latency = workload.load_latency
         self.ifetch_extra = workload.ifetch_extra
@@ -128,6 +124,9 @@ class TimingCore:
         self.stalls = StallCounters()
         self._issued_count = 0
         self._retired_count = 0
+        #: dispatched-but-unissued instructions whose operands are all ready;
+        #: while zero, issue_stage provably cannot act (see _skip_idle)
+        self._ready_unissued = 0
         #: set to a list before run() to record every dispatched WInst in
         #: program order (consumed by repro.sim.pipeview)
         self.trace_log = None
@@ -156,6 +155,22 @@ class TimingCore:
         """Simulate until every trace instruction retires; returns the result."""
         total = len(self.trace)
         cycle = 0
+        complete_stage = self.complete_stage
+        retire_stage = self.retire_stage
+        issue_stage = self.issue_stage
+        dispatch_stage = self.dispatch_stage
+        fetch_stage = self.fetch_stage
+        skip_idle = self._skip_idle
+        events = self._events
+        miss_releases = self._miss_releases
+        pending_writeback = self._pending_writeback
+        rob = self._rob
+        buffer = self._fetch_buffer
+        front = self.config.front_end
+        fetch_cap = front.fetch_buffer
+        # Each stage is entered only when its cheap guard says it can act;
+        # the guards replicate the stages' own first-line early-outs, so a
+        # skipped call is exactly a call that would have done nothing.
         while self._retired_count < total:
             if cycle > max_cycles:
                 raise SimulationError(
@@ -163,11 +178,28 @@ class TimingCore:
                     f"progress after {max_cycles} cycles "
                     f"(retired {self._retired_count}/{total})"
                 )
-            self.complete_stage(cycle)
-            self.retire_stage(cycle)
-            self.issue_stage(cycle)
-            self.dispatch_stage(cycle)
-            self.fetch_stage(cycle)
+            cycle = skip_idle(cycle)
+            if (
+                pending_writeback
+                or (events and events[0][0] <= cycle)
+                or (miss_releases and miss_releases[0][0] <= cycle)
+            ):
+                complete_stage(cycle)
+            if rob:
+                head = rob[0]
+                if head.done and head.complete_cycle < cycle:
+                    retire_stage(cycle)
+            if self._ready_unissued:
+                issue_stage(cycle)
+            if buffer and buffer[0].dispatch_ready <= cycle:
+                dispatch_stage(cycle)
+            if (
+                not self._fetch_blocked
+                and cycle >= self._fetch_resume
+                and self._next_fetch < total
+                and len(buffer) < fetch_cap
+            ):
+                fetch_stage(cycle)
             cycle += 1
 
         result = SimResult(
@@ -190,6 +222,54 @@ class TimingCore:
     def annotate_result(self, result: SimResult) -> None:
         """Subclass hook: attach extra activity statistics to a result."""
 
+    def _skip_idle(self, cycle: int) -> int:
+        """Jump past cycles in which provably no stage can act.
+
+        Timing-exact: a cycle is skipped only when every stage would no-op —
+        no completion event or writeback is due, no ready instruction awaits
+        issue, the fetch-buffer head has not cleared the front-end pipeline,
+        the ROB head cannot retire, and fetch is blocked, exhausted, or
+        buffer-full.  Such cycles mutate no state and touch no stall counter
+        (port meters roll per cycle and idle cycles claim nothing), so the
+        machine wakes at the earliest cycle anything can happen with
+        bit-identical results.  Dominant wins: misprediction redirect bubbles
+        and long cache-miss shadows with a drained core.
+        """
+        if self._ready_unissued or self._pending_writeback:
+            return cycle
+        wake = None
+        if (
+            not self._fetch_blocked
+            and self._next_fetch < len(self.trace)
+            and len(self._fetch_buffer) < self.config.front_end.fetch_buffer
+        ):
+            if cycle >= self._fetch_resume:
+                return cycle
+            wake = self._fetch_resume
+        if self._fetch_buffer:
+            ready = self._fetch_buffer[0].dispatch_ready
+            if ready <= cycle:
+                return cycle
+            if wake is None or ready < wake:
+                wake = ready
+        if self._rob:
+            head = self._rob[0]
+            if head.done:
+                retirable = head.complete_cycle + 1
+                if retirable <= cycle:
+                    return cycle
+                if wake is None or retirable < wake:
+                    wake = retirable
+        if self._events:
+            due = self._events[0][0]
+            if due <= cycle:
+                return cycle
+            if wake is None or due < wake:
+                wake = due
+        if wake is None or wake <= cycle:
+            return cycle
+        return wake
+
     # ------------------------------------------------------------------ fetch
     def fetch_stage(self, cycle: int) -> None:
         if self._fetch_blocked or cycle < self._fetch_resume:
@@ -197,20 +277,27 @@ class TimingCore:
         front = self.config.front_end
         budget = front.fetch_width
         branch_budget = front.branches_per_cycle
+        trace = self.trace
+        decoded = self.decoded
+        buffer = self._fetch_buffer
+        ifetch_extra = self.ifetch_extra
+        mispredicted = self.mispredicted
         while (
             budget > 0
-            and self._next_fetch < len(self.trace)
-            and len(self._fetch_buffer) < front.fetch_buffer
+            and self._next_fetch < len(trace)
+            and len(buffer) < front.fetch_buffer
         ):
-            dyn = self.trace[self._next_fetch]
-            delay = front.depth + self.ifetch_extra.get(dyn.seq, 0)
+            index = self._next_fetch
+            dyn = trace[index]
+            delay = front.depth + ifetch_extra.get(dyn.seq, 0)
             winst = WInst(
                 dyn,
+                decoded[index],
                 fetch_cycle=cycle,
                 dispatch_ready=cycle + delay,
-                mispredicted=dyn.seq in self.mispredicted,
+                mispredicted=dyn.seq in mispredicted,
             )
-            self._fetch_buffer.append(winst)
+            buffer.append(winst)
             self._next_fetch += 1
             budget -= 1
             if winst.is_branch:
@@ -257,11 +344,14 @@ class TimingCore:
                 self.stalls.structure_full += 1
                 break
 
-            self._capture_deps(winst)
+            # The scoreboards only mutate on a successful dispatch, and a
+            # failed accept() blocks all younger dispatches, so the captured
+            # dependences of a stalled head stay valid across retry cycles.
+            if not winst.captured:
+                self._capture_deps(winst)
+                winst.captured = True
             if not self.accept(winst, cycle):
                 self.stalls.structure_full += 1
-                winst.deps.clear()
-                winst.pending = 0
                 break
 
             self._commit_dispatch(winst, cycle)
@@ -276,40 +366,37 @@ class TimingCore:
 
     def _capture_deps(self, winst: WInst) -> None:
         """Read the scoreboards: who produces each register source?"""
-        inst = winst.dyn.inst
-        annot = inst.annot
-        winst.deps = []
-        winst.arch_reads = 0
-        for position, reg in enumerate(inst.srcs):
-            if reg.is_zero:
-                continue
-            internal = annot.src_space(position) is Space.INTERNAL
-            table = self._internal_producers if internal else self._external_producers
-            producer = table.get(self._reg_key(reg))
+        deps = winst.deps
+        deps.clear()
+        arch_reads = 0
+        external = self._external_producers
+        internal_table = self._internal_producers
+        for key, internal in winst.facts.src_keys:
+            producer = (internal_table if internal else external).get(key)
             if producer is None:
                 # Value lives in the architectural file (or is an internal
                 # value of an already-drained braid): a plain register read.
                 if not internal:
-                    winst.arch_reads += 1
+                    arch_reads += 1
                 continue
-            winst.deps.append((producer, internal))
+            deps.append((producer, internal))
+        winst.arch_reads = arch_reads
 
     def _commit_dispatch(self, winst: WInst, cycle: int) -> None:
-        inst = winst.dyn.inst
         winst.dispatch_cycle = cycle
-        winst.pending = 0
+        pending = 0
         for producer, _internal in winst.deps:
             if producer is not None and not producer.done:
                 producer.waiters.append(winst)
-                winst.pending += 1
+                pending += 1
+        winst.pending = pending
 
-        if inst.annot.start:
+        if winst.start:
             # Internal values never cross braid boundaries.
             self._internal_producers.clear()
 
-        written = inst.writes()
-        if written is not None:
-            key = self._reg_key(written)
+        key = winst.facts.written_key
+        if key is not None:
             if winst.dest_internal:
                 self._internal_producers[key] = winst
             if winst.dest_external:
@@ -327,7 +414,8 @@ class TimingCore:
 
         if self.trace_log is not None:
             self.trace_log.append(winst)
-        if winst.pending == 0:
+        if pending == 0:
+            self._ready_unissued += 1
             self.on_ready(winst, cycle)
 
     # ------------------------------------------------------------------ issue
@@ -355,8 +443,6 @@ class TimingCore:
         """Attempt to issue ``winst`` this cycle; all checks then all claims."""
         if winst.issue_cycle is not None or cycle <= winst.dispatch_cycle:
             return False
-        if not self.deps_complete(winst, cycle):
-            return False
 
         reads = winst.arch_reads
         bypasses = 0
@@ -364,11 +450,18 @@ class TimingCore:
         for producer, internal in winst.deps:
             if producer is None:
                 continue
+            produced = producer.complete_cycle
+            if produced is None:
+                return False  # producer not yet issued
             if internal:
+                if produced > cycle:
+                    return False
                 internal_read_count += 1
                 continue
             delay = self.dep_delay(producer, winst)
-            if self.bypass.covers(cycle, producer.complete_cycle + delay):
+            if produced + delay > cycle:
+                return False  # value not yet visible here
+            if self.bypass.covers(cycle, produced + delay):
                 bypasses += 1
             elif (
                 producer.writeback_cycle is not None
@@ -423,6 +516,7 @@ class TimingCore:
 
         winst.issue_cycle = cycle
         winst.complete_cycle = cycle + latency
+        self._ready_unissued -= 1
         if is_miss:
             self._outstanding_misses += 1
             heapq.heappush(
@@ -445,6 +539,7 @@ class TimingCore:
             for waiter in winst.waiters:
                 waiter.pending -= 1
                 if waiter.pending == 0:
+                    self._ready_unissued += 1
                     self.on_ready(waiter, cycle)
             winst.waiters.clear()
             if winst.dest_external:

@@ -66,6 +66,8 @@ class DependenceSteeringCore(TimingCore):
             if not fifo:
                 continue
             winst = fifo[0]
+            if winst.pending:
+                continue  # producer outstanding; try_issue would fail
             if self.try_issue(winst, cycle, self.fus):
                 fifo.popleft()
                 budget -= 1

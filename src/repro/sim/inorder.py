@@ -32,9 +32,12 @@ class InOrderCore(TimingCore):
 
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
-        while budget > 0 and self._queue:
-            winst = self._queue[0]
-            if not self.try_issue(winst, cycle, self.fus):
+        queue = self._queue
+        while budget > 0 and queue:
+            winst = queue[0]
+            # pending > 0 means an operand producer has not completed, so
+            # try_issue would fail its dependence walk; skip the call.
+            if winst.pending or not self.try_issue(winst, cycle, self.fus):
                 break
-            self._queue.popleft()
+            queue.popleft()
             budget -= 1

@@ -45,6 +45,8 @@ class OutOfOrderCore(TimingCore):
 
     # ------------------------------------------------------------------ issue
     def issue_stage(self, cycle: int) -> None:
+        if not self._ready and not self._retry:
+            return
         if self._retry:
             for winst in self._retry:
                 heapq.heappush(self._ready, (winst.seq, winst))

@@ -21,12 +21,79 @@ formulation); wrong-path cache pollution is out of scope.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..isa.instruction import Instruction
 from ..isa.program import Program
+from ..isa.registers import Space
 from ..uarch.branchpred import make_predictor
 from ..uarch.cache import MemoryHierarchy, MemoryHierarchyConfig
 from .functional import DynInst, FunctionalExecutor
+
+
+class DecodedInst:
+    """Decode-stage facts of one static instruction, computed once.
+
+    The timing cores replay the same trace against many machine
+    configurations; everything here depends only on the instruction word
+    (opcode, operands, braid annotation bits), so it is extracted once per
+    static instruction instead of being re-derived from attribute chains on
+    every dynamic dispatch of every sweep point.
+    """
+
+    __slots__ = (
+        "is_load", "is_store", "is_branch", "latency", "start",
+        "dest_external", "dest_internal", "written_key",
+        "src_keys", "ext_src_ops", "ext_dest_ops",
+    )
+
+    def __init__(self, inst: Instruction) -> None:
+        annot = inst.annot
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_branch = inst.is_branch
+        self.latency = inst.opcode.latency
+        self.start = annot.start
+        written = inst.writes()
+        self.dest_external = written is not None and annot.dest_external
+        self.dest_internal = written is not None and annot.dest_internal
+        self.written_key = (
+            (written.rclass.value, written.index) if written is not None else None
+        )
+        #: ((register key, reads internal file), ...) for each non-zero source
+        src_keys = []
+        ext_src_ops = 0
+        for position, reg in enumerate(inst.srcs):
+            if reg.is_zero:
+                continue
+            internal = annot.src_space(position) is Space.INTERNAL
+            src_keys.append(((reg.rclass.value, reg.index), internal))
+            if not internal:
+                ext_src_ops += 1
+        self.src_keys: Tuple = tuple(src_keys)
+        # Rename bandwidth accounting: only external operands are renamed.
+        self.ext_src_ops = ext_src_ops
+        self.ext_dest_ops = 1 if self.dest_external else 0
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def decode_trace(trace: List[DynInst]) -> List[DecodedInst]:
+    """Per-trace-entry decode facts, shared across repeats of a static inst."""
+    memo: Dict[int, DecodedInst] = {}
+    decoded: List[DecodedInst] = []
+    for dyn in trace:
+        inst = dyn.inst
+        facts = memo.get(id(inst))
+        if facts is None:
+            facts = memo[id(inst)] = DecodedInst(inst)
+        decoded.append(facts)
+    return decoded
 
 
 @dataclass
@@ -62,9 +129,19 @@ class PreparedWorkload:
     #: per-instruction *extra* fetch latency beyond the L1I hit time
     ifetch_extra: Dict[int, int]
     stats: WorkloadStats = field(default_factory=WorkloadStats)
+    #: lazily computed decode facts, aligned with ``trace`` (see :meth:`decode`)
+    decoded: Optional[List[DecodedInst]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.trace)
+
+    def decode(self) -> List[DecodedInst]:
+        """Decode facts for every trace entry, computed once per workload."""
+        if self.decoded is None:
+            self.decoded = decode_trace(self.trace)
+        return self.decoded
 
 
 def prepare_workload(

@@ -85,7 +85,7 @@ class Cache:
         self.sets.clear()
 
 
-@dataclass
+@dataclass(frozen=True)
 class MemoryHierarchyConfig:
     """Parameters of the paper's default memory system (Table 4)."""
 

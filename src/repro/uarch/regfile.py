@@ -79,7 +79,7 @@ class RegisterFileModel:
         self.in_flight -= 1
 
 
-@dataclass
+@dataclass(frozen=True)
 class RegFileSpec:
     """Configuration triple for building a :class:`RegisterFileModel`."""
 

@@ -50,5 +50,13 @@ def gcc_program():
 
 @pytest.fixture(scope="session")
 def quick_context():
-    """Experiment context over two fast benchmarks."""
-    return ExperimentContext(benchmarks=("gcc", "mcf"), max_instructions=20_000)
+    """Experiment context over two fast benchmarks (hermetic: in-process,
+    no persistent artifact cache)."""
+    from repro.harness import ArtifactCache
+
+    return ExperimentContext(
+        benchmarks=("gcc", "mcf"),
+        max_instructions=20_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )

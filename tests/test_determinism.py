@@ -1,0 +1,128 @@
+"""Determinism of the sweep engine: parallel and cached runs are bit-identical.
+
+The parallel sweep engine and the persistent artifact cache are pure
+plumbing — they must never change a single cycle or stall counter.  These
+tests pin that down for all four timing-core kinds over the quick suite:
+
+* ``run_many`` with a worker pool reproduces the serial results exactly;
+* workloads rehydrated from the disk cache simulate identically to freshly
+  prepared ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.harness.sweep import SweepPoint
+from repro.sim.config import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+
+QUICK = ("gcc", "mcf", "swim", "equake")
+
+CORES = {
+    "ooo": (ooo_config(8), False),
+    "inorder": (inorder_config(8), False),
+    "depsteer": (depsteer_config(8), False),
+    "braid": (braid_config(8), True),
+}
+
+
+def fingerprint(result):
+    """Every architectural counter a run produces."""
+    return (
+        result.cycles,
+        result.instructions,
+        result.issued,
+        dataclasses.asdict(result.stalls),
+        sorted(result.extra.items()),
+    )
+
+
+def fresh_context(jobs: int = 1, cache: ArtifactCache = None) -> ExperimentContext:
+    return ExperimentContext(
+        benchmarks=QUICK,
+        jobs=jobs,
+        cache=cache if cache is not None else ArtifactCache(enabled=False),
+    )
+
+
+def all_points():
+    return [
+        SweepPoint(name, config, braided=braided)
+        for _, (config, braided) in CORES.items()
+        for name in QUICK
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints():
+    """Ground truth: every (core kind, benchmark) simulated in-process."""
+    ctx = fresh_context()
+    return {
+        (kind, name): fingerprint(ctx.run(name, config, braided=braided))
+        for kind, (config, braided) in CORES.items()
+        for name in QUICK
+    }
+
+
+@pytest.fixture(scope="module")
+def parallel_results():
+    """The same sweep dispatched through the jobs=2 worker pool."""
+    ctx = fresh_context(jobs=2)
+    return ctx.run_many(all_points())
+
+
+@pytest.fixture(scope="module")
+def cached_fingerprints(tmp_path_factory):
+    """The same sweep with every workload rehydrated from the disk cache."""
+    root = tmp_path_factory.mktemp("repro-artifact-cache")
+    warm = fresh_context(cache=ArtifactCache(root=root))
+    for name in QUICK:
+        for braided in (False, True):
+            warm.workload(name, braided=braided)
+    cold = fresh_context(cache=ArtifactCache(root=root))
+    fingerprints = {
+        (kind, name): fingerprint(cold.run(name, config, braided=braided))
+        for kind, (config, braided) in CORES.items()
+        for name in QUICK
+    }
+    assert cold.cache.hits > 0 and cold.cache.misses == 0, (
+        "cached context should have loaded every workload from disk"
+    )
+    return fingerprints
+
+
+@pytest.mark.parametrize("kind", list(CORES))
+def test_parallel_matches_serial(kind, serial_fingerprints, parallel_results):
+    config, braided = CORES[kind]
+    for name in QUICK:
+        point = SweepPoint(name, config, braided=braided)
+        assert fingerprint(parallel_results[point]) == (
+            serial_fingerprints[(kind, name)]
+        ), f"parallel run diverged on {name}/{kind}"
+
+
+@pytest.mark.parametrize("kind", list(CORES))
+def test_cached_matches_fresh(kind, serial_fingerprints, cached_fingerprints):
+    for name in QUICK:
+        assert cached_fingerprints[(kind, name)] == (
+            serial_fingerprints[(kind, name)]
+        ), f"cached workload diverged on {name}/{kind}"
+
+
+def test_run_many_memoizes(serial_fingerprints):
+    """A repeated point is simulated once and served from the memo after."""
+    ctx = fresh_context()
+    points = all_points()
+    first = ctx.run_many(points)
+    again = ctx.run_many(points)
+    for point in points:
+        assert first[point] is again[point]

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.harness import ALL_EXPERIMENTS, ExperimentContext, benchmarks_from_env
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    ArtifactCache,
+    ExperimentContext,
+    benchmarks_from_env,
+    jobs_from_env,
+    scale_from_env,
+)
 from repro.harness.experiments import (
     fig11_braid_window,
     fig14_equal_fus,
@@ -58,6 +65,92 @@ class TestEnvSelection:
         monkeypatch.setenv("REPRO_BENCHMARKS", "gcc, quake3")
         with pytest.raises(ValueError):
             benchmarks_from_env()
+
+    def test_suite_selectors(self, monkeypatch):
+        from repro.workloads.profiles import FP_BENCHMARKS, INT_BENCHMARKS
+
+        monkeypatch.setenv("REPRO_BENCHMARKS", "int")
+        assert benchmarks_from_env() == INT_BENCHMARKS
+        monkeypatch.setenv("REPRO_BENCHMARKS", "fp")
+        assert benchmarks_from_env() == FP_BENCHMARKS
+
+    def test_scale_default_and_explicit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_from_env() == 2.5
+
+    def test_scale_malformed_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "two")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scale_from_env()
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert jobs_from_env() == 3
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert jobs_from_env(default=2) == 2
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            jobs_from_env()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            jobs_from_env()
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.compilation_key("gcc", 1.0, 8)
+        assert cache.get(key) is None
+        cache.put(key, {"payload": 42})
+        assert cache.get(key) == {"payload": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_evicted(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.workload_key("gcc", 1.0, False, False, 8, "perceptron", 100)
+        cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        key = cache.compilation_key("gcc", 1.0, 8)
+        cache.put(key, "value")
+        assert cache.get(key) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_keys_embed_format_version(self):
+        from repro.harness import CACHE_FORMAT_VERSION
+
+        key = ArtifactCache.compilation_key("gcc", 1.0, 8)
+        assert CACHE_FORMAT_VERSION in key
+
+    def test_context_reloads_workload_from_disk(self, tmp_path):
+        warm = ExperimentContext(
+            benchmarks=("gcc",), max_instructions=5_000, jobs=1,
+            cache=ArtifactCache(root=tmp_path),
+        )
+        warm.workload("gcc")
+        cold = ExperimentContext(
+            benchmarks=("gcc",), max_instructions=5_000, jobs=1,
+            cache=ArtifactCache(root=tmp_path),
+        )
+        reloaded = cold.workload("gcc")
+        assert cold.cache.hits == 1
+        assert len(reloaded.trace) == len(warm.workload("gcc").trace)
+
+
+class TestRunMany:
+    def test_run_many_memoizes_and_dedups(self, quick_context):
+        from repro.harness import SweepPoint
+        from repro.sim import ooo_config
+
+        point = SweepPoint("gcc", ooo_config(8))
+        results = quick_context.run_many([point, point])
+        assert results[point] is quick_context.run("gcc", ooo_config(8))
 
 
 class TestExperimentRegistry:
