@@ -11,7 +11,12 @@ Measures, on the quick four-benchmark suite:
   regimes: cold serial (no artifact cache), warm serial (persistent cache
   populated), and warm parallel (``--jobs`` workers).  Every measurement uses
   a fresh :class:`ExperimentContext` so in-memory memoization cannot hide
-  phase-one cost.
+  phase-one cost;
+* **interval sampling** — the quick suite at the long-trace bench scale
+  (scale 64, 2.5M-instruction cap) on all four core kinds, exact versus
+  interval-sampled (stride 16): wall-clock speedup and the worst/mean
+  absolute IPC error of the sampled estimate.  Phase one is excluded from
+  both sides, so the ratio is the timing-loop speedup the sampler delivers.
 
 Results land in ``BENCH_SPEED.json`` next to this script, alongside the
 recorded seed-commit baseline so speedups are visible at a glance::
@@ -35,6 +40,7 @@ from repro.harness.context import ExperimentContext
 from repro.harness.experiments import fig9_braid_beus
 from repro.sim.config import braid_config, depsteer_config, inorder_config, ooo_config
 from repro.sim.run import simulate
+from repro.sim.sampling import SamplingConfig
 
 QUICK = ("gcc", "mcf", "swim", "equake")
 
@@ -106,6 +112,66 @@ def measure_sweep(jobs: int) -> dict:
     }
 
 
+#: Frozen long-trace configuration for the sampling benchmark: the scale is
+#: large enough that anchored interval sampling has hundreds of outer-loop
+#: iterations to stratify, which is where both its speedup and its accuracy
+#: come from (error shrinks as (N - n)/N * cv/sqrt(n)).
+SAMPLING_BENCH = {
+    "scale": 64.0,
+    "max_instructions": 2_500_000,
+    "sampling": SamplingConfig(stride=16),
+}
+
+
+def measure_sampling() -> dict:
+    """Exact vs interval-sampled timing at the long-trace bench scale."""
+    sampling = SAMPLING_BENCH["sampling"]
+    ctx = ExperimentContext(
+        benchmarks=QUICK,
+        scale=SAMPLING_BENCH["scale"],
+        max_instructions=SAMPLING_BENCH["max_instructions"],
+        jobs=1,
+        cache=ArtifactCache.from_env(),
+    )
+    workloads = {
+        braided: {name: ctx.workload(name, braided=braided) for name in QUICK}
+        for braided in (False, True)
+    }
+    points = {}
+    exact_seconds = sampled_seconds = 0.0
+    for kind, (config, braided) in CORE_CONFIGS.items():
+        for name in QUICK:
+            workload = workloads[braided][name]
+            started = time.perf_counter()
+            exact = simulate(workload, config)
+            exact_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            sampled = simulate(workload, config, sampling=sampling)
+            sampled_seconds += time.perf_counter() - started
+            error = abs(sampled.ipc - exact.ipc) / exact.ipc if exact.ipc else 0.0
+            points[f"{name}/{kind}"] = {
+                "exact_ipc": round(exact.ipc, 4),
+                "sampled_ipc": round(sampled.ipc, 4),
+                "ipc_error_pct": round(100 * error, 2),
+                "detail_fraction": round(
+                    sampled.extra.get("sample_detail_fraction", 1.0), 3
+                ),
+            }
+    errors = [entry["ipc_error_pct"] for entry in points.values()]
+    return {
+        "scale": SAMPLING_BENCH["scale"],
+        "max_instructions": SAMPLING_BENCH["max_instructions"],
+        "sampling": sampling.spec(),
+        "exact_seconds": round(exact_seconds, 3),
+        "sampled_seconds": round(sampled_seconds, 3),
+        "speedup": round(exact_seconds / sampled_seconds, 2)
+        if sampled_seconds else 0.0,
+        "max_ipc_error_pct": max(errors),
+        "mean_ipc_error_pct": round(sum(errors) / len(errors), 2),
+        "points": points,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
@@ -116,6 +182,7 @@ def main(argv=None) -> int:
 
     throughput = measure_throughput()
     sweep = measure_sweep(args.jobs)
+    sampling = measure_sampling()
 
     seed_tp = SEED_BASELINE["throughput_insts_per_sec"]
     notes = []
@@ -135,6 +202,7 @@ def main(argv=None) -> int:
         "suite": {"benchmarks": list(QUICK), "max_instructions": 60_000},
         "throughput": throughput,
         "f9_quick_sweep": sweep,
+        "interval_sampling": sampling,
         "seed_baseline": SEED_BASELINE,
         "speedup_vs_seed": {
             "throughput": {

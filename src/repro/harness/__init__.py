@@ -19,6 +19,7 @@ from .experiments import (
     fig12_braid_window_fus,
     fig13_paradigms,
     fig14_equal_fus,
+    sampling_validation,
     sec1_value_characterization,
     tab1_braids_per_block,
     tab2_braid_size_width,
@@ -46,6 +47,7 @@ ALL_EXPERIMENTS = {
     "D1": disc_pipeline_length,
     "A1": abl_beu_occupancy,
     "A2": abl_internal_reg_limit,
+    "SV": sampling_validation,
 }
 
 __all__ = [

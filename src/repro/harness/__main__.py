@@ -5,9 +5,14 @@ Regenerate any of the paper's tables/figures directly::
     python -m repro.harness F13 T1          # specific experiments
     python -m repro.harness all             # everything
     REPRO_BENCHMARKS=quick python -m repro.harness F9 F10
+    python -m repro.harness F9 --scale 64 --sample stride=16   # sampled mode
+    python -m repro.harness cache-info      # persistent cache report
+    python -m repro.harness cache-clear     # wipe the persistent cache
 
 Experiment ids follow DESIGN.md section 3 (F1, VC, T1-T3, F5-F14, D1,
-A1-A2).
+A1-A2).  ``--sample`` (or ``REPRO_SAMPLE``) switches the timing runs to
+interval-sampled estimation; sampled figures carry a note with the worst
+IPC confidence interval of their points.
 """
 
 from __future__ import annotations
@@ -18,6 +23,30 @@ import time
 
 from . import ALL_EXPERIMENTS, ExperimentContext
 
+_CACHE_COMMANDS = ("cache-info", "cache-clear")
+
+
+def _run_cache_command(command: str) -> None:
+    from .artifacts import ArtifactCache
+
+    cache = ArtifactCache.from_env()
+    if command == "cache-info":
+        stats = cache.stats()
+        limit = stats["limit_bytes"]
+        print(f"cache root:  {stats['root']}")
+        print(f"enabled:     {stats['enabled']}")
+        print(f"entries:     {stats['entries']}")
+        print(f"total size:  {stats['bytes'] / 1e6:.1f} MB")
+        print(f"size limit:  "
+              f"{'none' if limit is None else f'{limit / 1e6:.1f} MB'}")
+        for kind, bucket in sorted(stats["by_kind"].items()):
+            print(f"  {kind:12s} {bucket['entries']:5d} entries  "
+                  f"{bucket['bytes'] / 1e6:8.1f} MB")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -27,7 +56,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}), 'all', "
+             f"or a cache command ({', '.join(_CACHE_COMMANDS)})",
     )
     parser.add_argument(
         "--benchmarks",
@@ -53,10 +83,31 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="skip the persistent artifact cache (REPRO_CACHE_DIR) entirely",
     )
+    parser.add_argument(
+        "--sample", nargs="?", const="default", default=None, metavar="SPEC",
+        help="interval-sampled timing simulation (overrides REPRO_SAMPLE): "
+             "bare --sample uses the default configuration, or pass a spec "
+             "like stride=16,warmup=512,interval=500,seed=0",
+    )
+    parser.add_argument(
+        "--result-cache", action="store_true",
+        help="also persist finished timing results in the artifact cache "
+             "(overrides REPRO_RESULT_CACHE)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    cache_commands = [e for e in args.experiments if e in _CACHE_COMMANDS]
+    if cache_commands:
+        if len(cache_commands) != len(args.experiments):
+            parser.error(
+                "cache commands cannot be mixed with experiment ids"
+            )
+        for command in cache_commands:
+            _run_cache_command(command)
+        return 0
 
     selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
     for experiment_id in args.experiments:
@@ -68,6 +119,15 @@ def main(argv=None) -> int:
                 f"choose from {', '.join(ALL_EXPERIMENTS)} or 'all'"
             )
         selected.append(experiment_id)
+
+    sampling = None
+    if args.sample is not None:
+        from ..sim.sampling import SamplingConfig
+
+        try:
+            sampling = SamplingConfig.parse(args.sample)
+        except ValueError as error:
+            parser.error(f"--sample: {error}")
 
     benchmarks = None
     if args.benchmarks == "quick":
@@ -93,6 +153,7 @@ def main(argv=None) -> int:
     cache = ArtifactCache(enabled=False) if args.no_cache else None
     context = ExperimentContext(
         benchmarks=benchmarks, scale=args.scale, jobs=args.jobs, cache=cache,
+        sampling=sampling, result_cache=True if args.result_cache else None,
     )
     for experiment_id in selected:
         started = time.time()

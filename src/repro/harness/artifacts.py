@@ -13,12 +13,22 @@ Layout and knobs:
 * the cache root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
 * ``$REPRO_NO_CACHE=1`` (or ``ArtifactCache(enabled=False)``, or the harness
   ``--no-cache`` flag) disables all reads and writes;
+* ``$REPRO_CACHE_LIMIT_MB`` bounds the cache size: after every write the
+  least-recently-used entries (reads touch mtime) are evicted until the
+  total is back under the limit;
+* ``python -m repro.harness cache-info`` / ``cache-clear`` inspect and wipe
+  the store from the command line;
 * every key embeds :data:`CACHE_FORMAT_VERSION` — bump it whenever the
   pickled artifact layout or the phase-one semantics change, and stale
   entries are simply never looked up again;
 * unreadable or truncated entries are deleted and recomputed, so a crashed
   writer cannot poison later runs; writes go through a temp file plus
   ``os.replace`` so concurrent workers only ever see complete entries.
+
+Besides phase-one artifacts the cache can hold finished timing results
+(``result_key``), used by the opt-in ``REPRO_RESULT_CACHE`` knob; result
+keys embed the machine configuration and the sampling configuration, so
+exact and sampled runs of the same point never collide.
 """
 
 from __future__ import annotations
@@ -28,13 +38,14 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when artifact pickles or phase-one semantics change shape.
 CACHE_FORMAT_VERSION = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
+_ENV_LIMIT = "REPRO_CACHE_LIMIT_MB"
 
 
 def default_cache_dir() -> Path:
@@ -50,18 +61,43 @@ def cache_disabled_by_env() -> bool:
     return value not in ("", "0", "false", "no")
 
 
+def cache_limit_from_env() -> Optional[int]:
+    """Size bound in bytes from ``REPRO_CACHE_LIMIT_MB`` (None: unbounded)."""
+    value = os.environ.get(_ENV_LIMIT, "").strip()
+    if not value:
+        return None
+    try:
+        megabytes = float(value)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_LIMIT} must be a number of megabytes, got {value!r}"
+        ) from None
+    if megabytes <= 0:
+        raise ValueError(f"{_ENV_LIMIT} must be positive, got {value!r}")
+    return int(megabytes * 1024 * 1024)
+
+
 class ArtifactCache:
     """Content-addressed pickle store for phase-one artifacts."""
 
-    def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: bool = True,
+        limit_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = enabled
+        self.limit_bytes = limit_bytes
         self.hits = 0
         self.misses = 0
 
     @classmethod
     def from_env(cls) -> "ArtifactCache":
-        return cls(enabled=not cache_disabled_by_env())
+        return cls(
+            enabled=not cache_disabled_by_env(),
+            limit_bytes=cache_limit_from_env(),
+        )
 
     # ------------------------------------------------------------------ paths
     @staticmethod
@@ -93,6 +129,11 @@ class ArtifactCache:
                 pass
             return None
         self.hits += 1
+        try:
+            # Touch so the LRU bound evicts cold entries, not hot ones.
+            os.utime(path, None)
+        except OSError:
+            pass
         return value
 
     def put(self, key: Tuple, value: Any) -> None:
@@ -115,8 +156,75 @@ class ArtifactCache:
                 except OSError:
                     pass
                 raise
+            if self.limit_bytes is not None:
+                self.enforce_limit()
         except OSError:
             pass
+
+    # ------------------------------------------------------------- management
+    def entries(self) -> List[Tuple[Path, int, float]]:
+        """Every cache entry as ``(path, size_bytes, mtime)``."""
+        found = []
+        try:
+            for path in self.root.glob("*.pkl"):
+                stat = path.stat()
+                found.append((path, stat.st_size, stat.st_mtime))
+        except OSError:
+            pass
+        return found
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry counts and sizes, grouped by artifact kind."""
+        entries = self.entries()
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for path, size, _ in entries:
+            kind = path.name.split("-", 1)[0]
+            bucket = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "limit_bytes": self.limit_bytes,
+            "by_kind": by_kind,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path, _, _ in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def enforce_limit(self, limit_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until under the size bound.
+
+        Returns the number of entries evicted.  No-op when neither the
+        argument nor ``self.limit_bytes`` gives a bound.
+        """
+        bound = limit_bytes if limit_bytes is not None else self.limit_bytes
+        if bound is None:
+            return 0
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        # Oldest mtime first: reads touch entries, so this is LRU order.
+        for path, size, _ in sorted(entries, key=lambda item: item[2]):
+            if total <= bound:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------ key helpers
     @staticmethod
@@ -145,3 +253,36 @@ class ArtifactCache:
     def compilation_key(benchmark: str, scale: float, internal_limit: int) -> Tuple:
         return ("compilation", CACHE_FORMAT_VERSION, benchmark, scale,
                 internal_limit)
+
+    @staticmethod
+    def result_key(
+        benchmark: str,
+        scale: float,
+        braided: bool,
+        perfect: bool,
+        internal_limit: int,
+        predictor: str,
+        max_instructions: int,
+        config: Any,
+        sampling_token: Optional[Tuple] = None,
+    ) -> Tuple:
+        """Key for a finished timing result (``REPRO_RESULT_CACHE``).
+
+        ``config`` is the full :class:`~repro.sim.config.MachineConfig`
+        (its dataclass repr is part of the digest, so any knob change is a
+        new key); ``sampling_token`` distinguishes exact runs (``None``)
+        from each sampled configuration.
+        """
+        return (
+            "result",
+            CACHE_FORMAT_VERSION,
+            benchmark,
+            scale,
+            braided,
+            perfect,
+            internal_limit,
+            predictor,
+            max_instructions,
+            config,
+            sampling_token,
+        )

@@ -15,8 +15,14 @@ Environment knobs:
   (all 26; the default);
 * ``REPRO_SCALE`` — dynamic-length multiplier (default 1.0);
 * ``REPRO_JOBS`` — worker processes for sweeps (default: CPU count);
-* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — persistent artifact cache
-  location / kill switch.
+* ``REPRO_SAMPLE`` — interval-sampled timing simulation: unset/``off`` is
+  exact mode (the default), ``1``/``default`` enables sampling with the
+  default :class:`~repro.sim.sampling.SamplingConfig`, and a spec like
+  ``stride=16,warmup=512`` tunes it;
+* ``REPRO_RESULT_CACHE`` — opt-in persistence of finished timing results
+  (keyed by machine and sampling configuration) in the artifact cache;
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` / ``REPRO_CACHE_LIMIT_MB`` —
+  persistent artifact cache location / kill switch / LRU size bound.
 """
 
 from __future__ import annotations
@@ -29,12 +35,21 @@ from ..isa.program import Program
 from ..sim.config import MachineConfig
 from ..sim.results import SimResult
 from ..sim.run import simulate
+from ..sim.sampling import SamplingConfig, sampling_from_env
 from ..sim.workload import PreparedWorkload, prepare_workload
 from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
 from ..workloads.suite import QUICK_BENCHMARKS, build_program
 from .artifacts import ArtifactCache
-from .parallel import jobs_from_env, run_points_parallel
+from .parallel import effective_jobs, jobs_from_env, run_points_parallel
 from .sweep import SweepPoint
+
+_ENV_RESULT_CACHE = "REPRO_RESULT_CACHE"
+
+
+def result_cache_from_env() -> bool:
+    """Resolve the timing-result persistence opt-in (``REPRO_RESULT_CACHE``)."""
+    value = os.environ.get(_ENV_RESULT_CACHE, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
 
 
 def benchmarks_from_env(default: str = "full") -> Tuple[str, ...]:
@@ -86,6 +101,8 @@ class ExperimentContext:
         max_instructions: int = 60_000,
         jobs: Optional[int] = None,
         cache: Optional[ArtifactCache] = None,
+        sampling: Optional[SamplingConfig] = None,
+        result_cache: Optional[bool] = None,
     ) -> None:
         self.benchmarks: Tuple[str, ...] = (
             tuple(benchmarks) if benchmarks is not None else benchmarks_from_env()
@@ -94,6 +111,12 @@ class ExperimentContext:
         self.max_instructions = max_instructions
         self.jobs = jobs if jobs is not None else jobs_from_env()
         self.cache = cache if cache is not None else ArtifactCache.from_env()
+        #: None simulates every instruction; a SamplingConfig switches all
+        #: timing runs of this context to interval-sampled estimation.
+        self.sampling = sampling if sampling is not None else sampling_from_env()
+        self.result_cache = (
+            result_cache if result_cache is not None else result_cache_from_env()
+        )
         self._programs: Dict[str, Program] = {}
         self._compilations: Dict[Tuple[str, int], BraidCompilation] = {}
         self._workloads: Dict[Tuple[str, bool, bool, int], PreparedWorkload] = {}
@@ -169,11 +192,23 @@ class ExperimentContext:
         point = SweepPoint(name, config, braided, perfect, internal_limit)
         result = self._results.get(point)
         if result is None:
-            workload = self.workload(
-                name, braided=braided, perfect=perfect,
-                internal_limit=internal_limit,
-            )
-            result = simulate(workload, config)
+            disk_key = None
+            if self.result_cache:
+                disk_key = self.cache.result_key(
+                    name, self.scale, braided, perfect, internal_limit,
+                    self.predictor, self.max_instructions, config,
+                    self.sampling.cache_token()
+                    if self.sampling is not None else None,
+                )
+                result = self.cache.get(disk_key)
+            if result is None:
+                workload = self.workload(
+                    name, braided=braided, perfect=perfect,
+                    internal_limit=internal_limit,
+                )
+                result = simulate(workload, config, sampling=self.sampling)
+                if disk_key is not None:
+                    self.cache.put(disk_key, result)
             self._results[point] = result
         return result
 
@@ -185,6 +220,9 @@ class ExperimentContext:
         With ``jobs > 1`` the not-yet-memoized points fan out over the
         process pool (deterministic, submission-ordered results); with
         ``jobs = 1`` they run serially in-process, exactly like :meth:`run`.
+        The requested worker count is clamped to the pending work and falls
+        back to the serial path on single-CPU hosts (see
+        :func:`~repro.harness.parallel.effective_jobs`).
         """
         fresh: List[SweepPoint] = []
         seen = set()
@@ -193,9 +231,10 @@ class ExperimentContext:
                 continue
             seen.add(point)
             fresh.append(point)
-        if self.jobs > 1 and len(fresh) > 1:
+        workers = effective_jobs(self.jobs, len(fresh))
+        if workers > 1:
             for point, result in zip(
-                fresh, run_points_parallel(self, fresh, self.jobs)
+                fresh, run_points_parallel(self, fresh, workers)
             ):
                 self._results[point] = result
         else:

@@ -623,3 +623,60 @@ def abl_internal_reg_limit(
         result.rows[name] = row
     result.finalize_averages()
     return result
+
+
+# ---------------------------------------------------------------------------
+# Sampling validation — sampled vs exact IPC on every core kind
+# ---------------------------------------------------------------------------
+def sampling_validation(ctx: ExperimentContext) -> ExperimentResult:
+    """SV: interval-sampled over exact IPC, per (benchmark, core kind).
+
+    Validates the sampling error budget end to end: every cell simulates
+    its point twice — exactly and with the context's sampling
+    configuration (default :class:`~repro.sim.sampling.SamplingConfig`
+    when the context runs exact) — and reports the IPC ratio.  The
+    anchored sample plan needs enough outer-loop iterations to engage
+    (``--scale`` >= 2 or so); on shorter traces sampling falls back to
+    exact mode and every cell is exactly 1.00.
+    """
+    from ..sim.run import simulate
+    from ..sim.sampling import SamplingConfig
+
+    sampling = ctx.sampling if ctx.sampling is not None else SamplingConfig()
+    configs = {
+        "ooo": (ooo_config(8), False),
+        "inorder": (inorder_config(8), False),
+        "depsteer": (depsteer_config(8), False),
+        "braid": (braid_config(8), True),
+    }
+    result = ExperimentResult(
+        experiment_id="SV",
+        title="sampled / exact IPC ratio per core kind",
+        paper_expectation="every point within ±2% of 1.00 at bench scale "
+                          "(scale 64, stride 16)",
+        columns=list(configs),
+    )
+    worst = 0.0
+    fallbacks = 0
+    for name in ctx.benchmarks:
+        row: Dict[str, float] = {}
+        for label, (config, braided) in configs.items():
+            workload = ctx.workload(name, braided=braided)
+            exact = simulate(workload, config)
+            sampled = simulate(workload, config, sampling=sampling)
+            ratio = sampled.ipc / exact.ipc if exact.ipc else 0.0
+            worst = max(worst, abs(ratio - 1.0))
+            fallbacks += 0 if sampled.sampled else 1
+            row[label] = ratio
+        result.rows[name] = row
+    result.finalize_averages()
+    result.notes.append(
+        f"max |IPC error| {100 * worst:.2f}% with sampling "
+        f"({sampling.spec()})"
+    )
+    if fallbacks:
+        result.notes.append(
+            f"{fallbacks} point(s) fell back to exact simulation "
+            f"(trace too short for a sample plan)"
+        )
+    return result

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+import sys
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..sim.results import SimResult
 from .sweep import SweepPoint
@@ -51,6 +52,48 @@ def jobs_from_env(default: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+_NOTED: Set[str] = set()
+
+
+def _note_once(message: str) -> None:
+    """Log a scheduling note to stderr, once per distinct message."""
+    if message not in _NOTED:
+        _NOTED.add(message)
+        print(f"[repro.harness] note: {message}", file=sys.stderr)
+
+
+def effective_jobs(jobs: int, pending: int) -> int:
+    """Workers the pool would actually help with.
+
+    Clamps the requested worker count to the number of pending points (a
+    pool larger than its work only pays fork cost) and to the host CPU
+    count (extra workers would only time-slice), and falls back to the
+    serial in-process path when the clamp leaves one worker or the host
+    exposes a single CPU (workers would time-slice one core, adding pool
+    and pickling overhead for nothing).  Every adjustment logs a note so a
+    ``--jobs N`` request never degrades silently.
+    """
+    cpus = os.cpu_count() or 1
+    capped = max(1, min(jobs, pending))
+    if capped < jobs and pending > 0:
+        _note_once(
+            f"clamping --jobs {jobs} to {capped}: "
+            f"only {pending} sweep point(s) pending"
+        )
+    if capped > cpus > 1:
+        _note_once(
+            f"clamping --jobs {jobs} to {cpus}: host exposes {cpus} CPUs"
+        )
+        capped = cpus
+    if capped > 1 and cpus == 1:
+        _note_once(
+            "host exposes a single CPU: running sweep points serially "
+            "in-process (a worker pool would only add fork overhead)"
+        )
+        return 1
+    return capped
+
+
 #: Worker-side context; under fork this aliases the parent's warm context.
 _WORKER_CONTEXT = None
 #: Set by run_points_parallel just before the pool forks.
@@ -64,16 +107,32 @@ def _init_worker(spec: Tuple) -> None:
         # program/compilation/workload caches) copy-on-write.
         _WORKER_CONTEXT = _PARENT_CONTEXT
         return
+    from ..sim.sampling import SamplingConfig
     from .artifacts import ArtifactCache
     from .context import ExperimentContext
 
-    benchmarks, scale, max_instructions, cache_root, cache_enabled = spec
+    (
+        benchmarks,
+        scale,
+        max_instructions,
+        cache_root,
+        cache_enabled,
+        sampling_spec,
+        result_cache,
+    ) = spec
     _WORKER_CONTEXT = ExperimentContext(
         benchmarks=benchmarks,
         scale=scale,
         max_instructions=max_instructions,
         jobs=1,
         cache=ArtifactCache(root=cache_root, enabled=cache_enabled),
+        result_cache=result_cache,
+    )
+    # Assign directly: the constructor treats None as "consult REPRO_SAMPLE",
+    # but the worker must mirror the parent's *resolved* sampling mode even
+    # when the parent overrode the environment.
+    _WORKER_CONTEXT.sampling = (
+        SamplingConfig.parse(sampling_spec) if sampling_spec else None
     )
 
 
@@ -116,6 +175,8 @@ def run_points_parallel(
         context.max_instructions,
         str(context.cache.root),
         context.cache.enabled,
+        context.sampling.spec() if context.sampling is not None else None,
+        context.result_cache,
     )
     try:
         mp_context = multiprocessing.get_context("fork")

@@ -75,6 +75,15 @@ def sweep_experiment(
         if cell.baseline is not None:
             points.append(cell.baseline)
     results = ctx.run_many(points)
+    sampled = [r for r in results.values() if r.sampled]
+    if sampled:
+        worst_ci = max(
+            r.ipc_ci95 / r.ipc if r.ipc else 0.0 for r in sampled
+        )
+        result.notes.append(
+            f"{len(sampled)}/{len(results)} points interval-sampled; "
+            f"worst IPC 95% CI ±{100 * worst_ci:.2f}%"
+        )
     for cell in cells:
         value = results[cell.point].ipc
         if cell.baseline is not None:

@@ -18,6 +18,14 @@ from .inorder import InOrderCore
 from .ooo import OutOfOrderCore
 from .results import SimResult, StallCounters
 from .run import build_core, simulate
+from .sampling import (
+    SamplePlan,
+    SamplingConfig,
+    detect_anchors,
+    plan_windows,
+    sampling_from_env,
+    simulate_sampled,
+)
 from .workload import PreparedWorkload, WorkloadStats, prepare_workload
 from .functional import (
     ArchState,
@@ -53,6 +61,12 @@ __all__ = [
     "StallCounters",
     "build_core",
     "simulate",
+    "SamplePlan",
+    "SamplingConfig",
+    "detect_anchors",
+    "plan_windows",
+    "sampling_from_env",
+    "simulate_sampled",
     "PreparedWorkload",
     "WorkloadStats",
     "prepare_workload",

@@ -57,6 +57,15 @@ class BraidCore(TimingCore):
             return 0
         return self.config.inter_cluster_delay
 
+    def on_fast_forward(self) -> None:
+        # A sampling gap may cut the trace mid-braid: the next window's first
+        # instruction then has no start bit, so drop the open-braid pointer
+        # and let it begin a fresh braid on a free BEU.  Busy bits of drained
+        # values are already clear; FIFOs are empty post-drain.
+        self._open_beu = None
+        for beu in self.beus:
+            beu.fifo.clear()
+
     def accept(self, winst: WInst, cycle: int) -> bool:
         if self.config.beu_exception_mode:
             # Exception processing (paper section 3.4): all but one BEU are

@@ -103,8 +103,11 @@ class TimingCore:
             state_words_per_checkpoint=64,
         )
 
-        # Fetch state.
+        # Fetch state.  ``_fetch_limit`` is the trace index fetch stops at; a
+        # full run leaves it at the trace length, the sampled-execution
+        # engine (repro.sim.sampling) moves it window by window.
         self._next_fetch = 0
+        self._fetch_limit = len(self.trace)
         self._fetch_buffer: deque = deque()
         self._fetch_blocked = False
         self._fetch_resume = 0
@@ -154,7 +157,33 @@ class TimingCore:
     def run(self, max_cycles: int = 100_000_000) -> SimResult:
         """Simulate until every trace instruction retires; returns the result."""
         total = len(self.trace)
-        cycle = 0
+        cycle = self._run_until(total, 0, max_cycles)
+        result = SimResult(
+            benchmark=self.workload.name,
+            machine=self.config.name,
+            cycles=cycle,
+            instructions=total,
+            branches=self.workload.stats.branches,
+            mispredicts=len(self.mispredicted),
+            issued=self._issued_count,
+            stalls=self.stalls,
+        )
+        self.attach_activity(result)
+        return result
+
+    def _run_until(
+        self, target_retired: int, cycle: int, max_cycles: int
+    ) -> int:
+        """Advance the machine until ``target_retired`` instructions retired.
+
+        Returns the cycle counter after the final increment, so consecutive
+        calls with increasing targets compose into exactly the trajectory a
+        single call would take (the loop checks only its entry condition).
+        This is the resumability seam the sampled-execution engine uses:
+        it alternates ``_run_until`` over detailed windows with
+        :meth:`fast_forward` over the skipped gaps.
+        """
+        start_cycle = cycle
         complete_stage = self.complete_stage
         retire_stage = self.retire_stage
         issue_stage = self.issue_stage
@@ -168,15 +197,16 @@ class TimingCore:
         buffer = self._fetch_buffer
         front = self.config.front_end
         fetch_cap = front.fetch_buffer
+        fetch_limit = self._fetch_limit
         # Each stage is entered only when its cheap guard says it can act;
         # the guards replicate the stages' own first-line early-outs, so a
         # skipped call is exactly a call that would have done nothing.
-        while self._retired_count < total:
-            if cycle > max_cycles:
+        while self._retired_count < target_retired:
+            if cycle - start_cycle > max_cycles:
                 raise SimulationError(
                     f"{self.config.name} on {self.workload.name}: no forward "
                     f"progress after {max_cycles} cycles "
-                    f"(retired {self._retired_count}/{total})"
+                    f"(retired {self._retired_count}/{target_retired})"
                 )
             cycle = skip_idle(cycle)
             if (
@@ -196,28 +226,62 @@ class TimingCore:
             if (
                 not self._fetch_blocked
                 and cycle >= self._fetch_resume
-                and self._next_fetch < total
+                and self._next_fetch < fetch_limit
                 and len(buffer) < fetch_cap
             ):
                 fetch_stage(cycle)
             cycle += 1
+        return cycle
 
-        result = SimResult(
-            benchmark=self.workload.name,
-            machine=self.config.name,
-            cycles=cycle,
-            instructions=total,
-            branches=self.workload.stats.branches,
-            mispredicts=len(self.mispredicted),
-            issued=self._issued_count,
-            stalls=self.stalls,
-        )
+    def drain_in_flight(self, cycle: int) -> int:
+        """Finish writebacks/releases left after the last retirement.
+
+        Retirement only requires completion, so a window's final cycle can
+        leave external results queued for register-file write ports (and,
+        under the staging entry policy, their entries still allocated).
+        Draining them during the skipped gap keeps structural state balanced
+        before a fast-forward; the cycles spent here are gap cycles and are
+        never counted in a measured window.
+        """
+        while (
+            self._pending_writeback or self._events or self._miss_releases
+        ):
+            self.complete_stage(cycle)
+            cycle += 1
+        return cycle
+
+    def fast_forward(self, index: int, cycle: int) -> None:
+        """Advance the trace cursor to ``index`` with a drained pipeline.
+
+        Models the sampled-execution gap: every skipped instruction is
+        assumed architecturally executed (phase one already fixed its branch
+        outcome and cache latencies), so in-flight value tracking resets —
+        all live values sit in the architectural file and later consumers
+        take plain register reads.  Requires the pipeline to be drained
+        (all fetched instructions retired, no pending writebacks).
+        """
+        if self._rob or self._fetch_buffer or self._pending_writeback:
+            raise SimulationError(
+                f"{self.config.name} on {self.workload.name}: fast_forward "
+                f"with an undrained pipeline"
+            )
+        self._next_fetch = index
+        self._external_producers.clear()
+        self._internal_producers.clear()
+        self._fetch_blocked = False
+        self._fetch_resume = cycle
+        self.on_fast_forward()
+
+    def on_fast_forward(self) -> None:
+        """Subclass hook: reset execution-core state across a sampling gap."""
+
+    def attach_activity(self, result: SimResult) -> None:
+        """Attach shared activity counters plus subclass annotations."""
         result.extra["lsq_forwards"] = float(self.lsq.stats.forwards)
         result.extra["bypass_forwards"] = float(self.bypass.total_forwards)
         result.extra["rf_reads"] = float(self.rf.read.total_grants)
         result.extra["rf_writes"] = float(self.rf.write.total_grants)
         self.annotate_result(result)
-        return result
 
     def annotate_result(self, result: SimResult) -> None:
         """Subclass hook: attach extra activity statistics to a result."""
@@ -240,7 +304,7 @@ class TimingCore:
         wake = None
         if (
             not self._fetch_blocked
-            and self._next_fetch < len(self.trace)
+            and self._next_fetch < self._fetch_limit
             and len(self._fetch_buffer) < self.config.front_end.fetch_buffer
         ):
             if cycle >= self._fetch_resume:
@@ -284,7 +348,7 @@ class TimingCore:
         mispredicted = self.mispredicted
         while (
             budget > 0
-            and self._next_fetch < len(trace)
+            and self._next_fetch < self._fetch_limit
             and len(buffer) < front.fetch_buffer
         ):
             index = self._next_fetch

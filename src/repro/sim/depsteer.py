@@ -57,6 +57,12 @@ class DependenceSteeringCore(TimingCore):
         self._fifos[fifo_index].append(winst)
         return True
 
+    def on_fast_forward(self) -> None:
+        # Every steered chain has issued by drain time; clear the FIFOs so a
+        # sampling gap cannot carry stale chains into the next window.
+        for fifo in self._fifos:
+            fifo.clear()
+
     # ------------------------------------------------------------------ issue
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width

@@ -30,6 +30,11 @@ class InOrderCore(TimingCore):
         self._queue.append(winst)
         return True
 
+    def on_fast_forward(self) -> None:
+        # A drained pipeline has issued everything; clear defensively so a
+        # sampling gap can never leak queue occupancy into the next window.
+        self._queue.clear()
+
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
         queue = self._queue

@@ -39,6 +39,13 @@ class OutOfOrderCore(TimingCore):
         winst.cluster = best
         return True
 
+    def on_fast_forward(self) -> None:
+        # Post-drain the schedulers are empty; reset occupancy and the ready
+        # pool so a sampling gap starts the next window from a clean core.
+        self._scheduler_load = [0] * self.config.clusters
+        self._ready = []
+        self._retry = []
+
     # ----------------------------------------------------------------- wakeup
     def on_ready(self, winst: WInst, cycle: int) -> None:
         heapq.heappush(self._ready, (winst.seq, winst))

@@ -24,7 +24,15 @@ class StallCounters:
 
 @dataclass
 class SimResult:
-    """Outcome of one timing simulation."""
+    """Outcome of one timing simulation.
+
+    Exact runs report measured totals.  Interval-sampled runs
+    (:mod:`repro.sim.sampling`) report *estimated* ``cycles`` extrapolated
+    from the measured windows, flag themselves with ``sampled``, and carry
+    the estimate's uncertainty in ``cycles_stderr``; ``issued`` and
+    ``stalls`` then cover only the measured windows
+    (``sample_measured_instructions`` of the ``instructions`` total).
+    """
 
     benchmark: str
     machine: str
@@ -37,10 +45,33 @@ class SimResult:
     issued: int = 0
     stalls: StallCounters = field(default_factory=StallCounters)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: interval sampling: estimate provenance and uncertainty
+    sampled: bool = False
+    sample_intervals: int = 0
+    sample_measured_instructions: int = 0
+    sample_detail_instructions: int = 0
+    #: standard error of the extrapolated cycle count (0.0 for exact runs)
+    cycles_stderr: float = 0.0
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc_stderr(self) -> float:
+        """Standard error of the IPC estimate (0.0 for exact runs).
+
+        First-order propagation through ``ipc = instructions / cycles``:
+        ``se(ipc) = instructions * se(cycles) / cycles**2``.
+        """
+        if not self.cycles:
+            return 0.0
+        return self.instructions * self.cycles_stderr / (self.cycles ** 2)
+
+    @property
+    def ipc_ci95(self) -> float:
+        """Half-width of the normal-approximation 95% CI on IPC."""
+        return 1.96 * self.ipc_stderr
 
     @property
     def mispredict_rate(self) -> float:
@@ -58,8 +89,14 @@ class SimResult:
         return self.ipc / baseline.ipc
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.benchmark:12s} {self.machine:14s} "
             f"IPC={self.ipc:5.2f} cycles={self.cycles:8d} "
             f"instructions={self.instructions:8d}"
         )
+        if self.sampled:
+            text += (
+                f" (sampled: {self.sample_intervals} intervals, "
+                f"IPC ±{self.ipc_ci95:.3f})"
+            )
+        return text

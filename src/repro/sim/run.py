@@ -30,8 +30,22 @@ def simulate(
     workload: PreparedWorkload,
     config: MachineConfig,
     max_cycles: Optional[int] = None,
+    sampling=None,
 ) -> SimResult:
-    """Run ``workload`` on the machine described by ``config``."""
+    """Run ``workload`` on the machine described by ``config``.
+
+    ``sampling`` (a :class:`~repro.sim.sampling.SamplingConfig`) switches to
+    interval-sampled execution with an extrapolated cycle estimate; ``None``
+    (the default) simulates every instruction exactly.
+    """
+    if sampling is not None:
+        from .sampling import simulate_sampled
+
+        if max_cycles is not None:
+            return simulate_sampled(
+                workload, config, sampling, max_cycles=max_cycles
+            )
+        return simulate_sampled(workload, config, sampling)
     core = build_core(workload, config)
     if max_cycles is not None:
         return core.run(max_cycles=max_cycles)

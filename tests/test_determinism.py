@@ -75,9 +75,17 @@ def serial_fingerprints():
 
 @pytest.fixture(scope="module")
 def parallel_results():
-    """The same sweep dispatched through the jobs=2 worker pool."""
+    """The same sweep dispatched through the jobs=2 worker pool.
+
+    Calls :func:`run_points_parallel` directly: ``run_many`` would route
+    around the pool on single-CPU hosts (see ``effective_jobs``), and this
+    test exists precisely to exercise the pool path.
+    """
+    from repro.harness.parallel import run_points_parallel
+
     ctx = fresh_context(jobs=2)
-    return ctx.run_many(all_points())
+    points = all_points()
+    return dict(zip(points, run_points_parallel(ctx, points, 2)))
 
 
 @pytest.fixture(scope="module")

@@ -143,6 +143,139 @@ class TestArtifactCache:
         assert len(reloaded.trace) == len(warm.workload("gcc").trace)
 
 
+class TestCacheManagement:
+    def _fill(self, cache, count):
+        for index in range(count):
+            cache.put(cache.compilation_key(f"bench{index}", 1.0, 8), index)
+
+    def test_stats_report_entries_and_kinds(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        self._fill(cache, 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3 and stats["bytes"] > 0
+        assert stats["by_kind"]["compilation"]["entries"] == 3
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        self._fill(cache, 3)
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_enforce_limit_evicts_oldest_first(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(root=tmp_path)
+        keys = [cache.compilation_key(f"bench{i}", 1.0, 8) for i in range(3)]
+        for stamp, key in enumerate(keys):
+            cache.put(key, "x" * 256)
+            os.utime(cache.path_for(key), (stamp, stamp))
+        entry_size = cache.path_for(keys[0]).stat().st_size
+        cache.enforce_limit(entry_size * 2)
+        assert cache.get(keys[0]) is None  # oldest mtime evicted
+        assert cache.get(keys[1]) is not None
+        assert cache.get(keys[2]) is not None
+
+    def test_get_refreshes_mtime_for_lru(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.compilation_key("gcc", 1.0, 8)
+        cache.put(key, "payload")
+        os.utime(cache.path_for(key), (1, 1))
+        cache.get(key)
+        assert cache.path_for(key).stat().st_mtime > 1
+
+    def test_limit_from_env(self, monkeypatch):
+        from repro.harness.artifacts import cache_limit_from_env
+
+        monkeypatch.delenv("REPRO_CACHE_LIMIT_MB", raising=False)
+        assert cache_limit_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE_LIMIT_MB", "100")
+        assert cache_limit_from_env() == 100 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_LIMIT_MB", "lots")
+        with pytest.raises(ValueError, match="REPRO_CACHE_LIMIT_MB"):
+            cache_limit_from_env()
+
+
+class TestResultCache:
+    def test_opt_in_round_trip(self, tmp_path):
+        from repro.sim import ooo_config
+
+        def context():
+            return ExperimentContext(
+                benchmarks=("gcc",), max_instructions=5_000, jobs=1,
+                cache=ArtifactCache(root=tmp_path), result_cache=True,
+            )
+
+        first = context().run("gcc", ooo_config(8))
+        cold = context()
+        again = cold.run("gcc", ooo_config(8))
+        assert again.cycles == first.cycles
+        assert any(
+            path.name.startswith("result-") for path in tmp_path.iterdir()
+        )
+
+    def test_off_by_default(self, tmp_path, monkeypatch):
+        from repro.sim import ooo_config
+
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        ctx = ExperimentContext(
+            benchmarks=("gcc",), max_instructions=5_000, jobs=1,
+            cache=ArtifactCache(root=tmp_path),
+        )
+        assert ctx.result_cache is False
+        ctx.run("gcc", ooo_config(8))
+        assert not any(
+            path.name.startswith("result-") for path in tmp_path.iterdir()
+        )
+
+    def test_key_distinguishes_sampling(self):
+        from repro.sim import ooo_config
+        from repro.sim.sampling import SamplingConfig
+
+        exact = ArtifactCache.result_key(
+            "gcc", 1.0, False, False, 8, "perceptron", 100, ooo_config(8), None
+        )
+        sampled = ArtifactCache.result_key(
+            "gcc", 1.0, False, False, 8, "perceptron", 100, ooo_config(8),
+            SamplingConfig().cache_token(),
+        )
+        assert exact != sampled
+
+
+class TestEffectiveJobs:
+    def test_clamps_to_pending(self):
+        from repro.harness.parallel import effective_jobs
+
+        assert effective_jobs(8, 0) == 1
+        assert effective_jobs(1, 100) == 1
+
+    def test_single_cpu_serializes(self, monkeypatch):
+        import os
+
+        from repro.harness import parallel
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert parallel.effective_jobs(4, 10) == 1
+
+    def test_multi_cpu_keeps_pool(self, monkeypatch):
+        import os
+
+        from repro.harness import parallel
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert parallel.effective_jobs(4, 10) == 4
+        assert parallel.effective_jobs(8, 3) == 3
+
+    def test_clamps_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.harness import parallel
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert parallel.effective_jobs(16, 100) == 4
+
+
 class TestRunMany:
     def test_run_many_memoizes_and_dedups(self, quick_context):
         from repro.harness import SweepPoint
@@ -157,7 +290,7 @@ class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         expected = {
             "F1", "VC", "T1", "T2", "T3", "F5", "F6", "F7", "F8", "F9",
-            "F10", "F11", "F12", "F13", "F14", "D1", "A1", "A2",
+            "F10", "F11", "F12", "F13", "F14", "D1", "A1", "A2", "SV",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

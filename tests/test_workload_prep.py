@@ -1,8 +1,10 @@
 """Tests for prepared workloads (phase-one oracles)."""
 
+import pickle
+
 import pytest
 
-from repro.sim.workload import prepare_workload
+from repro.sim.workload import decode_trace, prepare_workload
 from repro.workloads import build_program, kernel
 
 
@@ -69,6 +71,43 @@ class TestPredictorChoice:
         workload = prepare_workload(kernel("daxpy"))
         # One perfectly-biased loop branch: only warm-up mispredicts.
         assert workload.stats.branch_accuracy > 0.9
+
+
+class TestSerialization:
+    """Workloads travel through the artifact cache and worker specs pickled."""
+
+    def test_pickle_round_trip_preserves_oracles(self, gcc):
+        workload = prepare_workload(gcc, max_instructions=5_000)
+        clone = pickle.loads(pickle.dumps(workload))
+        assert len(clone) == len(workload)
+        assert clone.mispredicted == workload.mispredicted
+        assert clone.load_latency == workload.load_latency
+        assert clone.ifetch_extra == workload.ifetch_extra
+        assert [d.seq for d in clone.trace] == [d.seq for d in workload.trace]
+
+    def test_pickle_round_trip_preserves_decode(self, gcc):
+        workload = prepare_workload(gcc, max_instructions=5_000)
+        workload.decode()
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone.decoded is not None
+        for ours, theirs in zip(workload.decoded, clone.decoded):
+            assert ours.latency == theirs.latency
+            assert ours.src_keys == theirs.src_keys
+            assert ours.written_key == theirs.written_key
+
+    def test_decode_trace_shares_static_facts(self, gcc):
+        workload = prepare_workload(gcc, max_instructions=5_000)
+        decoded = decode_trace(workload.trace)
+        assert len(decoded) == len(workload.trace)
+        by_static = {}
+        for dyn, facts in zip(workload.trace, decoded):
+            assert by_static.setdefault(id(dyn.inst), facts) is facts
+        # Sharing is the point: far fewer decode objects than trace entries.
+        assert len(by_static) < len(decoded)
+
+    def test_decode_memoized_on_workload(self, gcc):
+        workload = prepare_workload(gcc, max_instructions=5_000)
+        assert workload.decode() is workload.decode()
 
 
 class TestMemoryBehaviour:
