@@ -65,7 +65,20 @@ def _access_energy(entries: int, read_ports: int, write_ports: int) -> float:
 
 
 def estimate_energy(config: MachineConfig, result: SimResult) -> EnergyBreakdown:
-    """Estimate execution-core dynamic energy for one finished run."""
+    """Estimate execution-core dynamic energy for one finished run.
+
+    Requires an exact run: a sampled :class:`SimResult` carries activity
+    counters (``issued``, ``rf_reads``...) that cover only the detailed
+    windows, so dividing by the full ``instructions`` total would silently
+    understate energy per instruction by the sampling fraction.
+    """
+    if result.sampled:
+        raise ValueError(
+            f"energy estimation needs exact activity totals, but "
+            f"{result.benchmark}/{result.machine} is an interval-sampled "
+            f"run (counters cover {result.counters_cover} of "
+            f"{result.instructions} instructions); rerun without sampling"
+        )
     extra = result.extra
     main_access = _access_energy(
         config.regfile.entries,

@@ -13,6 +13,16 @@ Experiment ids follow DESIGN.md section 3 (F1, VC, T1-T3, F5-F14, D1,
 A1-A2).  ``--sample`` (or ``REPRO_SAMPLE``) switches the timing runs to
 interval-sampled estimation; sampled figures carry a note with the worst
 IPC confidence interval of their points.
+
+``validate`` runs the differential validation sweep instead of an
+experiment: every selected benchmark on every selected core under the
+lockstep architectural oracle (plus the sampled engine when ``--sample``
+is given, per-cycle invariants with ``--invariants``), then the
+translator fuzzer::
+
+    python -m repro.harness validate                       # quick suite
+    python -m repro.harness validate --benchmarks gcc,mcf,swim
+    python -m repro.harness validate --sample --invariants --fuzz 500
 """
 
 from __future__ import annotations
@@ -46,6 +56,60 @@ def _run_cache_command(command: str) -> None:
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
+
+
+def _run_validate(args, parser) -> int:
+    """The ``validate`` command: differential validation sweep + fuzzing."""
+    from ..validate import DEFAULT_CORES, run_validation
+    from . import ExperimentContext
+    from .artifacts import ArtifactCache
+
+    sampling = None
+    if args.sample is not None:
+        from ..sim.sampling import SamplingConfig
+
+        try:
+            sampling = SamplingConfig.parse(args.sample)
+        except ValueError as error:
+            parser.error(f"--sample: {error}")
+
+    if args.benchmarks in (None, "quick"):
+        from ..workloads import QUICK_BENCHMARKS
+
+        benchmarks = QUICK_BENCHMARKS
+    elif args.benchmarks == "full":
+        from ..workloads.profiles import ALL_BENCHMARKS
+
+        benchmarks = ALL_BENCHMARKS
+    else:
+        benchmarks = tuple(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        )
+
+    cores = DEFAULT_CORES
+    if args.cores:
+        cores = tuple(
+            key.strip() for key in args.cores.split(",") if key.strip()
+        )
+
+    cache = ArtifactCache(enabled=False) if args.no_cache else None
+    context = ExperimentContext(
+        benchmarks=benchmarks, scale=args.scale, jobs=1, cache=cache,
+    )
+    try:
+        report = run_validation(
+            context,
+            benchmarks,
+            cores=cores,
+            sampling=sampling,
+            invariants=args.invariants,
+            fuzz_samples=args.fuzz,
+            fuzz_seed=args.fuzz_seed,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def main(argv=None) -> int:
@@ -94,6 +158,25 @@ def main(argv=None) -> int:
         help="also persist finished timing results in the artifact cache "
              "(overrides REPRO_RESULT_CACHE)",
     )
+    parser.add_argument(
+        "--cores", default=None, metavar="LIST",
+        help="validate: comma-separated timing cores to check "
+             "(default: ooo,inorder,depsteer,braid)",
+    )
+    parser.add_argument(
+        "--invariants", action="store_true",
+        help="validate: also run per-cycle µarch invariant checking "
+             "(much slower)",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, default=200, metavar="N",
+        help="validate: random programs for the translator fuzzer "
+             "(default 200; 0 skips fuzzing)",
+    )
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=0, metavar="SEED",
+        help="validate: deterministic seed for the translator fuzzer",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
@@ -108,6 +191,13 @@ def main(argv=None) -> int:
         for command in cache_commands:
             _run_cache_command(command)
         return 0
+
+    if "validate" in args.experiments:
+        if args.experiments != ["validate"]:
+            parser.error(
+                "'validate' cannot be mixed with experiment ids"
+            )
+        return _run_validate(args, parser)
 
     selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
     for experiment_id in args.experiments:

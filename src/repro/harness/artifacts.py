@@ -22,8 +22,10 @@ Layout and knobs:
   pickled artifact layout or the phase-one semantics change, and stale
   entries are simply never looked up again;
 * unreadable or truncated entries are deleted and recomputed, so a crashed
-  writer cannot poison later runs; writes go through a temp file plus
-  ``os.replace`` so concurrent workers only ever see complete entries.
+  writer cannot poison later runs — each eviction logs a one-line warning
+  to stderr and is counted in ``stats()["corruptions"]``; writes go through
+  a temp file plus ``os.replace`` so concurrent workers only ever see
+  complete entries.
 
 Besides phase-one artifacts the cache can hold finished timing results
 (``result_key``), used by the opt-in ``REPRO_RESULT_CACHE`` knob; result
@@ -36,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -91,6 +94,7 @@ class ArtifactCache:
         self.limit_bytes = limit_bytes
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     @classmethod
     def from_env(cls) -> "ArtifactCache":
@@ -120,9 +124,17 @@ class ArtifactCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Truncated/incompatible pickle: evict so the slot heals itself.
+        except Exception as error:
+            # Truncated/incompatible pickle: evict so the slot heals itself —
+            # but never silently, so a recurring corruption (bad disk, two
+            # incompatible checkouts sharing one cache dir) stays visible.
             self.misses += 1
+            self.corruptions += 1
+            print(
+                f"[repro.harness] warning: evicting corrupt cache entry "
+                f"{path.name} ({type(error).__name__}: {error})",
+                file=sys.stderr,
+            )
             try:
                 path.unlink()
             except OSError:
@@ -188,6 +200,7 @@ class ArtifactCache:
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "limit_bytes": self.limit_bytes,
+            "corruptions": self.corruptions,
             "by_kind": by_kind,
         }
 

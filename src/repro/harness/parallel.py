@@ -146,6 +146,17 @@ def _run_point(point: SweepPoint) -> SimResult:
     )
 
 
+def _run_point_serial(context, point: SweepPoint) -> SimResult:
+    """One sweep point on the caller's own context (no worker pool)."""
+    return context.run(
+        point.benchmark,
+        point.config,
+        braided=point.braided,
+        perfect=point.perfect,
+        internal_limit=point.internal_limit,
+    )
+
+
 def run_points_parallel(
     context, points: Sequence[SweepPoint], jobs: int
 ) -> List[SimResult]:
@@ -180,8 +191,17 @@ def run_points_parallel(
     )
     try:
         mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        mp_context = multiprocessing.get_context()
+    except ValueError:
+        # Spawn-only platforms (Windows, some macOS configs) would re-import
+        # every worker from scratch and re-unpickle phase one per process;
+        # with the warm in-process context already holding the artifacts,
+        # serial execution is both simpler and usually faster.  Never
+        # degrade silently (mirrors the 1-CPU clamp in effective_jobs).
+        _note_once(
+            "fork start method unavailable on this platform: running "
+            "sweep points serially in-process"
+        )
+        return [_run_point_serial(context, point) for point in points]
 
     chunksize = max(1, len(points) // (jobs * 4))
     _PARENT_CONTEXT = context

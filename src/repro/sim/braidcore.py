@@ -150,6 +150,57 @@ class BraidCore(TimingCore):
             # event at the known completion time.
             beu.busybits.mark_ready(winst.seq)
 
+    def core_invariants(self, cycle: int):
+        if self._open_beu is not None and self._open_beu not in self.beus:
+            yield "open-braid pointer references a foreign BEU"
+        capacity = self.config.cluster_entries
+        total = 0
+        for beu in self.beus:
+            if len(beu.fifo) > capacity:
+                yield (
+                    f"BEU {beu.beu_id} FIFO holds {len(beu.fifo)}, "
+                    f"capacity {capacity}"
+                )
+            total += len(beu.fifo)
+            busy_external = 0
+            previous = -1
+            for winst in beu.fifo:
+                if winst.issue_cycle is not None:
+                    yield (
+                        f"issued instruction seq={winst.seq} still in "
+                        f"BEU {beu.beu_id} FIFO"
+                    )
+                if winst.cluster != beu.beu_id:
+                    yield (
+                        f"seq={winst.seq} tagged cluster {winst.cluster} "
+                        f"but queued in BEU {beu.beu_id}"
+                    )
+                if winst.seq <= previous:
+                    yield (
+                        f"BEU {beu.beu_id} FIFO out of dispatch order "
+                        f"at seq={winst.seq}"
+                    )
+                previous = winst.seq
+                if winst.dest_external:
+                    busy_external += 1
+            if beu.busybits.occupancy > beu.busybits.bits:
+                yield (
+                    f"BEU {beu.beu_id} busy-bit occupancy "
+                    f"{beu.busybits.occupancy} exceeds {beu.busybits.bits} bits"
+                )
+            if beu.busybits.occupancy != busy_external:
+                yield (
+                    f"BEU {beu.beu_id} busy bits ({beu.busybits.occupancy}) "
+                    f"disagree with queued external destinations "
+                    f"({busy_external})"
+                )
+        unissued = len(self.unissued_in_flight())
+        if total != unissued:
+            yield (
+                f"BEU FIFO occupancy sum {total} != {unissued} "
+                f"dispatched-but-unissued instructions"
+            )
+
     # ------------------------------------------------------------- statistics
     def beu_utilization(self) -> List[int]:
         """Instructions issued per BEU (for load-balance analyses)."""

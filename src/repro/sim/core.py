@@ -134,6 +134,18 @@ class TimingCore:
         #: program order (consumed by repro.sim.pipeview)
         self.trace_log = None
 
+        # Validation hooks (repro.validate).  All default to None and the
+        # hot loop never pays for them: the retire/skip hooks cost one
+        # local None-test per retirement / fast-forward, and a non-None
+        # invariant hook reroutes _run_until to the instrumented loop, so
+        # the tight loop itself is untouched when validation is off.
+        #: called as ``hook(winst, cycle)`` for every retired instruction
+        self.retire_hook = None
+        #: called as ``hook(old_index, new_index)`` on every fast_forward
+        self.skip_hook = None
+        #: called as ``hook(core, cycle)`` once per simulated cycle
+        self.invariant_hook = None
+
     # ----------------------------------------------------------------- hooks
     def accept(self, winst: WInst, cycle: int) -> bool:
         """Place a dispatching instruction into the execution core.
@@ -183,6 +195,8 @@ class TimingCore:
         it alternates ``_run_until`` over detailed windows with
         :meth:`fast_forward` over the skipped gaps.
         """
+        if self.invariant_hook is not None:
+            return self._run_until_checked(target_retired, cycle, max_cycles)
         start_cycle = cycle
         complete_stage = self.complete_stage
         retire_stage = self.retire_stage
@@ -233,6 +247,44 @@ class TimingCore:
             cycle += 1
         return cycle
 
+    def _run_until_checked(
+        self, target_retired: int, cycle: int, max_cycles: int
+    ) -> int:
+        """``_run_until`` with the per-cycle invariant hook enabled.
+
+        Timing-identical to the fast loop: the fast loop's stage guards
+        replicate each stage's own first-line early-outs, so calling every
+        stage unconditionally produces the same state trajectory (a skipped
+        call is exactly a call that does nothing), just slower.  Kept as a
+        separate loop so the uninstrumented path pays nothing for the hook.
+        """
+        hook = self.invariant_hook
+        start_cycle = cycle
+        front = self.config.front_end
+        while self._retired_count < target_retired:
+            if cycle - start_cycle > max_cycles:
+                raise SimulationError(
+                    f"{self.config.name} on {self.workload.name}: no forward "
+                    f"progress after {max_cycles} cycles "
+                    f"(retired {self._retired_count}/{target_retired})"
+                )
+            cycle = self._skip_idle(cycle)
+            self.complete_stage(cycle)
+            self.retire_stage(cycle)
+            self.issue_stage(cycle)
+            self.dispatch_stage(cycle)
+            if (
+                not self._fetch_blocked
+                and cycle >= self._fetch_resume
+                and self._next_fetch < self._fetch_limit
+                and len(self._fetch_buffer) < front.fetch_buffer
+            ):
+                self.fetch_stage(cycle)
+            if hook is not None:
+                hook(self, cycle)
+            cycle += 1
+        return cycle
+
     def drain_in_flight(self, cycle: int) -> int:
         """Finish writebacks/releases left after the last retirement.
 
@@ -265,6 +317,8 @@ class TimingCore:
                 f"{self.config.name} on {self.workload.name}: fast_forward "
                 f"with an undrained pipeline"
             )
+        if self.skip_hook is not None:
+            self.skip_hook(self._next_fetch, index)
         self._next_fetch = index
         self._external_producers.clear()
         self._internal_producers.clear()
@@ -274,6 +328,21 @@ class TimingCore:
 
     def on_fast_forward(self) -> None:
         """Subclass hook: reset execution-core state across a sampling gap."""
+
+    def core_invariants(self, cycle: int):
+        """Subclass hook: yield messages for violated execution-core
+        invariants (yield nothing when healthy).
+
+        Covers only the structures the subclass owns (schedulers, FIFOs,
+        BEUs); the shared-machinery invariants (ROB, register file,
+        LSQ, checkpoints) live in :mod:`repro.validate.invariants`, which
+        calls this per cycle when invariant checking is enabled.
+        """
+        return ()
+
+    def unissued_in_flight(self):
+        """Every dispatched-but-unissued instruction (for validation)."""
+        return [w for w in self._rob if w.issue_cycle is None]
 
     def attach_activity(self, result: SimResult) -> None:
         """Attach shared activity counters plus subclass annotations."""
@@ -629,6 +698,7 @@ class TimingCore:
     # ------------------------------------------------------------------ retire
     def retire_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
+        retire_hook = self.retire_hook
         while budget > 0 and self._rob:
             winst = self._rob[0]
             if not winst.done or winst.complete_cycle >= cycle:
@@ -636,6 +706,8 @@ class TimingCore:
             self._rob.popleft()
             winst.retired = True
             winst.retire_cycle = cycle
+            if retire_hook is not None:
+                retire_hook(winst, cycle)
             if winst.dest_external and not self.config.rf_alloc_at_issue:
                 self.rf.release()
             if winst.is_store:

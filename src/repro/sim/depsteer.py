@@ -63,6 +63,32 @@ class DependenceSteeringCore(TimingCore):
         for fifo in self._fifos:
             fifo.clear()
 
+    def core_invariants(self, cycle: int):
+        capacity = self.config.cluster_entries
+        total = 0
+        for index, fifo in enumerate(self._fifos):
+            if len(fifo) > capacity:
+                yield f"FIFO {index} holds {len(fifo)}, capacity {capacity}"
+            total += len(fifo)
+            previous = -1
+            for winst in fifo:
+                if winst.issue_cycle is not None:
+                    yield f"issued instruction seq={winst.seq} still in FIFO {index}"
+                if winst.cluster != index:
+                    yield (
+                        f"seq={winst.seq} steered to FIFO {winst.cluster} "
+                        f"but found in FIFO {index}"
+                    )
+                if winst.seq <= previous:
+                    yield f"FIFO {index} out of dispatch order at seq={winst.seq}"
+                previous = winst.seq
+        unissued = len(self.unissued_in_flight())
+        if total != unissued:
+            yield (
+                f"FIFO occupancy sum {total} != {unissued} "
+                f"dispatched-but-unissued instructions"
+            )
+
     # ------------------------------------------------------------------ issue
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width

@@ -166,6 +166,47 @@ class ArchState:
         return tuple(self.int_regs), tuple(self.fp_regs), memory
 
 
+def apply_instruction(
+    state: ArchState, inst: Instruction, strict_internal: bool = True
+) -> Tuple[Optional[bool], Optional[int]]:
+    """Apply one instruction's architectural effects to ``state``.
+
+    Returns ``(taken, mem_addr)``: the branch outcome (``None`` for
+    non-branches) and the memory address touched (``None`` for non-memory
+    instructions).  This is the single source of instruction semantics —
+    :class:`FunctionalExecutor` steps through it, and the lockstep
+    validation oracle (:mod:`repro.validate.lockstep`) replays timing-core
+    retirement streams through it, so the two can never drift apart.
+    """
+    annot = inst.annot
+    if annot.start and strict_internal:
+        # Internal values must not flow across braid boundaries.
+        state.clear_internal()
+
+    srcs = tuple(
+        state.read(reg, annot.src_space(position))
+        for position, reg in enumerate(inst.srcs)
+    )
+    category = inst.opcode.category
+
+    if category is OpCategory.NOP:
+        return None, None
+    if category is OpCategory.BRANCH:
+        return bool(inst.opcode.semantics(srcs, inst.imm)), None
+    if category is OpCategory.LOAD:
+        addr = to_unsigned(int(srcs[0]) + inst.imm)
+        value = state.load(addr, fp=inst.opcode.dest_fp)
+        state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
+        return None, addr
+    if category is OpCategory.STORE:
+        addr = to_unsigned(int(srcs[1]) + inst.imm)
+        state.store(addr, srcs[0])
+        return None, addr
+    value = inst.opcode.semantics(srcs, inst.imm)
+    state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
+    return None, None
+
+
 class FunctionalExecutor:
     """Architectural interpreter producing dynamic instruction streams."""
 
@@ -221,45 +262,26 @@ class FunctionalExecutor:
 
     # ------------------------------------------------------------------- one step
     def _step(self, seq: int, block_index: int, inst: Instruction) -> DynInst:
-        state = self.state
-        annot = inst.annot
-        if annot.start and self.strict_internal:
-            # Internal values must not flow across braid boundaries.
-            state.clear_internal()
-
         pc = self.layout.address(inst)
         dyn = DynInst(seq=seq, inst=inst, block=block_index, pc=pc,
                       next_pc=pc + INSTRUCTION_BYTES)
 
-        srcs = tuple(
-            state.read(reg, annot.src_space(position))
-            for position, reg in enumerate(inst.srcs)
+        taken, mem_addr = apply_instruction(
+            self.state, inst, strict_internal=self.strict_internal
         )
-        category = inst.opcode.category
+        dyn.mem_addr = mem_addr
 
-        if category is OpCategory.NOP:
-            pass
-        elif category is OpCategory.BRANCH:
-            taken = bool(inst.opcode.semantics(srcs, inst.imm))
+        category = inst.opcode.category
+        if category is OpCategory.BRANCH:
             dyn.taken = taken
             self.stats.dynamic_branches += 1
             if taken:
                 self.stats.taken_branches += 1
                 dyn.next_pc = self.layout.block_start[inst.target]
         elif category is OpCategory.LOAD:
-            addr = to_unsigned(int(srcs[0]) + inst.imm)
-            dyn.mem_addr = addr
-            value = state.load(addr, fp=inst.opcode.dest_fp)
-            state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
             self.stats.loads += 1
         elif category is OpCategory.STORE:
-            addr = to_unsigned(int(srcs[1]) + inst.imm)
-            dyn.mem_addr = addr
-            state.store(addr, srcs[0])
             self.stats.stores += 1
-        else:
-            value = inst.opcode.semantics(srcs, inst.imm)
-            state.write(inst.dest, value, annot.dest_internal, annot.dest_external)
 
         return dyn
 

@@ -35,6 +35,20 @@ class InOrderCore(TimingCore):
         # sampling gap can never leak queue occupancy into the next window.
         self._queue.clear()
 
+    def core_invariants(self, cycle: int):
+        if len(self._queue) > self.config.window_capacity:
+            yield (
+                f"issue queue holds {len(self._queue)} instructions, "
+                f"capacity {self.config.window_capacity}"
+            )
+        previous = -1
+        for winst in self._queue:
+            if winst.issue_cycle is not None:
+                yield f"issued instruction seq={winst.seq} still queued"
+            if winst.seq <= previous:
+                yield f"issue queue out of program order at seq={winst.seq}"
+            previous = winst.seq
+
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
         queue = self._queue

@@ -46,6 +46,27 @@ class OutOfOrderCore(TimingCore):
         self._ready = []
         self._retry = []
 
+    def core_invariants(self, cycle: int):
+        load = self._scheduler_load
+        for index, occupancy in enumerate(load):
+            if not 0 <= occupancy <= self.config.cluster_entries:
+                yield (
+                    f"scheduler {index} occupancy {occupancy} outside "
+                    f"[0, {self.config.cluster_entries}]"
+                )
+        unissued = len(self.unissued_in_flight())
+        if sum(load) != unissued:
+            yield (
+                f"scheduler occupancy sum {sum(load)} != "
+                f"{unissued} dispatched-but-unissued instructions"
+            )
+        for winst in self._ready_pool():
+            if winst.issue_cycle is not None:
+                yield f"issued instruction seq={winst.seq} still in ready pool"
+
+    def _ready_pool(self):
+        return [w for _, w in self._ready] + list(self._retry)
+
     # ----------------------------------------------------------------- wakeup
     def on_ready(self, winst: WInst, cycle: int) -> None:
         heapq.heappush(self._ready, (winst.seq, winst))

@@ -58,6 +58,39 @@ class SimResult:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
+    def counters_cover(self) -> int:
+        """Instructions the ``issued``/``stalls`` counters actually cover.
+
+        Exact runs count every retired instruction; sampled runs count only
+        the measured windows.  Any consumer that mixes ``issued``/``stalls``
+        with ``instructions`` (a trace total) must normalize through this
+        denominator — comparing a sampled run's window-only counters against
+        an exact run's totals is meaningless otherwise.
+        """
+        if self.sampled:
+            return self.sample_measured_instructions
+        return self.instructions
+
+    @property
+    def issue_rate(self) -> float:
+        """Issue slots used per covered instruction (mode-safe)."""
+        cover = self.counters_cover
+        return self.issued / cover if cover else 0.0
+
+    def stall_rates(self) -> Dict[str, float]:
+        """Stall cycle-slots per covered instruction, by reason.
+
+        Safe to compare across exact and sampled runs of the same point:
+        both sides are normalized by :attr:`counters_cover`.
+        """
+        cover = self.counters_cover
+        if not cover:
+            return {name: 0.0 for name in self.stalls.as_dict()}
+        return {
+            name: value / cover for name, value in self.stalls.as_dict().items()
+        }
+
+    @property
     def ipc_stderr(self) -> float:
         """Standard error of the IPC estimate (0.0 for exact runs).
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Type
 
 from .braidcore import BraidCore
@@ -20,10 +21,25 @@ _CORE_CLASSES: Dict[CoreKind, Type[TimingCore]] = {
     CoreKind.BRAID: BraidCore,
 }
 
+_ENV_VALIDATE = "REPRO_VALIDATE"
+
 
 def build_core(workload: PreparedWorkload, config: MachineConfig) -> TimingCore:
     """Instantiate the timing core matching ``config.kind``."""
     return _CORE_CLASSES[config.kind](workload, config)
+
+
+def _env_validation():
+    """Resolve ``REPRO_VALIDATE`` lazily — and pay nothing when unset.
+
+    The common path is one dict lookup; :mod:`repro.validate` is only
+    imported when the variable actually requests checking.
+    """
+    if not os.environ.get(_ENV_VALIDATE, "").strip():
+        return None
+    from ..validate import validation_from_env
+
+    return validation_from_env()
 
 
 def simulate(
@@ -31,22 +47,44 @@ def simulate(
     config: MachineConfig,
     max_cycles: Optional[int] = None,
     sampling=None,
+    validation=None,
 ) -> SimResult:
     """Run ``workload`` on the machine described by ``config``.
 
     ``sampling`` (a :class:`~repro.sim.sampling.SamplingConfig`) switches to
     interval-sampled execution with an extrapolated cycle estimate; ``None``
     (the default) simulates every instruction exactly.
+
+    ``validation`` (a :class:`~repro.validate.ValidationConfig`) attaches
+    lockstep and/or invariant checkers to the run; the default consults
+    ``REPRO_VALIDATE`` and attaches nothing when it is unset, so ordinary
+    runs pay no validation cost.  Divergences raise
+    :class:`~repro.validate.DivergenceError` /
+    :class:`~repro.validate.InvariantViolation`.
     """
+    if validation is None:
+        validation = _env_validation()
     if sampling is not None:
         from .sampling import simulate_sampled
 
         if max_cycles is not None:
             return simulate_sampled(
-                workload, config, sampling, max_cycles=max_cycles
+                workload, config, sampling, max_cycles=max_cycles,
+                validation=validation,
             )
-        return simulate_sampled(workload, config, sampling)
+        return simulate_sampled(
+            workload, config, sampling, validation=validation
+        )
     core = build_core(workload, config)
+    session = None
+    if validation is not None and validation.enabled:
+        from ..validate import attach_validation
+
+        session = attach_validation(core, workload, validation)
     if max_cycles is not None:
-        return core.run(max_cycles=max_cycles)
-    return core.run()
+        result = core.run(max_cycles=max_cycles)
+    else:
+        result = core.run()
+    if session is not None:
+        session.finish(expect_full=True)
+    return result

@@ -502,6 +502,8 @@ def simulate_sampled(
     config: MachineConfig,
     sampling: SamplingConfig,
     max_cycles: int = 100_000_000,
+    validation=None,
+    core=None,
 ) -> SimResult:
     """Estimate ``workload``'s IPC on ``config`` from sampled intervals.
 
@@ -513,16 +515,30 @@ def simulate_sampled(
     standard error in ``cycles_stderr``; ``issued``/``stalls`` cover the
     measured windows only (warmup activity is accounted separately in
     ``extra``).
+
+    ``validation`` attaches checkers exactly as in
+    :func:`~repro.sim.run.simulate` (sampled lockstep tolerates an
+    unmeasured trace tail).  ``core`` lets a caller — the validation
+    runner — supply a pre-built, pre-instrumented core instead; the
+    caller then owns any post-run ``finish`` bookkeeping for hooks it
+    attached itself.
     """
     total = len(workload.trace)
     plan = plan_windows(workload.trace, sampling)
-    if plan is None:
+    session = None
+    if core is None:
         core = build_core(workload, config)
+        if validation is not None and validation.enabled:
+            from ..validate import attach_validation
+
+            session = attach_validation(core, workload, validation)
+    if plan is None:
         result = core.run(max_cycles=max_cycles)
         result.extra["sample_fallback_exact"] = 1.0
+        if session is not None:
+            session.finish(expect_full=True)
         return result
 
-    core = build_core(workload, config)
     cycle = 0
     certain_cycles = 0
     sampled_cycles = 0
@@ -648,4 +664,8 @@ def simulate_sampled(
         (measured_instructions + warmup_instructions) / total
     )
     core.attach_activity(result)
+    if session is not None:
+        # Lattice plans may leave an unmeasured tail, so coverage of the
+        # whole trace is not required — only consistency of what ran.
+        session.finish(expect_full=False)
     return result

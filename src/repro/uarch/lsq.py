@@ -81,3 +81,7 @@ class LoadStoreQueue:
     @property
     def occupancy(self) -> int:
         return len(self._stores)
+
+    def seqs(self) -> tuple:
+        """In-flight store sequence numbers, in insertion (dispatch) order."""
+        return tuple(self._stores)

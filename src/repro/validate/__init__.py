@@ -1,0 +1,106 @@
+"""Differential validation of the timing simulators.
+
+Three independent lines of defence against a silently wrong simulator:
+
+* **Lockstep architectural checking** (:mod:`.lockstep`) — replay every
+  retirement against a fresh functional execution of the program and
+  report the first divergence (PC, opcode, branch outcome, memory
+  address, final architectural state).
+* **µarch invariant checking** (:mod:`.invariants`) — per-cycle
+  structural invariants of the shared machinery (ROB, register-file
+  entry accounting, LSQ age order, checkpoint budget) plus each
+  execution core's own structures.
+* **Translator fuzzing** (:mod:`.fuzzing`) — random hostile programs
+  through the braid translator, checked for observable equivalence.
+
+Everything is opt-in: ``REPRO_VALIDATE`` (see :mod:`.config`) attaches
+checkers to any :func:`repro.sim.run.simulate` call, and
+``python -m repro.harness validate`` runs the full sweep
+(:mod:`.runner`).  With validation off the timing cores' hot loops are
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import ENV_VALIDATE, ValidationConfig, validation_from_env
+from .fuzzing import (
+    FuzzFailure,
+    FuzzReport,
+    fuzz_translator,
+    hostile_block,
+    hostile_program,
+)
+from .invariants import InvariantChecker, InvariantViolation, check_now
+from .lockstep import (
+    Divergence,
+    DivergenceError,
+    LockstepChecker,
+    lockstep_simulate,
+)
+from .runner import (
+    CORE_FACTORIES,
+    DEFAULT_CORES,
+    CheckOutcome,
+    ValidationReport,
+    run_validation,
+)
+
+
+class ValidationSession:
+    """The checkers attached to one simulation run."""
+
+    def __init__(
+        self,
+        lockstep: Optional[LockstepChecker] = None,
+        invariants: Optional[InvariantChecker] = None,
+    ) -> None:
+        self.lockstep = lockstep
+        self.invariants = invariants
+
+    def finish(self, expect_full: bool = True) -> None:
+        """Run post-simulation checks (raises on any divergence)."""
+        if self.lockstep is not None:
+            self.lockstep.finish(expect_full=expect_full)
+
+
+def attach_validation(
+    core, workload, validation: Optional[ValidationConfig]
+) -> Optional["ValidationSession"]:
+    """Wire the configured checkers into ``core``; None when disabled."""
+    if validation is None or not validation.enabled:
+        return None
+    lockstep = None
+    invariants = None
+    if validation.lockstep:
+        lockstep = LockstepChecker(workload).attach(core)
+    if validation.invariants:
+        invariants = InvariantChecker().attach(core)
+    return ValidationSession(lockstep=lockstep, invariants=invariants)
+
+
+__all__ = [
+    "ENV_VALIDATE",
+    "ValidationConfig",
+    "validation_from_env",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_translator",
+    "hostile_block",
+    "hostile_program",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_now",
+    "Divergence",
+    "DivergenceError",
+    "LockstepChecker",
+    "lockstep_simulate",
+    "CORE_FACTORIES",
+    "DEFAULT_CORES",
+    "CheckOutcome",
+    "ValidationReport",
+    "run_validation",
+    "ValidationSession",
+    "attach_validation",
+]

@@ -1,0 +1,74 @@
+"""Validation configuration and the ``REPRO_VALIDATE`` environment knob.
+
+Validation is strictly opt-in: the timing cores' hot loops pay nothing
+unless a checker is attached (see the hook design in
+:mod:`repro.sim.core`).  The environment variable turns checking on for
+any entry point that reaches :func:`repro.sim.run.simulate` — including
+full harness figure runs — without code changes:
+
+* unset / ``0`` / ``off`` / ``false`` / ``no`` / ``none`` — disabled;
+* ``1`` / ``on`` / ``true`` / ``invariants`` — per-cycle µarch invariant
+  checking;
+* ``lockstep`` — architectural lockstep against the functional executor;
+* ``all`` / ``both`` — everything;
+* comma-separated combinations (``lockstep,invariants``) compose.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+ENV_VALIDATE = "REPRO_VALIDATE"
+
+_OFF = ("", "0", "off", "false", "no", "none")
+_INVARIANT_WORDS = ("1", "on", "true", "invariants", "invariant")
+_LOCKSTEP_WORDS = ("lockstep", "arch")
+_ALL_WORDS = ("all", "both", "full")
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Which checkers to attach to a timing-core run."""
+
+    #: replay the retirement stream against the functional executor
+    lockstep: bool = False
+    #: per-cycle structural invariant checking (much slower)
+    invariants: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.lockstep or self.invariants
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["ValidationConfig"]:
+        """Parse a ``REPRO_VALIDATE`` value; ``None`` means disabled."""
+        lockstep = False
+        invariants = False
+        any_word = False
+        for word in text.strip().lower().split(","):
+            word = word.strip()
+            if word in _OFF:
+                continue
+            any_word = True
+            if word in _INVARIANT_WORDS:
+                invariants = True
+            elif word in _LOCKSTEP_WORDS:
+                lockstep = True
+            elif word in _ALL_WORDS:
+                lockstep = True
+                invariants = True
+            else:
+                raise ValueError(
+                    f"bad {ENV_VALIDATE} value {text!r}: unknown mode "
+                    f"{word!r} (expected invariants/lockstep/all/off)"
+                )
+        if not any_word:
+            return None
+        return cls(lockstep=lockstep, invariants=invariants)
+
+
+def validation_from_env() -> Optional[ValidationConfig]:
+    """Resolve ``REPRO_VALIDATE``; unset/``0``/``off`` means no validation."""
+    return ValidationConfig.parse(os.environ.get(ENV_VALIDATE, ""))

@@ -1,0 +1,243 @@
+"""Differential fuzzing of the braid translator.
+
+Braid formation reorders instructions, renames architectural registers
+into the internal space, and drops dead external writebacks — exactly the
+transformations most likely to miscompile under WAR/WAW hazards, memory
+aliasing, read-modify-write conditional moves, and zero-register
+operands.  This module generates *hostile* random programs (the same
+shape the hypothesis-based property tests in
+``tests/test_translator_fuzz.py`` draw, but from a plain seeded
+:class:`random.Random` so the harness and CI can run it without any
+optional dependency), pushes each through the translator at one or more
+internal register file sizes, and demands:
+
+* **observable equivalence** — original and translated programs agree on
+  final memory, control-flow path, and dynamic instruction count under
+  the functional executor (:func:`~repro.sim.functional.observably_equivalent`);
+* **annotation soundness** — start bits open every block, branches stay
+  terminal, internal destinations fit the internal file, and no
+  destination is both internal-only and external-only.
+
+``fuzz_translator`` takes an injectable ``translate`` callable so the
+test suite can verify the harness actually catches a broken translator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core import braidify
+from ..isa.instruction import Instruction
+from ..isa.opcodes import opcode_by_name
+from ..isa.program import BasicBlock, Program
+from ..isa.registers import NUM_INTERNAL_REGS, int_reg
+from ..sim.functional import observably_equivalent
+
+#: Tiny register pool: maximizes redefinition and anti-dependences.
+_POOL = (1, 2, 3, 4, 5, 31)
+
+_ALU = ("addq", "subq", "and", "xor", "cmpeq", "s8addq")
+_CMOV = ("cmovne", "cmoveq")
+_KINDS = ("alu", "alu", "alu", "cmov", "load", "store")
+
+
+def hostile_block(rng: random.Random, min_size: int = 2,
+                  max_size: int = 14) -> List[Instruction]:
+    """One straight-line block dense with hazards and aliasing."""
+    instructions: List[Instruction] = []
+    for _ in range(rng.randint(min_size, max_size)):
+        kind = rng.choice(_KINDS)
+        if kind == "alu":
+            instructions.append(Instruction(
+                opcode=opcode_by_name(rng.choice(_ALU)),
+                dest=int_reg(rng.choice(_POOL)),
+                srcs=(
+                    int_reg(rng.choice(_POOL)),
+                    int_reg(rng.choice(_POOL)),
+                ),
+            ))
+        elif kind == "cmov":
+            dest = int_reg(rng.choice(_POOL))
+            instructions.append(Instruction(
+                opcode=opcode_by_name(rng.choice(_CMOV)),
+                dest=dest,
+                srcs=(
+                    int_reg(rng.choice(_POOL)),
+                    int_reg(rng.choice(_POOL)),
+                    dest,  # read-modify-write
+                ),
+            ))
+        elif kind == "load":
+            instructions.append(Instruction(
+                opcode=opcode_by_name("ldq"),
+                dest=int_reg(rng.choice(_POOL)),
+                srcs=(int_reg(rng.choice(_POOL)),),
+                imm=8 * rng.randint(0, 3),  # heavy aliasing
+            ))
+        else:
+            instructions.append(Instruction(
+                opcode=opcode_by_name("stq"),
+                srcs=(
+                    int_reg(rng.choice(_POOL)),
+                    int_reg(rng.choice(_POOL)),
+                ),
+                imm=8 * rng.randint(0, 3),
+            ))
+    return instructions
+
+
+def hostile_program(rng: random.Random) -> Program:
+    """``ENTRY -> LOOP (bounded, data-hostile) -> EXIT`` with final stores."""
+    entry = BasicBlock(0, label="ENTRY")
+    for position, pool_reg in enumerate(_POOL[:-1]):
+        entry.instructions.append(Instruction(
+            opcode=opcode_by_name("addqi"),
+            dest=int_reg(pool_reg),
+            srcs=(int_reg(31),),
+            imm=0x8000 + 64 * position,
+        ))
+    # Loop counter in r6 (outside the hostile pool, so the loop terminates).
+    entry.instructions.append(Instruction(
+        opcode=opcode_by_name("addqi"), dest=int_reg(6),
+        srcs=(int_reg(31),), imm=rng.randint(1, 4),
+    ))
+
+    loop = BasicBlock(1, label="LOOP", instructions=hostile_block(rng))
+    loop.instructions.append(Instruction(
+        opcode=opcode_by_name("subqi"), dest=int_reg(6),
+        srcs=(int_reg(6),), imm=1,
+    ))
+    loop.instructions.append(Instruction(
+        opcode=opcode_by_name("bne"), srcs=(int_reg(6),), target=1,
+    ))
+
+    exit_block = BasicBlock(2, label="EXIT")
+    for position, pool_reg in enumerate(_POOL[:-1]):
+        # Spill the whole pool so every live value is observable in memory.
+        exit_block.instructions.append(Instruction(
+            opcode=opcode_by_name("stq"),
+            srcs=(int_reg(pool_reg), int_reg(31)),
+            imm=0x100 + 8 * position,
+        ))
+    exit_block.instructions.append(Instruction(opcode=opcode_by_name("nop")))
+    return Program(name="hostile", blocks=[entry, loop, exit_block])
+
+
+def annotation_defects(program: Program) -> List[str]:
+    """Soundness violations of a translated program's braid annotations."""
+    defects: List[str] = []
+    for block in program.blocks:
+        if block.instructions and not block.instructions[0].annot.start:
+            defects.append(f"block {block.index}: first instruction lacks S")
+        for inst in block.instructions[:-1]:
+            if inst.is_branch:
+                defects.append(f"block {block.index}: non-terminal branch")
+        for inst in block.instructions:
+            if inst.annot.dest_internal and inst.dest.index >= NUM_INTERNAL_REGS:
+                defects.append(
+                    f"block {block.index}: internal dest {inst.dest} "
+                    f"outside the internal file"
+                )
+            if inst.annot.dest_internal and inst.annot.dest_external:
+                defects.append(
+                    f"block {block.index}: destination {inst.dest} "
+                    f"annotated both internal and external"
+                )
+    return defects
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One fuzz sample the translator miscompiled (or crashed on)."""
+
+    sample: int
+    seed: int
+    internal_limit: int
+    reason: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`fuzz_translator` campaign."""
+
+    samples: int = 0
+    checks: int = 0
+    seed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"translator fuzzing: {status} — {self.samples} programs, "
+            f"{self.checks} equivalence checks (seed {self.seed})"
+        ]
+        for failure in self.failures[:10]:
+            lines.append(
+                f"  sample {failure.sample} "
+                f"(internal_limit={failure.internal_limit}): {failure.reason}"
+            )
+        if len(self.failures) > 10:
+            lines.append(f"  ... and {len(self.failures) - 10} more")
+        return "\n".join(lines)
+
+
+def fuzz_translator(
+    samples: int = 200,
+    seed: int = 0,
+    internal_limits: Sequence[int] = (8,),
+    translate: Optional[Callable[..., object]] = None,
+    max_instructions: int = 20_000,
+    fail_fast: bool = False,
+) -> FuzzReport:
+    """Differentially fuzz the translator over ``samples`` random programs.
+
+    Deterministic for a fixed ``seed``.  Each program is translated at
+    every internal register file size in ``internal_limits`` and checked
+    for observable equivalence and annotation soundness.  ``translate``
+    defaults to :func:`repro.core.braidify` and must accept
+    ``(program, internal_limit=...)`` returning an object with a
+    ``translated`` program attribute.
+    """
+    if translate is None:
+        translate = braidify
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed)
+    for sample in range(samples):
+        program = hostile_program(rng)
+        program.validate()
+        report.samples += 1
+        for limit in internal_limits:
+            try:
+                compilation = translate(program, internal_limit=limit)
+                translated = compilation.translated
+                translated.validate()
+                equivalent = observably_equivalent(
+                    program, translated, max_instructions=max_instructions
+                )
+                defects = annotation_defects(translated)
+            except Exception as error:  # translator crash is a failure too
+                report.failures.append(FuzzFailure(
+                    sample=sample, seed=seed, internal_limit=limit,
+                    reason=f"{type(error).__name__}: {error}",
+                ))
+            else:
+                report.checks += 1
+                if not equivalent:
+                    report.failures.append(FuzzFailure(
+                        sample=sample, seed=seed, internal_limit=limit,
+                        reason="translated program not observably equivalent",
+                    ))
+                for defect in defects:
+                    report.failures.append(FuzzFailure(
+                        sample=sample, seed=seed, internal_limit=limit,
+                        reason=f"unsound annotation: {defect}",
+                    ))
+            if fail_fast and report.failures:
+                return report
+    return report

@@ -1,0 +1,174 @@
+"""The ``validate`` harness command: full differential validation sweeps.
+
+Runs every selected benchmark on every selected timing core under the
+lockstep architectural oracle (exact mode, and sampled mode when a
+:class:`~repro.sim.sampling.SamplingConfig` is given so the resumable
+window/gap machinery is exercised too), optionally with per-cycle µarch
+invariant checking, then fuzzes the translator.  Returns a renderable
+report and a process exit code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.config import (
+    MachineConfig,
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from ..sim.run import build_core
+from ..sim.sampling import SamplingConfig, simulate_sampled
+from .fuzzing import FuzzReport, fuzz_translator
+from .invariants import InvariantChecker, InvariantViolation
+from .lockstep import DivergenceError, LockstepChecker
+
+#: core key -> (config factory, runs on the braided program)
+CORE_FACTORIES = {
+    "ooo": (ooo_config, False),
+    "inorder": (inorder_config, False),
+    "depsteer": (depsteer_config, False),
+    "braid": (braid_config, True),
+}
+
+DEFAULT_CORES: Tuple[str, ...] = ("ooo", "inorder", "depsteer", "braid")
+
+
+@dataclass
+class CheckOutcome:
+    """One (benchmark, core, mode) validation run."""
+
+    benchmark: str
+    core: str
+    mode: str  # "exact" or "sampled"
+    instructions: int = 0
+    checked: int = 0
+    skipped: int = 0
+    cycles_checked: int = 0
+    seconds: float = 0.0
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def render(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        line = (
+            f"  [{status}] {self.benchmark:10s} {self.core:8s} "
+            f"{self.mode:7s} {self.checked:7d} retired"
+        )
+        if self.skipped:
+            line += f" + {self.skipped} skipped"
+        if self.cycles_checked:
+            line += f", {self.cycles_checked} cycles checked"
+        line += f"  [{self.seconds:.1f}s]"
+        if self.failure:
+            line += f"\n         {self.failure}"
+        return line
+
+
+@dataclass
+class ValidationReport:
+    """Everything one ``validate`` invocation produced."""
+
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+    fuzz: Optional[FuzzReport] = None
+
+    @property
+    def passed(self) -> bool:
+        if any(not outcome.ok for outcome in self.outcomes):
+            return False
+        if self.fuzz is not None and not self.fuzz.passed:
+            return False
+        return True
+
+    def render(self) -> str:
+        lines = ["differential validation:"]
+        lines.extend(outcome.render() for outcome in self.outcomes)
+        failures = sum(1 for outcome in self.outcomes if not outcome.ok)
+        lines.append(
+            f"  {len(self.outcomes) - failures}/{len(self.outcomes)} "
+            f"lockstep runs clean"
+        )
+        if self.fuzz is not None:
+            lines.append(self.fuzz.render())
+        lines.append("VALIDATION " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def _check_one(
+    context,
+    benchmark: str,
+    core_key: str,
+    sampling: Optional[SamplingConfig],
+    invariants: bool,
+) -> CheckOutcome:
+    factory, braided = CORE_FACTORIES[core_key]
+    config: MachineConfig = factory()
+    mode = "sampled" if sampling is not None else "exact"
+    outcome = CheckOutcome(benchmark=benchmark, core=core_key, mode=mode)
+    started = time.time()
+    try:
+        workload = context.workload(benchmark, braided=braided)
+        outcome.instructions = len(workload.trace)
+        core = build_core(workload, config)
+        checker = LockstepChecker(workload).attach(core)
+        invariant_checker = None
+        if invariants:
+            invariant_checker = InvariantChecker().attach(core)
+        if sampling is None:
+            core.run()
+            divergences = checker.finish(expect_full=True)
+        else:
+            simulate_sampled(workload, config, sampling, core=core)
+            divergences = checker.finish(expect_full=False)
+        if divergences:
+            outcome.failure = divergences[0].render()
+        outcome.checked = checker.instructions_checked
+        outcome.skipped = checker.instructions_skipped
+        if invariant_checker is not None:
+            outcome.cycles_checked = invariant_checker.cycles_checked
+    except (DivergenceError, InvariantViolation) as error:
+        outcome.failure = str(error)
+    outcome.seconds = time.time() - started
+    return outcome
+
+
+def run_validation(
+    context,
+    benchmarks: Sequence[str],
+    cores: Sequence[str] = DEFAULT_CORES,
+    sampling: Optional[SamplingConfig] = None,
+    invariants: bool = False,
+    fuzz_samples: int = 200,
+    fuzz_seed: int = 0,
+) -> ValidationReport:
+    """Validate ``benchmarks`` × ``cores``, then fuzz the translator.
+
+    When ``sampling`` is given, every pair runs twice — exact and
+    sampled — so both the straight-line and the resumable window/gap
+    retirement paths are covered.  ``fuzz_samples=0`` skips fuzzing.
+    """
+    unknown = [key for key in cores if key not in CORE_FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown cores {unknown}; choose from {sorted(CORE_FACTORIES)}"
+        )
+    report = ValidationReport()
+    modes: List[Optional[SamplingConfig]] = [None]
+    if sampling is not None:
+        modes.append(sampling)
+    for benchmark in benchmarks:
+        for core_key in cores:
+            for mode in modes:
+                report.outcomes.append(_check_one(
+                    context, benchmark, core_key, mode, invariants
+                ))
+    if fuzz_samples > 0:
+        report.fuzz = fuzz_translator(samples=fuzz_samples, seed=fuzz_seed)
+    return report

@@ -1,0 +1,173 @@
+"""Resumable-run-loop edge cases (_run_until / fast_forward / drain_in_flight).
+
+The sampled-execution engine composes these seams in ways a full run never
+does — empty measured windows, gaps landing exactly on the last
+instruction, zero-length traces — so each edge is pinned down here
+directly, on every core kind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import opcode_by_name
+from repro.isa.program import BasicBlock, Program
+from repro.sim.config import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from repro.sim.core import SimulationError
+from repro.sim.run import build_core, simulate
+from repro.sim.sampling import SamplingConfig
+from repro.sim.workload import prepare_workload
+
+ALL_CONFIGS = [
+    pytest.param(ooo_config, False, id="ooo"),
+    pytest.param(inorder_config, False, id="inorder"),
+    pytest.param(depsteer_config, False, id="depsteer"),
+    pytest.param(braid_config, True, id="braid"),
+]
+
+MAX_CYCLES = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        benchmarks=("gcc",),
+        max_instructions=20_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+
+
+def _zero_instruction_workload():
+    program = Program(name="zero", blocks=[BasicBlock(0, label="ENTRY")])
+    program.validate()
+    return prepare_workload(program, max_instructions=16)
+
+
+def _single_instruction_workload():
+    program = Program(name="one", blocks=[BasicBlock(
+        0, label="ENTRY",
+        instructions=[Instruction(opcode=opcode_by_name("nop"))],
+    )])
+    program.validate()
+    return prepare_workload(program, max_instructions=16)
+
+
+class TestZeroInstructionPrograms:
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_exact_run_is_empty(self, factory, braided):
+        workload = _zero_instruction_workload()
+        result = build_core(workload, factory()).run()
+        assert result.instructions == 0
+        assert result.cycles == 0
+        assert result.issued == 0
+
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_sampled_run_falls_back_to_exact(self, factory, braided):
+        workload = _zero_instruction_workload()
+        result = simulate(workload, factory(), sampling=SamplingConfig())
+        assert result.instructions == 0
+        assert result.extra.get("sample_fallback_exact") == 1.0
+
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_single_instruction_retires(self, factory, braided):
+        workload = _single_instruction_workload()
+        result = build_core(workload, factory()).run()
+        assert result.instructions == 1
+        assert result.cycles > 0
+
+
+class TestEmptyWindows:
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_run_until_current_target_is_noop(self, ctx, factory, braided):
+        workload = ctx.workload("gcc", braided=braided)
+        core = build_core(workload, factory())
+        # Target 0 with 0 retired: the loop must not take a single cycle.
+        assert core._run_until(0, 0, MAX_CYCLES) == 0
+        assert core._retired_count == 0
+        assert not core._rob and not core._fetch_buffer
+
+    def test_repeated_empty_windows_compose(self, ctx):
+        workload = ctx.workload("gcc")
+        core = build_core(workload, ooo_config())
+        cycle = core._run_until(100, 0, MAX_CYCLES)
+        for _ in range(3):  # zero-width windows at the same target
+            assert core._run_until(100, cycle, MAX_CYCLES) == cycle
+        retired = core._retired_count
+        assert retired >= 100
+        # And the run continues past them exactly as if they never happened.
+        cycle = core._run_until(retired + 50, cycle, MAX_CYCLES)
+        assert core._retired_count >= retired + 50
+
+
+class TestDrainAndFastForward:
+    def test_drain_on_idle_core_is_noop(self, ctx):
+        core = build_core(ctx.workload("gcc"), ooo_config())
+        assert core.drain_in_flight(17) == 17
+
+    def test_drain_is_idempotent(self, ctx):
+        workload = ctx.workload("gcc")
+        core = build_core(workload, ooo_config())
+        core._fetch_limit = 64
+        cycle = core._run_until(64, 0, MAX_CYCLES)
+        cycle = core.drain_in_flight(cycle)
+        assert core.drain_in_flight(cycle) == cycle
+        assert not core._pending_writeback and not core._events
+
+    def test_fast_forward_requires_drained_pipeline(self, ctx):
+        workload = ctx.workload("gcc")
+        core = build_core(workload, ooo_config())
+        core._run_until(10, 0, MAX_CYCLES)  # ROB still holds younger insts
+        with pytest.raises(SimulationError):
+            core.fast_forward(100, 0)
+
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_fast_forward_to_end_leaves_nothing_to_run(
+        self, ctx, factory, braided
+    ):
+        workload = ctx.workload("gcc", braided=braided)
+        total = len(workload.trace)
+        core = build_core(workload, factory())
+        core.fast_forward(total, 0)
+        # An empty trailing window after the skip retires nothing.
+        retired = core._retired_count
+        assert core._run_until(retired, 0, MAX_CYCLES) == 0
+        assert core.drain_in_flight(0) == 0
+
+
+class TestWindowEndingAtLastInstruction:
+    @pytest.mark.parametrize("factory, braided", ALL_CONFIGS)
+    def test_final_window_flush(self, ctx, factory, braided):
+        """A sample window ending exactly at the last instruction."""
+        workload = ctx.workload("gcc", braided=braided)
+        total = len(workload.trace)
+        window = 64
+        core = build_core(workload, factory())
+        cycle = core.drain_in_flight(0)
+        core.fast_forward(total - window, cycle)
+        origin = core._retired_count - (total - window)
+        core._fetch_limit = total
+        cycle = core._run_until(origin + total, cycle, MAX_CYCLES)
+        cycle = core.drain_in_flight(cycle)
+        assert core._retired_count - origin == total
+        assert core._next_fetch == total
+        assert not core._rob and not core._pending_writeback
+
+    def test_sampled_simulate_with_tail_aligned_windows(self, ctx):
+        # interval dividing the trace evenly maximizes the chance that the
+        # final measured window abuts the very last instruction; the run
+        # must still drain and report the full instruction total.
+        workload = ctx.workload("gcc")
+        total = len(workload.trace)
+        sampling = SamplingConfig(interval=total // 20, stride=2, warmup=32)
+        result = simulate(workload, ooo_config(), sampling=sampling)
+        assert result.instructions == total
+        assert result.cycles > 0

@@ -8,7 +8,13 @@ from repro.analysis.energy import (
     estimate_energy,
 )
 from repro.core import braidify
-from repro.sim import braid_config, ooo_config, prepare_workload, simulate
+from repro.sim import (
+    SimResult,
+    braid_config,
+    ooo_config,
+    prepare_workload,
+    simulate,
+)
 from repro.workloads import build_program
 
 
@@ -86,3 +92,23 @@ class TestEnergyModel:
         breakdown = estimate_energy(config, result)
         object.__setattr__(breakdown, "_instructions", 0.0)
         assert energy_per_instruction(breakdown) == 0.0
+
+
+class TestSampledGuard:
+    def test_sampled_result_rejected(self, runs):
+        config, exact = runs["ooo"]
+        sampled = SimResult(
+            benchmark=exact.benchmark,
+            machine=exact.machine,
+            cycles=exact.cycles,
+            instructions=exact.instructions,
+            issued=exact.issued // 10,  # window-only counter
+            sampled=True,
+            sample_measured_instructions=exact.instructions // 10,
+        )
+        with pytest.raises(ValueError, match="interval-sampled"):
+            estimate_energy(config, sampled)
+
+    def test_exact_result_still_accepted(self, runs):
+        config, result = runs["ooo"]
+        assert estimate_energy(config, result).total > 0

@@ -115,6 +115,30 @@ class TestArtifactCache:
         assert cache.get(key) is None
         assert not cache.path_for(key).exists()
 
+    def test_truncated_pickle_warns_and_is_counted(self, tmp_path, capsys):
+        cache = ArtifactCache(root=tmp_path)
+        key = cache.workload_key("gcc", 1.0, False, False, 8, "perceptron", 100)
+        cache.put(key, list(range(1000)))
+        path = cache.path_for(key)
+        # A crashed writer's torso: valid pickle prefix, missing tail.
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.corruptions == 1
+        assert cache.stats()["corruptions"] == 1
+        warning = capsys.readouterr().err
+        assert "warning" in warning and path.name in warning
+        # The slot heals: the next put/get round-trips cleanly.
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"
+        assert cache.corruptions == 1
+
+    def test_plain_miss_is_not_a_corruption(self, tmp_path, capsys):
+        cache = ArtifactCache(root=tmp_path)
+        assert cache.get(cache.compilation_key("gcc", 1.0, 8)) is None
+        assert cache.corruptions == 0
+        assert capsys.readouterr().err == ""
+
     def test_disabled_cache_is_inert(self, tmp_path):
         cache = ArtifactCache(root=tmp_path, enabled=False)
         key = cache.compilation_key("gcc", 1.0, 8)
@@ -274,6 +298,52 @@ class TestEffectiveJobs:
 
         monkeypatch.setattr(os, "cpu_count", lambda: 4)
         assert parallel.effective_jobs(16, 100) == 4
+
+
+class TestNonForkFallback:
+    def test_spawn_only_platform_runs_serially(self, monkeypatch, capsys):
+        """Without the fork start method the sweep degrades to serial —
+        loudly, and with results identical to the pool path."""
+        import multiprocessing
+
+        from repro.harness import SweepPoint, parallel
+        from repro.sim import inorder_config, ooo_config
+
+        real_get_context = multiprocessing.get_context
+
+        def forkless_get_context(method=None):
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return real_get_context(method)
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", forkless_get_context
+        )
+        monkeypatch.setattr(parallel, "_NOTED", set())
+        context = ExperimentContext(
+            benchmarks=("gcc",), max_instructions=20_000, jobs=2,
+            cache=ArtifactCache(enabled=False),
+        )
+        points = [
+            SweepPoint("gcc", ooo_config(8)),
+            SweepPoint("gcc", inorder_config(8)),
+        ]
+        results = parallel.run_points_parallel(context, points, jobs=2)
+        note = capsys.readouterr().err
+        assert "fork start method unavailable" in note
+        assert [r.machine for r in results] == [
+            ooo_config(8).name, inorder_config(8).name,
+        ]
+        # Same results the serial in-process path produces (memoized now).
+        assert results[0].cycles == context.run("gcc", ooo_config(8)).cycles
+
+    def test_note_logged_once(self, monkeypatch, capsys):
+        from repro.harness import parallel
+
+        monkeypatch.setattr(parallel, "_NOTED", set())
+        parallel._note_once("same message")
+        parallel._note_once("same message")
+        assert capsys.readouterr().err.count("same message") == 1
 
 
 class TestRunMany:

@@ -64,3 +64,45 @@ class TestCacheCommands:
     def test_cache_commands_cannot_mix_with_experiments(self):
         with pytest.raises(SystemExit):
             main(["cache-info", "T1"])
+
+
+class TestValidateCommand:
+    def test_validate_passes_on_clean_cores(self, capsys):
+        code = main([
+            "validate", "--benchmarks", "gcc,mcf", "--no-cache",
+            "--fuzz", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VALIDATION PASSED" in out
+        assert "8/8 lockstep runs clean" in out
+        assert "translator fuzzing: PASS" in out
+
+    def test_validate_core_selection(self, capsys):
+        code = main([
+            "validate", "--benchmarks", "gcc", "--cores", "ooo,braid",
+            "--no-cache", "--fuzz", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 lockstep runs clean" in out
+        assert "inorder" not in out
+
+    def test_validate_sampled_and_invariants(self, capsys):
+        code = main([
+            "validate", "--benchmarks", "gcc", "--cores", "ooo",
+            "--sample", "interval=200,stride=4,warmup=64",
+            "--invariants", "--no-cache", "--fuzz", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact" in out and "sampled" in out
+        assert "cycles checked" in out
+
+    def test_validate_rejects_unknown_core(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--cores", "vliw", "--no-cache", "--fuzz", "0"])
+
+    def test_validate_cannot_mix_with_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "T1"])

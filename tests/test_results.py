@@ -61,3 +61,41 @@ class TestStallCounters:
     def test_summary_format(self):
         text = make().summary()
         assert "gcc" in text and "ooo-8w" in text and "IPC" in text
+
+
+class TestCounterCoverage:
+    """issued/stalls denominators: exact runs cover the whole trace,
+    sampled runs cover only the measured windows."""
+
+    def make_sampled(self):
+        result = make()
+        result.sampled = True
+        result.sample_measured_instructions = 500
+        result.issued = 600
+        result.stalls.structure_full = 50
+        return result
+
+    def test_exact_counters_cover_whole_trace(self):
+        result = make()
+        result.issued = 3000
+        assert result.counters_cover == result.instructions
+        assert result.issue_rate == pytest.approx(3000 / 2500)
+
+    def test_sampled_counters_cover_measured_windows_only(self):
+        result = self.make_sampled()
+        assert result.counters_cover == 500
+        assert result.issue_rate == pytest.approx(600 / 500)
+
+    def test_stall_rates_normalize_per_mode(self):
+        exact = make()
+        exact.stalls.structure_full = 250
+        sampled = self.make_sampled()
+        # 250/2500 vs 50/500: identical *rates* despite wildly different
+        # raw counters — the comparison that raw mixing would get wrong.
+        assert exact.stall_rates()["structure_full"] == pytest.approx(0.1)
+        assert sampled.stall_rates()["structure_full"] == pytest.approx(0.1)
+
+    def test_stall_rates_zero_cover(self):
+        result = make(instructions=0)
+        assert set(result.stall_rates()) == set(result.stalls.as_dict())
+        assert all(v == 0.0 for v in result.stall_rates().values())

@@ -4,114 +4,28 @@ The generator-driven property tests cover realistic dataflow; this fuzzer
 builds *hostile* programs instead: random straight-line blocks over a tiny
 register pool, stuffed with WAR/WAW hazards, aliasing loads/stores, cmovs
 (read-modify-write), dead writes, and zero-register operands — the patterns
-most likely to break a reordering binary translator.  Every sample must
-braid-compile into an observably equivalent program with sound annotations.
+most likely to break a reordering binary translator.
+
+The program generator and the equivalence/annotation oracles live in the
+reusable harness :mod:`repro.validate.fuzzing` (shared with
+``python -m repro.harness validate``); this file drives the same harness
+two ways — hypothesis picks the seeds here, and a fixed-seed campaign
+reproduces the CI sweep deterministically.
 """
+
+import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import braidify
-from repro.isa.instruction import Instruction
-from repro.isa.opcodes import opcode_by_name
-from repro.isa.program import BasicBlock, Program
-from repro.isa.registers import NUM_INTERNAL_REGS, int_reg
 from repro.sim import observably_equivalent
-
-# Tiny register pool: maximizes redefinition and anti-dependences.
-_POOL = [1, 2, 3, 4, 5, 31]
-
-_ALU = ("addq", "subq", "and", "xor", "cmpeq", "s8addq")
-_CMOV = ("cmovne", "cmoveq")
-
-
-@st.composite
-def hostile_blocks(draw, min_size=2, max_size=14):
-    size = draw(st.integers(min_size, max_size))
-    instructions = []
-    for _ in range(size):
-        kind = draw(st.sampled_from(("alu", "alu", "alu", "cmov",
-                                     "load", "store")))
-        if kind == "alu":
-            op = draw(st.sampled_from(_ALU))
-            instructions.append(Instruction(
-                opcode=opcode_by_name(op),
-                dest=int_reg(draw(st.sampled_from(_POOL))),
-                srcs=(
-                    int_reg(draw(st.sampled_from(_POOL))),
-                    int_reg(draw(st.sampled_from(_POOL))),
-                ),
-            ))
-        elif kind == "cmov":
-            op = draw(st.sampled_from(_CMOV))
-            dest = int_reg(draw(st.sampled_from(_POOL)))
-            instructions.append(Instruction(
-                opcode=opcode_by_name(op),
-                dest=dest,
-                srcs=(
-                    int_reg(draw(st.sampled_from(_POOL))),
-                    int_reg(draw(st.sampled_from(_POOL))),
-                    dest,
-                ),
-            ))
-        elif kind == "load":
-            instructions.append(Instruction(
-                opcode=opcode_by_name("ldq"),
-                dest=int_reg(draw(st.sampled_from(_POOL))),
-                srcs=(int_reg(draw(st.sampled_from(_POOL))),),
-                imm=8 * draw(st.integers(0, 3)),  # heavy aliasing
-            ))
-        else:
-            instructions.append(Instruction(
-                opcode=opcode_by_name("stq"),
-                srcs=(
-                    int_reg(draw(st.sampled_from(_POOL))),
-                    int_reg(draw(st.sampled_from(_POOL))),
-                ),
-                imm=8 * draw(st.integers(0, 3)),
-            ))
-    return instructions
-
-
-@st.composite
-def hostile_programs(draw):
-    """ENTRY -> LOOP (bounded, data-hostile) -> EXIT with a final store."""
-    entry = BasicBlock(0, label="ENTRY")
-    for position, pool_reg in enumerate(_POOL[:-1]):
-        entry.instructions.append(Instruction(
-            opcode=opcode_by_name("addqi"),
-            dest=int_reg(pool_reg),
-            srcs=(int_reg(31),),
-            imm=0x8000 + 64 * position,
-        ))
-    # loop counter in r6 (outside the hostile pool, so the loop terminates)
-    trips = draw(st.integers(1, 4))
-    entry.instructions.append(Instruction(
-        opcode=opcode_by_name("addqi"), dest=int_reg(6),
-        srcs=(int_reg(31),), imm=trips,
-    ))
-
-    loop = BasicBlock(1, label="LOOP", instructions=list(draw(hostile_blocks())))
-    loop.instructions.append(Instruction(
-        opcode=opcode_by_name("subqi"), dest=int_reg(6),
-        srcs=(int_reg(6),), imm=1,
-    ))
-    loop.instructions.append(Instruction(
-        opcode=opcode_by_name("bne"), srcs=(int_reg(6),), target=1,
-    ))
-
-    exit_block = BasicBlock(2, label="EXIT")
-    for position, pool_reg in enumerate(_POOL[:-1]):
-        exit_block.instructions.append(Instruction(
-            opcode=opcode_by_name("stq"),
-            srcs=(int_reg(pool_reg), int_reg(31)),
-            imm=0x100 + 8 * position,
-        ))
-    exit_block.instructions.append(
-        Instruction(opcode=opcode_by_name("nop"))
-    )
-    return Program(name="hostile", blocks=[entry, loop, exit_block])
-
+from repro.validate.fuzzing import (
+    annotation_defects,
+    fuzz_translator,
+    hostile_block,
+    hostile_program,
+)
 
 _SETTINGS = settings(
     max_examples=120,
@@ -119,10 +33,15 @@ _SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+#: Hypothesis drives the shared generator through its seed, so every
+#: failure is reproducible as ``hostile_program(random.Random(seed))``.
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
 
 @_SETTINGS
-@given(hostile_programs())
-def test_hostile_programs_translate_equivalently(program):
+@given(seeds)
+def test_hostile_programs_translate_equivalently(seed):
+    program = hostile_program(random.Random(seed))
     program.validate()
     compilation = braidify(program)
     assert observably_equivalent(
@@ -131,24 +50,40 @@ def test_hostile_programs_translate_equivalently(program):
 
 
 @_SETTINGS
-@given(hostile_programs())
-def test_hostile_programs_have_sound_annotations(program):
+@given(seeds)
+def test_hostile_programs_have_sound_annotations(seed):
+    program = hostile_program(random.Random(seed))
     compilation = braidify(program)
-    for block in compilation.translated.blocks:
-        if block.instructions:
-            assert block.instructions[0].annot.start
-        for inst in block.instructions[:-1]:
-            assert not inst.is_branch  # branch stays terminal
-        for inst in block.instructions:
-            if inst.annot.dest_internal:
-                assert inst.dest.index < NUM_INTERNAL_REGS
-            assert not (inst.annot.dest_internal and inst.annot.dest_external)
+    assert annotation_defects(compilation.translated) == []
 
 
 @_SETTINGS
-@given(hostile_programs(), st.sampled_from([1, 2, 4]))
-def test_hostile_programs_with_tiny_internal_limits(program, limit):
+@given(seeds, st.sampled_from([1, 2, 4]))
+def test_hostile_programs_with_tiny_internal_limits(seed, limit):
+    program = hostile_program(random.Random(seed))
     compilation = braidify(program, internal_limit=limit)
     assert observably_equivalent(
         program, compilation.translated, max_instructions=20_000
     )
+
+
+def test_hostile_blocks_are_hostile():
+    """The generator really produces the hazard density it promises."""
+    instructions = []
+    rng = random.Random(0)
+    for _ in range(50):
+        instructions.extend(hostile_block(rng))
+    dests = [inst.dest for inst in instructions if inst.dest is not None]
+    # Tiny pool => heavy redefinition (WAW) by construction.
+    assert len(set(dests)) <= 6
+    assert len(dests) > 2 * len(set(dests))
+    assert any(inst.is_load for inst in instructions)
+    assert any(inst.is_store for inst in instructions)
+
+
+def test_fixed_seed_campaign_matches_ci():
+    """The acceptance-criterion campaign: 200 hostile programs, all clean."""
+    report = fuzz_translator(samples=200, seed=0)
+    assert report.passed
+    assert report.samples == 200
+    assert report.checks == 200
