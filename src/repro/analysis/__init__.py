@@ -6,11 +6,17 @@ from .energy import (
     energy_per_instruction,
     estimate_energy,
 )
+from .avf import (
+    AVFReport,
+    StructureAVF,
+    avf_report,
+)
 from .complexity import (
     ComplexityComparison,
     StructureCost,
     compare_complexity,
     regfile_area,
+    storage_bits,
     structure_cost,
 )
 from .braidstats import (
@@ -31,10 +37,14 @@ __all__ = [
     "compare_energy",
     "energy_per_instruction",
     "estimate_energy",
+    "AVFReport",
+    "StructureAVF",
+    "avf_report",
     "ComplexityComparison",
     "StructureCost",
     "compare_complexity",
     "regfile_area",
+    "storage_bits",
     "structure_cost",
     "BenchmarkBraidStats",
     "BraidRecord",

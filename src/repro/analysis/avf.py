@@ -1,0 +1,162 @@
+"""Architectural vulnerability factor (AVF) analysis.
+
+Aggregates classified fault-injection runs (:mod:`repro.faults`) into the
+per-structure vulnerability figure: for every (machine, structure) pair
+the AVF is the non-masked fraction of its injections (Mukherjee et al.,
+MICRO 2003), and each structure is weighted by its modelled storage bits
+(:func:`repro.analysis.complexity.storage_bits`) so machines with very
+different structure sizes compare on an *expected corrupted-bits* axis.
+
+The headline figure the paper's complexity argument predicts: the braid
+microarchitecture exposes far fewer scheduler/register-file bits than
+the aggressive out-of-order machine, so its bit-weighted vulnerability
+should sit at or below the out-of-order core's even when the raw
+per-injection AVFs are similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..sim.config import MachineConfig
+from .complexity import storage_bits
+
+#: outcome keys in render order (must match repro.faults.model)
+_OUTCOMES = ("masked", "sdc", "crash", "hang")
+
+
+@dataclass
+class StructureAVF:
+    """Injection tallies and derived AVF for one (machine, structure)."""
+
+    machine: str
+    structure: str
+    bits: int
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {key: 0 for key in _OUTCOMES}
+    )
+
+    @property
+    def injections(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def avf(self) -> float:
+        total = self.injections
+        if total == 0:
+            return 0.0
+        return 1.0 - self.counts["masked"] / total
+
+    @property
+    def weighted(self) -> float:
+        """Expected corrupted bits: AVF x storage bits of the structure."""
+        return self.avf * self.bits
+
+
+@dataclass
+class AVFReport:
+    """Per-structure AVF table plus the bit-weighted machine ranking."""
+
+    rows: List[StructureAVF]
+
+    def machines(self) -> List[str]:
+        seen: List[str] = []
+        for row in self.rows:
+            if row.machine not in seen:
+                seen.append(row.machine)
+        return seen
+
+    def machine_summary(self) -> List[Tuple[str, float, int]]:
+        """``(machine, bit-weighted AVF, total bits)`` per machine.
+
+        The bit-weighted AVF is ``sum(avf x bits) / sum(bits)`` over the
+        machine's structures: the probability that a strike on a
+        uniformly random modelled state bit is not masked.
+        """
+        summary = []
+        for machine in self.machines():
+            rows = [row for row in self.rows if row.machine == machine]
+            total_bits = sum(row.bits for row in rows)
+            weighted = sum(row.weighted for row in rows)
+            avf = weighted / total_bits if total_bits else 0.0
+            summary.append((machine, avf, total_bits))
+        return summary
+
+    def render(self) -> str:
+        lines = [
+            "per-structure architectural vulnerability "
+            "(AVF = non-masked fraction):",
+            f"  {'machine':14s} {'structure':12s} {'runs':>5s} "
+            f"{'masked':>7s} {'sdc':>5s} {'crash':>6s} {'hang':>5s} "
+            f"{'AVF':>6s} {'bits':>9s} {'AVFxbits':>9s}",
+        ]
+        for row in self.rows:
+            counts = row.counts
+            lines.append(
+                f"  {row.machine:14s} {row.structure:12s} "
+                f"{row.injections:5d} {counts['masked']:7d} "
+                f"{counts['sdc']:5d} {counts['crash']:6d} "
+                f"{counts['hang']:5d} {row.avf:6.2f} {row.bits:9d} "
+                f"{row.weighted:9.0f}"
+            )
+        lines.append("")
+        lines.append("most vulnerable structures (by expected corrupted bits):")
+        ranked = sorted(
+            self.rows,
+            key=lambda row: (-row.weighted, row.machine, row.structure),
+        )
+        for rank, row in enumerate(ranked[:8], start=1):
+            lines.append(
+                f"  {rank}. {row.machine} {row.structure}: "
+                f"AVF {row.avf:.2f} x {row.bits} bits = {row.weighted:.0f}"
+            )
+        lines.append("")
+        lines.append("bit-weighted machine vulnerability:")
+        summary = self.machine_summary()
+        peak = max((avf for _, avf, _ in summary), default=0.0)
+        for machine, avf, total_bits in summary:
+            width = int(round(40 * avf / peak)) if peak > 0 else 0
+            bar = "#" * width
+            lines.append(
+                f"  {machine:14s} {avf:6.3f} over {total_bits:9d} bits "
+                f"|{bar}"
+            )
+        return "\n".join(lines)
+
+
+def avf_report(
+    results: Iterable,
+    configs: Dict[str, MachineConfig],
+) -> AVFReport:
+    """Aggregate injection results into the AVF figure.
+
+    ``results`` yields objects with ``machine``/``structure`` attributes
+    and an ``outcome`` whose ``value`` is one of masked/sdc/crash/hang
+    (:class:`repro.faults.model.InjectionResult`); ``configs`` maps
+    machine names to their :class:`~repro.sim.config.MachineConfig` for
+    the storage-bit weights.  Rows come back sorted by machine then
+    structure, so the report is deterministic regardless of completion
+    order.
+    """
+    bits_by_machine = {
+        name: storage_bits(config) for name, config in configs.items()
+    }
+    rows: Dict[Tuple[str, str], StructureAVF] = {}
+    for result in results:
+        key = (result.machine, result.structure)
+        row = rows.get(key)
+        if row is None:
+            bits = bits_by_machine.get(result.machine, {}).get(
+                result.structure, 0
+            )
+            row = StructureAVF(
+                machine=result.machine,
+                structure=result.structure,
+                bits=bits,
+            )
+            rows[key] = row
+        outcome = getattr(result.outcome, "value", result.outcome)
+        row.counts[outcome] = row.counts.get(outcome, 0) + 1
+    ordered = [rows[key] for key in sorted(rows)]
+    return AVFReport(rows=ordered)

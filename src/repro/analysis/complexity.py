@@ -119,6 +119,54 @@ def structure_cost(config: MachineConfig) -> StructureCost:
     )
 
 
+#: modelled bookkeeping bits per structure entry (fault-injection weights)
+_ROB_ENTRY_BITS = 64
+_LSQ_ENTRY_BITS = 128
+_SCHEDULER_ENTRY_BITS = 32
+_BEU_FIFO_ENTRY_BITS = 32
+#: an 8 KB predictor table, identical across paradigms
+_PREDICTOR_BITS = 8 * 1024 * 8
+
+
+def storage_bits(config: MachineConfig) -> Dict[str, int]:
+    """Storage bits per injectable structure (AVF weights).
+
+    Keys match the structure names of :mod:`repro.faults.inject`, so the
+    AVF report can weight each structure's measured vulnerability by how
+    much state a real implementation would expose to particle strikes.
+    Uses the same first-order models as :func:`structure_cost` — the
+    checkpoint weight in particular reuses its per-checkpoint word count,
+    which is where the braid's smaller checkpoint footprint (internal
+    values are never checkpointed, paper section 3.4) shows up.
+    """
+    checkpoint_words = structure_cost(config).checkpoint_words
+    bits: Dict[str, int] = {
+        "rob": config.max_in_flight * _ROB_ENTRY_BITS,
+        "regfile": config.regfile.entries * _WIDTH,
+        "lsq": config.lsq_entries * _LSQ_ENTRY_BITS,
+        "checkpoints": config.max_branches * checkpoint_words * _WIDTH,
+        "branchpred": _PREDICTOR_BITS,
+    }
+    if config.kind is CoreKind.BRAID:
+        internal = config.internal_regfile
+        if internal is not None:
+            bits["regfile"] += config.clusters * internal.entries * _WIDTH
+        # FIFO slots hold a queue tag, no wakeup CAM; plus one busy bit
+        # per external register entry per BEU.
+        bits["beu_fifo"] = (
+            config.clusters * config.cluster_entries * _BEU_FIFO_ENTRY_BITS
+            + config.clusters * config.regfile.entries
+        )
+        # Two annotation bits (external/internal destination) per
+        # in-flight instruction.
+        bits["partition"] = config.max_in_flight * 2
+    else:
+        bits["scheduler"] = (
+            config.clusters * config.cluster_entries * _SCHEDULER_ENTRY_BITS
+        )
+    return bits
+
+
 @dataclass(frozen=True)
 class ComplexityComparison:
     """Side-by-side structure costs plus headline ratios."""

@@ -1,0 +1,54 @@
+"""Transient-fault injection and AVF measurement (``repro.faults``).
+
+Deterministic, seeded single-bit-flip campaigns over live
+microarchitectural state of all four timing cores, with every injected
+run classified into exactly one of {masked, sdc, crash, hang} against
+the lockstep architectural oracle.  See :mod:`repro.faults.model` for
+the fault model, :mod:`repro.faults.inject` for the per-structure
+injectors, and :mod:`repro.faults.campaign` for the hardened campaign
+runner with its crash-safe resume journal.
+
+Command line::
+
+    python -m repro.harness faults --cores braid,ooo --runs 32 --seed 7
+"""
+
+from .campaign import (
+    CampaignError,
+    CampaignJournal,
+    CampaignReport,
+    CampaignSpec,
+    InjectionTask,
+    plan_tasks,
+    run_campaign,
+)
+from .inject import (
+    INJECTORS,
+    FaultSession,
+    run_injection,
+    structures_for,
+)
+from .model import (
+    OUTCOME_ORDER,
+    FaultOutcome,
+    InjectionResult,
+    InjectorError,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignJournal",
+    "CampaignReport",
+    "CampaignSpec",
+    "FaultOutcome",
+    "FaultSession",
+    "INJECTORS",
+    "InjectionResult",
+    "InjectionTask",
+    "InjectorError",
+    "OUTCOME_ORDER",
+    "plan_tasks",
+    "run_campaign",
+    "run_injection",
+    "structures_for",
+]

@@ -1,0 +1,369 @@
+"""Seeded single-bit-flip injectors over live microarchitectural state.
+
+Each injector perturbs one structure of a running
+:class:`~repro.sim.core.TimingCore` — ROB entries, register-file
+occupancy, LSQ entries, checkpoint tags, branch-predictor state, the
+scheduling structures of the conventional cores, and (braid only) BEU
+FIFO slots and the external/internal partition bits.  Injection rides
+the core's ``fault_hook`` (installed by :class:`FaultSession`), which
+fires once per cycle *before* the cycle's stages, so the flip is visible
+to every stage of the injection cycle; with no hook installed the fast
+``_run_until`` loop is untouched and the run is bit-identical to HEAD.
+
+Two rules keep runs independent and deterministic:
+
+* **Never mutate trace-owned objects.**  The prepared workload (trace
+  ``DynInst`` records, the ``mispredicted`` set) is shared across runs
+  in one process; injectors that corrupt instruction payloads replace
+  ``winst.dyn`` with a *mutated copy*, and the branch-predictor injector
+  swaps in a copied set.  Per-run state (``WInst``, LSQ/checkpoint
+  entries, core counters) is mutated freely.
+* **All randomness flows from one ``random.Random``** seeded per task
+  from a SHA-256 digest, so a campaign re-run with the same seed flips
+  the same bit of the same entry at the same cycle.
+
+What a trace-replay simulator can and cannot model: timing cores replay
+pre-computed values, so *data-array* bit flips (a register value, a
+cache line) have no architectural carrier here and faults manifest
+through **control and bookkeeping** state — pointers, tags, status
+bits, occupancy counters.  That is also where the braid/out-of-order
+comparison lives: the structures whose size the paper contrasts are
+exactly these bookkeeping arrays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dataclass_replace
+from heapq import heapify
+from typing import Callable, Dict, Optional, Tuple
+
+from ..sim.config import CoreKind, MachineConfig
+from ..sim.core import SimulationError, TimingCore
+from ..sim.run import build_core
+from ..validate.lockstep import DivergenceError, LockstepChecker
+from .model import FaultOutcome, InjectionResult, InjectorError
+
+
+def _flip_bit(value: int, bit: int) -> int:
+    return value ^ (1 << bit)
+
+
+# ---------------------------------------------------------------- injectors
+#
+# Each injector is called once per cycle (starting at the scheduled
+# injection cycle) with the live core and the task RNG.  It returns a
+# description of the flip it applied, or None when the structure holds no
+# live state this cycle — the session then retries on the next cycle, the
+# way a real particle strike on an empty slot simply waits to matter.
+
+def _inject_rob(core: TimingCore, rng: random.Random) -> Optional[str]:
+    rob = core._rob
+    if not rob:
+        return None
+    mode = rng.choice(("pointer", "payload", "status", "tag"))
+    if mode == "pointer":
+        direction = rng.choice((-1, 1))
+        rob.rotate(direction)
+        return f"rob head-pointer bit flip (window rotated {direction:+d})"
+    index = rng.randrange(len(rob))
+    winst = rob[index]
+    if mode == "payload":
+        field = rng.choice(("pc", "next_pc"))
+        bit = rng.randrange(16)
+        dyn = winst.dyn
+        winst.dyn = dataclass_replace(
+            dyn, **{field: _flip_bit(getattr(dyn, field), bit)}
+        )
+        return f"rob[{index}] payload bit {bit} of {field}"
+    if mode == "status":
+        winst.done = not winst.done
+        return f"rob[{index}] done bit -> {winst.done} (seq {winst.seq})"
+    bit = rng.randrange(8)
+    winst.seq = _flip_bit(winst.seq, bit)
+    return f"rob[{index}] seq tag bit {bit} -> {winst.seq}"
+
+
+def _inject_regfile(core: TimingCore, rng: random.Random) -> Optional[str]:
+    # The timing register file carries no values (the functional executor
+    # did); its fault-relevant state is the in-flight entry accounting
+    # that gates allocation.  An upward flip starves allocation (stall or
+    # hang), a downward flip over-frees (release underflow -> crash).
+    rf = core.rf
+    bit = rng.randrange(max(1, rf.entries.bit_length()))
+    rf.in_flight = _flip_bit(rf.in_flight, bit)
+    return f"regfile in-flight counter bit {bit} -> {rf.in_flight}"
+
+
+def _inject_lsq(core: TimingCore, rng: random.Random) -> Optional[str]:
+    entries = core.lsq.entries()
+    if not entries:
+        return None
+    entry = entries[rng.randrange(len(entries))]
+    mode = rng.choice(("addr", "tag", "status"))
+    if mode == "addr":
+        bit = rng.randrange(3, 16)
+        entry.word = _flip_bit(entry.word, bit)
+        return f"lsq store seq {entry.seq} address bit {bit}"
+    if mode == "tag":
+        bit = rng.randrange(8)
+        entry.seq = _flip_bit(entry.seq, bit)
+        return f"lsq store tag bit {bit} -> {entry.seq}"
+    # Valid/complete bit: a store flipping to "incomplete" wedges every
+    # younger load to the same word (hang); flipping to "complete" lets
+    # loads forward early (timing only in a trace-replay model).
+    if entry.complete_cycle is None:
+        entry.complete_cycle = 0
+        return f"lsq store seq {entry.seq} complete bit set early"
+    entry.complete_cycle = None
+    return f"lsq store seq {entry.seq} complete bit cleared"
+
+
+def _inject_checkpoints(core: TimingCore, rng: random.Random) -> Optional[str]:
+    live = core.checkpoints.live()
+    if not live:
+        return None
+    checkpoint = live[rng.randrange(len(live))]
+    bit = rng.randrange(8)
+    checkpoint.seq = _flip_bit(checkpoint.seq, bit)
+    return f"checkpoint branch-tag bit {bit} -> seq {checkpoint.seq}"
+
+
+def _inject_branchpred(core: TimingCore, rng: random.Random) -> Optional[str]:
+    # Predictor state only steers fetch; the branch *outcome* comes from
+    # the architectural trace.  Flipping a table bit therefore toggles
+    # whether one future branch is treated as mispredicted — a pure
+    # timing perturbation, which is why predictor AVF is ~0 (its state is
+    # un-ACE: Mukherjee et al.'s canonical example).
+    trace = core.trace
+    start = core._next_fetch
+    if start >= len(trace):
+        return None
+    for _ in range(8):
+        index = rng.randrange(start, len(trace))
+        dyn = trace[index]
+        if not dyn.is_branch:
+            continue
+        flipped = set(core.mispredicted)  # copy: the set is trace-owned
+        if dyn.seq in flipped:
+            flipped.discard(dyn.seq)
+            action = "cleared"
+        else:
+            flipped.add(dyn.seq)
+            action = "set"
+        core.mispredicted = flipped
+        return f"branch-predictor bit {action} for branch seq {dyn.seq}"
+    return None
+
+
+def _inject_scheduler(core: TimingCore, rng: random.Random) -> Optional[str]:
+    """Scheduler state of the three conventional cores.
+
+    Dispatches on the structures the concrete core actually owns:
+    distributed out-of-order schedulers (occupancy counters + select
+    priorities), dependence-steering FIFOs, or the in-order issue queue.
+    """
+    load = getattr(core, "_scheduler_load", None)
+    if load is not None:  # out-of-order
+        mode = rng.choice(("occupancy", "priority"))
+        if mode == "priority":
+            pool = core._ready
+            if pool:
+                index = rng.randrange(len(pool))
+                seq, winst = pool[index]
+                bit = rng.randrange(8)
+                pool[index] = (_flip_bit(seq, bit), winst)
+                heapify(pool)
+                return (
+                    f"scheduler select-priority bit {bit} on seq {winst.seq}"
+                )
+            # fall through to the always-live occupancy counters
+        index = rng.randrange(len(load))
+        bit = rng.randrange(max(1, core.config.cluster_entries.bit_length()))
+        load[index] = _flip_bit(load[index], bit)
+        return f"scheduler {index} occupancy bit {bit} -> {load[index]}"
+    fifos = getattr(core, "_fifos", None)
+    if fifos is not None:  # dependence steering
+        occupied = [fifo for fifo in fifos if fifo]
+        if not occupied:
+            return None
+        fifo = occupied[rng.randrange(len(occupied))]
+        direction = rng.choice((-1, 1))
+        fifo.rotate(direction)
+        return f"steering FIFO pointer bit flip (rotated {direction:+d})"
+    queue = getattr(core, "_queue", None)  # in-order
+    if queue is None:
+        raise InjectorError(
+            f"no scheduler structure on {type(core).__name__}"
+        )
+    if len(queue) < 1:
+        return None
+    direction = rng.choice((-1, 1))
+    queue.rotate(direction)
+    return f"issue-queue pointer bit flip (rotated {direction:+d})"
+
+
+def _inject_beu_fifo(core: TimingCore, rng: random.Random) -> Optional[str]:
+    beus = [beu for beu in core.beus if beu.fifo]
+    if not beus:
+        return None
+    beu = beus[rng.randrange(len(beus))]
+    mode = rng.choice(("pointer", "busybit"))
+    if mode == "pointer" and len(beu.fifo) > 1:
+        direction = rng.choice((-1, 1))
+        beu.fifo.rotate(direction)
+        return f"BEU {beu.beu_id} FIFO pointer flip (rotated {direction:+d})"
+    winst = beu.fifo[rng.randrange(len(beu.fifo))]
+    beu.busybits.toggle(winst.seq)
+    return f"BEU {beu.beu_id} busy bit toggled for seq {winst.seq}"
+
+
+def _inject_partition(core: TimingCore, rng: random.Random) -> Optional[str]:
+    # The braid's external/internal classification bits travel with each
+    # in-flight instruction; flip one on a not-yet-issued instruction so
+    # the issue and writeback stages observe the corrupted bit.
+    candidates = [w for w in core._rob if w.issue_cycle is None]
+    if not candidates:
+        return None
+    winst = candidates[rng.randrange(len(candidates))]
+    if rng.random() < 0.5:
+        winst.dest_external = not winst.dest_external
+        return (
+            f"partition external bit -> {winst.dest_external} "
+            f"on seq {winst.seq}"
+        )
+    winst.dest_internal = not winst.dest_internal
+    return (
+        f"partition internal bit -> {winst.dest_internal} "
+        f"on seq {winst.seq}"
+    )
+
+
+#: structure name -> injector
+INJECTORS: Dict[str, Callable[[TimingCore, random.Random], Optional[str]]] = {
+    "rob": _inject_rob,
+    "regfile": _inject_regfile,
+    "lsq": _inject_lsq,
+    "checkpoints": _inject_checkpoints,
+    "branchpred": _inject_branchpred,
+    "scheduler": _inject_scheduler,
+    "beu_fifo": _inject_beu_fifo,
+    "partition": _inject_partition,
+}
+
+_COMMON_STRUCTURES: Tuple[str, ...] = (
+    "rob", "regfile", "lsq", "checkpoints", "branchpred",
+)
+
+
+def structures_for(kind: CoreKind) -> Tuple[str, ...]:
+    """Injectable structures of one core paradigm, in report order."""
+    if kind is CoreKind.BRAID:
+        return _COMMON_STRUCTURES + ("beu_fifo", "partition")
+    return _COMMON_STRUCTURES + ("scheduler",)
+
+
+class FaultSession:
+    """Arms one injection on a core via its per-cycle ``fault_hook``.
+
+    The hook fires from ``inject_cycle`` onward and retries each cycle
+    until the target structure holds live state; once the flip lands the
+    hook detaches itself, so the remainder of the run pays only the
+    instrumented-loop overhead, never extra work per cycle.
+    """
+
+    def __init__(
+        self, structure: str, inject_cycle: int, rng: random.Random
+    ) -> None:
+        try:
+            self._injector = INJECTORS[structure]
+        except KeyError:
+            raise InjectorError(
+                f"unknown structure {structure!r}; "
+                f"choose from {sorted(INJECTORS)}"
+            ) from None
+        self.structure = structure
+        self.inject_cycle = inject_cycle
+        self.rng = rng
+        self.injected = False
+        self.applied_cycle: Optional[int] = None
+        self.detail: Optional[str] = None
+
+    def attach(self, core: TimingCore) -> "FaultSession":
+        if self.structure not in structures_for(core.config.kind):
+            raise InjectorError(
+                f"structure {self.structure!r} does not exist on "
+                f"{core.config.kind.value} cores"
+            )
+        core.fault_hook = self._hook
+        return self
+
+    def _hook(self, core: TimingCore, cycle: int) -> None:
+        if cycle < self.inject_cycle:
+            return
+        detail = self._injector(core, self.rng)
+        if detail is None:
+            return  # target not live this cycle; retry next cycle
+        self.injected = True
+        self.applied_cycle = cycle
+        self.detail = detail
+        core.fault_hook = None  # single-event upset: exactly one flip
+
+
+def run_injection(
+    workload,
+    config: MachineConfig,
+    structure: str,
+    seed: int,
+    baseline_cycles: int,
+    max_cycles: Optional[int] = None,
+) -> InjectionResult:
+    """One injected run, classified into exactly one outcome.
+
+    ``baseline_cycles`` is the fault-free run length; the injection
+    cycle is drawn uniformly from it.  ``max_cycles`` bounds runaway
+    runs (default: 8x the baseline plus slack) — exceeding it is a
+    hang by definition.
+    """
+    rng = random.Random(seed)
+    inject_cycle = rng.randrange(max(1, baseline_cycles))
+    if max_cycles is None:
+        max_cycles = 8 * max(1, baseline_cycles) + 10_000
+
+    core = build_core(workload, config)
+    checker = LockstepChecker(workload, fail_fast=True).attach(core)
+    session = FaultSession(structure, inject_cycle, rng).attach(core)
+
+    outcome = FaultOutcome.MASKED
+    error: Optional[str] = None
+    try:
+        core.run(max_cycles=max_cycles)
+        divergences = checker.finish(expect_full=True)
+    except DivergenceError as exc:
+        outcome = FaultOutcome.SDC
+        error = str(exc).splitlines()[0]
+    except InjectorError:
+        raise  # infrastructure failure: retried/quarantined upstream
+    except SimulationError as exc:
+        # SimulationHang and the whole-run cycle cap: forward progress
+        # stopped either way.
+        outcome = FaultOutcome.HANG
+        error = str(exc).splitlines()[0]
+    except Exception as exc:  # noqa: BLE001 - the machine detectably died
+        outcome = FaultOutcome.CRASH
+        error = f"{type(exc).__name__}: {exc}"
+    else:
+        if divergences:
+            outcome = FaultOutcome.SDC
+            error = divergences[0].render()
+    return InjectionResult(
+        benchmark=workload.name,
+        machine=config.name,
+        structure=structure,
+        seed=seed,
+        outcome=outcome,
+        injected=session.injected,
+        applied_cycle=session.applied_cycle,
+        detail=session.detail,
+        error=error,
+    )

@@ -1,0 +1,89 @@
+"""Fault model and outcome taxonomy for transient-fault injection.
+
+The model is the standard single-event-upset abstraction used by AVF
+studies (Mukherjee et al., MICRO 2003): exactly **one** bit of live
+microarchitectural state flips at one cycle of one run, and the run is
+then observed to completion.  Every injected run terminates in exactly
+one of four ways:
+
+* **masked** — the run retires the full trace and the retirement stream
+  and final architectural state match the fault-free oracle bit for bit
+  (the flipped bit was dead, overwritten, or influenced timing only);
+* **sdc** — silent data corruption: the run completes (or dies inside
+  the checker) but the lockstep oracle observes a divergent retirement
+  stream or final state;
+* **crash** — the simulated machine raises a detectable error (an
+  exception other than the hang watchdog) before finishing;
+* **hang** — the retirement watchdog
+  (:class:`~repro.sim.core.SimulationHang`) or the whole-run cycle cap
+  fires: the machine stopped making forward progress.
+
+The architectural vulnerability factor of a structure is the non-masked
+fraction of its injections; :mod:`repro.analysis.avf` weights it by the
+structure's storage bits to rank end-to-end vulnerability per machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+
+class FaultOutcome(str, enum.Enum):
+    """The four terminal classifications of one injected run."""
+
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    HANG = "hang"
+
+
+#: render order for reports (most benign first)
+OUTCOME_ORDER = (
+    FaultOutcome.MASKED,
+    FaultOutcome.SDC,
+    FaultOutcome.CRASH,
+    FaultOutcome.HANG,
+)
+
+
+class InjectorError(RuntimeError):
+    """Infrastructure failure inside the injection machinery itself.
+
+    Never a domain outcome: a raised ``InjectorError`` propagates out of
+    :func:`~repro.faults.inject.run_injection` so the hardened runner
+    retries/quarantines the task instead of mislabelling it a crash.
+    """
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """One classified injection run (picklable, JSON-serializable)."""
+
+    benchmark: str
+    machine: str
+    structure: str
+    seed: int
+    outcome: FaultOutcome
+    #: False when the target structure never held live state after the
+    #: scheduled cycle — architecturally equivalent to a masked flip of
+    #: an empty slot, and classified as such.
+    injected: bool
+    #: cycle the flip was actually applied (None when never injected)
+    applied_cycle: Optional[int]
+    #: human-readable description of the exact bit flipped
+    detail: Optional[str]
+    #: first line of the error for sdc/crash/hang outcomes
+    error: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        record = asdict(self)
+        record["outcome"] = self.outcome.value
+        return record
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "InjectionResult":
+        record = dict(record)
+        record["outcome"] = FaultOutcome(record["outcome"])
+        return cls(**record)

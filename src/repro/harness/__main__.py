@@ -23,6 +23,15 @@ translator fuzzer::
     python -m repro.harness validate                       # quick suite
     python -m repro.harness validate --benchmarks gcc,mcf,swim
     python -m repro.harness validate --sample --invariants --fuzz 500
+
+``faults`` runs a transient-fault injection campaign (:mod:`repro.faults`)
+and prints the per-structure AVF figure; the campaign journals every
+classified injection and ``--resume`` continues a killed campaign without
+rerunning completed work::
+
+    python -m repro.harness faults --cores braid,ooo --runs 32 --seed 7
+    python -m repro.harness faults --structures rob,scheduler --jobs 4
+    python -m repro.harness faults --resume
 """
 
 from __future__ import annotations
@@ -112,6 +121,76 @@ def _run_validate(args, parser) -> int:
     return 0 if report.passed else 1
 
 
+def _run_faults(args, parser) -> int:
+    """The ``faults`` command: transient-fault injection campaign + AVF."""
+    from pathlib import Path
+
+    from ..faults import CampaignError, CampaignSpec, run_campaign
+    from ..validate import DEFAULT_CORES
+    from . import ExperimentContext
+    from .artifacts import ArtifactCache
+    from .parallel import jobs_from_env
+
+    # Injection campaigns default to one small benchmark at a reduced
+    # scale: each (structure, run) cell is a full simulation, so the grid
+    # multiplies fast.
+    if args.benchmarks in (None, "quick"):
+        benchmarks = ("gcc",)
+    elif args.benchmarks == "full":
+        from ..workloads.profiles import ALL_BENCHMARKS
+
+        benchmarks = ALL_BENCHMARKS
+    else:
+        benchmarks = tuple(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        )
+
+    cores = DEFAULT_CORES
+    if args.cores:
+        cores = tuple(
+            key.strip() for key in args.cores.split(",") if key.strip()
+        )
+    structures = None
+    if args.structures:
+        structures = tuple(
+            name.strip() for name in args.structures.split(",") if name.strip()
+        )
+
+    scale = args.scale if args.scale is not None else 0.2
+    jobs = args.jobs if args.jobs is not None else jobs_from_env()
+    cache = ArtifactCache(enabled=False) if args.no_cache else None
+    context = ExperimentContext(
+        benchmarks=benchmarks, scale=scale, jobs=1, cache=cache,
+    )
+    spec = CampaignSpec(
+        benchmarks=benchmarks,
+        cores=cores,
+        structures=structures,
+        runs=args.runs,
+        seed=args.seed,
+        scale=scale,
+        timeout=args.timeout,
+        jobs=jobs,
+    )
+    journal_path = Path(args.journal) if args.journal else None
+    started = time.time()
+    try:
+        report = run_campaign(
+            context, spec, journal_path=journal_path, resume=args.resume,
+        )
+    except CampaignError as error:
+        parser.error(str(error))
+    print(report.render())
+    # Timings and paths go to stderr: stdout is the deterministic
+    # artifact the CI smoke job diffs across same-seed runs.
+    print(
+        f"[repro.harness] faults: {time.time() - started:.1f}s, journal at "
+        f"{journal_path or 'cache default'}",
+        file=sys.stderr,
+    )
+    return 0 if report.passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -177,6 +256,36 @@ def main(argv=None) -> int:
         "--fuzz-seed", type=int, default=0, metavar="SEED",
         help="validate: deterministic seed for the translator fuzzer",
     )
+    parser.add_argument(
+        "--runs", type=int, default=32, metavar="N",
+        help="faults: injections per (benchmark, core, structure) cell "
+             "(default 32)",
+    )
+    parser.add_argument(
+        "--structures", default=None, metavar="LIST",
+        help="faults: comma-separated structures to inject into "
+             "(default: every structure of each selected core)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="faults: campaign seed; same-seed campaigns classify "
+             "bit-identically",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="faults: resume from the campaign journal, skipping "
+             "completed injections",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="faults: journal file (default: a digest-named file under "
+             "the artifact cache, so --resume finds it automatically)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="faults: per-injection wall-clock budget before the "
+             "hardened runner kills the worker (default 120)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
@@ -198,6 +307,13 @@ def main(argv=None) -> int:
                 "'validate' cannot be mixed with experiment ids"
             )
         return _run_validate(args, parser)
+
+    if "faults" in args.experiments:
+        if args.experiments != ["faults"]:
+            parser.error(
+                "'faults' cannot be mixed with experiment ids"
+            )
+        return _run_faults(args, parser)
 
     selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
     for experiment_id in args.experiments:

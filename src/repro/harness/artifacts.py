@@ -40,6 +40,7 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -49,6 +50,10 @@ CACHE_FORMAT_VERSION = 1
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
 _ENV_LIMIT = "REPRO_CACHE_LIMIT_MB"
+
+#: ``*.tmp`` files older than this are orphans from a killed writer; a
+#: younger one may belong to a concurrently-running worker, so leave it.
+_ORPHAN_TMP_AGE_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -95,6 +100,10 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.corruptions = 0
+        #: stale ``*.tmp`` orphans removed when this cache was opened
+        self.tmp_swept = 0
+        if self.enabled:
+            self.tmp_swept = self._sweep_orphans()
 
     @classmethod
     def from_env(cls) -> "ArtifactCache":
@@ -102,6 +111,28 @@ class ArtifactCache:
             enabled=not cache_disabled_by_env(),
             limit_bytes=cache_limit_from_env(),
         )
+
+    def _sweep_orphans(self) -> int:
+        """Remove stale ``*.tmp`` files a killed writer left behind.
+
+        :meth:`put` writes through a temp file plus ``os.replace``; a
+        worker killed mid-write (OOM, SIGKILL, fault-campaign watchdog)
+        orphans its temp file forever.  Swept on open rather than lazily
+        so the count is visible in :meth:`stats` before any access.
+        """
+        removed = 0
+        try:
+            now = time.time()
+            for path in self.root.glob("*.tmp"):
+                try:
+                    if now - path.stat().st_mtime >= _ORPHAN_TMP_AGE_SECONDS:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return removed
 
     # ------------------------------------------------------------------ paths
     @staticmethod
@@ -201,6 +232,7 @@ class ArtifactCache:
             "bytes": sum(size for _, size, _ in entries),
             "limit_bytes": self.limit_bytes,
             "corruptions": self.corruptions,
+            "tmp_swept": self.tmp_swept,
             "by_kind": by_kind,
         }
 

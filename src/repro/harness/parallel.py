@@ -1,7 +1,7 @@
 """Parallel sweep engine: fan sweep points out over a process pool.
 
 The timing cores are pure Python, so threads cannot scale them; this module
-uses a ``multiprocessing`` pool instead.  Each worker holds one long-lived
+uses worker processes instead.  Each worker holds one long-lived
 :class:`~repro.harness.context.ExperimentContext`, so phase-one artifacts
 (programs, braid compilations, prepared workloads) are materialized at most
 once per worker — and usually not even that, because the parent pre-warms
@@ -15,7 +15,18 @@ phase one before the pool starts:
 
 Results come back in submission order, so a parallel sweep is
 deterministically equal to the serial one (``jobs=1`` bypasses the pool
-entirely — tests and debugging see the plain in-process path).
+entirely — tests and debugging see the plain in-process path).  A worker
+that dies mid-task (OOM kill, segfault, interpreter abort) no longer loses
+the whole sweep: completed results are kept, the in-flight task is logged,
+and the unfinished points are re-run serially in the parent
+(:func:`_collect_resilient`).
+
+For workloads that are *expected* to wedge or kill their workers —
+fault-injection campaigns (:mod:`repro.faults`) — :func:`run_tasks_hardened`
+provides a separate, sturdier dispatch path: dedicated worker processes
+with per-task wall-clock deadlines and watchdog kill, bounded
+retry-with-backoff for infrastructure failures, and quarantine (not abort)
+of tasks that keep destroying their workers.
 
 Knobs: ``REPRO_JOBS`` / ``--jobs`` on ``python -m repro.harness``; the
 default is ``os.cpu_count()``.
@@ -25,8 +36,24 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import queue as queue_module
 import sys
-from typing import List, Optional, Sequence, Set, Tuple
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..sim.results import SimResult
 from .sweep import SweepPoint
@@ -157,6 +184,49 @@ def _run_point_serial(context, point: SweepPoint) -> SimResult:
     )
 
 
+def _collect_resilient(
+    futures: Sequence,
+    labels: Sequence[str],
+    serial_fn: Callable[[int], Any],
+) -> List[Any]:
+    """Gather future results, surviving worker deaths.
+
+    A worker that dies mid-task (OOM kill, segfault) breaks the whole
+    executor: every unfinished future raises :class:`BrokenProcessPool`.
+    Instead of surfacing that as a bare exception and losing all completed
+    work, keep every result that finished, log which task was in flight
+    when the pool broke, and recompute the unfinished tasks through
+    ``serial_fn(index)`` in the calling process.
+    """
+    results: List[Any] = [None] * len(futures)
+    unfinished: List[int] = []
+    broken: Optional[str] = None
+    for index, future in enumerate(futures):
+        if broken is None:
+            try:
+                results[index] = future.result()
+                continue
+            except BrokenProcessPool:
+                broken = labels[index]
+        # Pool already broken: cancel/skim without blocking.  Futures that
+        # finished before the break still hold their results.
+        if future.done() and not future.cancelled():
+            error = future.exception()
+            if error is None:
+                results[index] = future.result()
+                continue
+        unfinished.append(index)
+    if broken is not None:
+        _note_once(
+            f"a worker process died while running {broken!r}; keeping "
+            f"{len(futures) - len(unfinished)} completed result(s) and "
+            f"re-running {len(unfinished)} unfinished task(s) serially"
+        )
+        for index in unfinished:
+            results[index] = serial_fn(index)
+    return results
+
+
 def run_points_parallel(
     context, points: Sequence[SweepPoint], jobs: int
 ) -> List[SimResult]:
@@ -203,13 +273,378 @@ def run_points_parallel(
         )
         return [_run_point_serial(context, point) for point in points]
 
-    chunksize = max(1, len(points) // (jobs * 4))
     _PARENT_CONTEXT = context
     try:
-        with mp_context.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(spec,)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(spec,),
         ) as pool:
-            results = pool.map(_run_point, points, chunksize=chunksize)
+            futures = [pool.submit(_run_point, point) for point in points]
+            results = _collect_resilient(
+                futures,
+                labels=[
+                    f"{p.benchmark} on {p.config.name}" for p in points
+                ],
+                serial_fn=lambda index: _run_point_serial(
+                    context, points[index]
+                ),
+            )
     finally:
         _PARENT_CONTEXT = None
     return results
+
+
+# --------------------------------------------------------------------------
+# Hardened task dispatch (fault-injection campaigns)
+# --------------------------------------------------------------------------
+
+@dataclass
+class TaskOutcome:
+    """Final fate of one hardened task.
+
+    ``status``:
+
+    * ``"ok"`` — the worker function returned; ``result`` holds the value.
+    * ``"quarantined"`` — every attempt ended in an infrastructure failure
+      (worker death, wall-clock timeout, or an exception escaping the
+      worker function); ``error`` describes the last one.  Quarantine is
+      per-task: the campaign continues.
+    """
+
+    task_id: str
+    status: str
+    result: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _deliver_message(inbox: str, message: Tuple) -> None:
+    """Atomically deliver one result message into the parent's inbox.
+
+    Results travel through the filesystem, not a shared
+    ``multiprocessing.Queue``, deliberately: a queue's writer side is a
+    pipe guarded by a cross-process lock, and a worker that dies (or is
+    watchdog-killed) while its feeder thread holds that lock leaks the
+    lock forever, wedging every *other* worker's deliveries.  A pickle
+    written to a private temp file and published with ``os.replace`` is
+    immune — any kill point leaves either no message or a complete one,
+    the same crash-safety idiom the artifact cache and the campaign
+    journal use.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=inbox, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(message, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    global _MESSAGE_COUNTER
+    _MESSAGE_COUNTER += 1
+    final = os.path.join(
+        inbox, f"{os.getpid()}-{_MESSAGE_COUNTER}.msg"
+    )
+    os.replace(tmp_name, final)
+
+
+#: per-process message sequence number (workers inherit 0 after fork)
+_MESSAGE_COUNTER = 0
+
+
+def _drain_inbox(inbox: str) -> List[Tuple]:
+    """Collect and remove every complete message currently in the inbox."""
+    messages: List[Tuple] = []
+    try:
+        names = sorted(os.listdir(inbox))
+    except OSError:
+        return messages
+    for name in names:
+        if not name.endswith(".msg"):
+            continue
+        path = os.path.join(inbox, name)
+        try:
+            with open(path, "rb") as handle:
+                messages.append(pickle.load(handle))
+        except (OSError, pickle.UnpicklingError, EOFError):
+            continue  # should be impossible (rename is atomic); skip
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    return messages
+
+
+def _hardened_worker(fn, task_queue, inbox) -> None:
+    """Worker loop: run tasks until the ``None`` sentinel arrives.
+
+    Exceptions from ``fn`` are reported as infrastructure errors — domain
+    outcomes (an injected run crashing its simulator) are classified
+    *inside* ``fn`` and come back as ordinary results.  The idle wait is
+    bounded so a worker orphaned by a SIGKILLed parent (daemon flags only
+    act on normal interpreter exit) notices the re-parenting and exits
+    instead of blocking on the queue forever.
+    """
+    while True:
+        try:
+            item = task_queue.get(timeout=5.0)
+        except queue_module.Empty:
+            if os.getppid() == 1:  # parent died; we were re-parented
+                return
+            continue
+        if item is None:
+            return
+        task_id, attempt, payload = item
+        try:
+            result = fn(payload)
+            message = (task_id, attempt, "ok", result, None)
+        except BaseException as error:  # noqa: BLE001 - report, don't die
+            message = (task_id, attempt, "error", None,
+                       f"{type(error).__name__}: {error}")
+        try:
+            _deliver_message(inbox, message)
+        except BaseException as error:  # e.g. the result does not pickle
+            _deliver_message(
+                inbox,
+                (task_id, attempt, "error", None,
+                 f"result delivery failed: "
+                 f"{type(error).__name__}: {error}"),
+            )
+
+
+class _HardenedWorker:
+    """One dedicated worker process plus its private task queue.
+
+    The task queue is safe against worker death: the parent is its only
+    writer (so no worker can leak its write lock) and the worker its
+    only reader (a leaked read lock dies with the queue, which is
+    discarded on respawn).  Results come back through the inbox
+    directory — see :func:`_deliver_message`.
+    """
+
+    def __init__(self, mp_context, fn, inbox) -> None:
+        self.task_queue = mp_context.Queue()
+        self.process = mp_context.Process(
+            target=_hardened_worker,
+            args=(fn, self.task_queue, inbox),
+            daemon=True,
+        )
+        self.process.start()
+        #: (index, task_id, attempt, monotonic deadline) or None when idle
+        self.assignment: Optional[Tuple[int, str, int, float]] = None
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.task_queue.close()
+        except (OSError, ValueError):
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then kill."""
+        try:
+            self.task_queue.put(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+
+
+def _run_tasks_serial(
+    fn, tasks, max_attempts: int, on_result=None
+) -> List[TaskOutcome]:
+    """In-process fallback (jobs=1 / no fork): retries but no watchdog."""
+    outcomes = []
+    for task_id, payload in tasks:
+        outcome = TaskOutcome(task_id=task_id, status="quarantined")
+        for attempt in range(1, max_attempts + 1):
+            outcome.attempts = attempt
+            try:
+                outcome.result = fn(payload)
+            except Exception as error:  # infrastructure failure: retry
+                outcome.failures.append(
+                    f"attempt {attempt}: {type(error).__name__}: {error}"
+                )
+                outcome.error = outcome.failures[-1]
+            else:
+                outcome.status = "ok"
+                outcome.error = None
+                break
+        outcomes.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
+    return outcomes
+
+
+def run_tasks_hardened(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Tuple[str, Any]],
+    jobs: int = 1,
+    timeout: float = 120.0,
+    max_attempts: int = 3,
+    backoff: float = 0.5,
+    on_result: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Run ``fn`` over ``tasks`` on workers that are allowed to die.
+
+    ``tasks`` is a sequence of ``(task_id, payload)``; outcomes come back
+    in task order.  Guarantees the campaign runner needs:
+
+    * **watchdog kill** — a task that exceeds ``timeout`` seconds of wall
+      clock gets its worker killed and respawned;
+    * **bounded retry with backoff** — infrastructure failures (worker
+      death, timeout, exception escaping ``fn``) are retried up to
+      ``max_attempts`` times, each retry delayed ``backoff * attempt``
+      seconds;
+    * **quarantine, not abort** — a task that exhausts its attempts is
+      marked ``"quarantined"`` and the remaining tasks keep running;
+    * **incremental delivery** — ``on_result`` fires as each task settles
+      (the campaign journal appends there), so a SIGKILL of the *parent*
+      loses at most the in-flight tasks.
+
+    ``jobs=1`` (or a platform without the fork start method) runs tasks
+    serially in-process with the same retry/quarantine semantics but no
+    wall-clock watchdog — an in-simulator watchdog
+    (:class:`~repro.sim.core.SimulationHang`) still bounds hangs there.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if jobs > 1:
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            _note_once(
+                "fork start method unavailable on this platform: running "
+                "hardened tasks serially in-process (no wall-clock watchdog)"
+            )
+            jobs = 1
+    if jobs <= 1:
+        return _run_tasks_serial(fn, tasks, max_attempts, on_result)
+
+    jobs = min(jobs, len(tasks), os.cpu_count() or 1)
+    jobs = max(jobs, 1)
+    inbox_dir = tempfile.TemporaryDirectory(prefix="repro-hardened-")
+    inbox = inbox_dir.name
+    workers = [
+        _HardenedWorker(mp_context, fn, inbox) for _ in range(jobs)
+    ]
+    outcomes: Dict[int, TaskOutcome] = {}
+    partial: Dict[int, TaskOutcome] = {
+        index: TaskOutcome(task_id=task_id, status="quarantined")
+        for index, (task_id, _) in enumerate(tasks)
+    }
+    #: (not_before, index, attempt)
+    pending: List[Tuple[float, int, int]] = [
+        (0.0, index, 1) for index in range(len(tasks))
+    ]
+
+    def settle(index: int, status: str, result=None, error=None) -> None:
+        outcome = partial[index]
+        outcome.status = status
+        outcome.result = result
+        outcome.error = error
+        outcomes[index] = outcome
+        if on_result is not None:
+            on_result(outcome)
+
+    def fail_attempt(index: int, attempt: int, reason: str) -> None:
+        outcome = partial[index]
+        outcome.failures.append(f"attempt {attempt}: {reason}")
+        if attempt >= max_attempts:
+            settle(index, "quarantined", error=outcome.failures[-1])
+        else:
+            not_before = time.monotonic() + backoff * attempt
+            pending.append((not_before, index, attempt + 1))
+
+    try:
+        while len(outcomes) < len(tasks):
+            now = time.monotonic()
+            # Dispatch ready tasks to idle workers.
+            for worker in workers:
+                if worker.assignment is not None or not pending:
+                    continue
+                slot = None
+                for position, item in enumerate(pending):
+                    if item[0] <= now:
+                        slot = position
+                        break
+                if slot is None:
+                    continue
+                _, index, attempt = pending.pop(slot)
+                task_id, payload = tasks[index]
+                partial[index].attempts = attempt
+                worker.task_queue.put((task_id, attempt, payload))
+                worker.assignment = (
+                    index, task_id, attempt, now + timeout
+                )
+            # Drain delivered results (short sleep keeps deadlines
+            # responsive when the inbox is empty).
+            messages = _drain_inbox(inbox)
+            if not messages:
+                time.sleep(0.02)
+            for task_id, attempt, status, result, error in messages:
+                for worker in workers:
+                    if (
+                        worker.assignment is not None
+                        and worker.assignment[1] == task_id
+                        and worker.assignment[2] == attempt
+                    ):
+                        index = worker.assignment[0]
+                        worker.assignment = None
+                        if status == "ok":
+                            settle(index, "ok", result=result)
+                        else:
+                            fail_attempt(index, attempt, error)
+                        break
+                # Unmatched messages are stale (their worker was already
+                # killed for a deadline miss) and are dropped.
+            # Enforce deadlines and detect dead workers.
+            now = time.monotonic()
+            for position, worker in enumerate(workers):
+                if worker.assignment is None:
+                    if not worker.process.is_alive():
+                        worker.kill()
+                        workers[position] = _HardenedWorker(
+                            mp_context, fn, inbox
+                        )
+                    continue
+                index, task_id, attempt, deadline = worker.assignment
+                reason = None
+                if now > deadline:
+                    reason = (
+                        f"wall-clock timeout after {timeout:.1f}s "
+                        f"(worker killed)"
+                    )
+                elif not worker.process.is_alive():
+                    code = worker.process.exitcode
+                    reason = f"worker died mid-task (exit code {code})"
+                if reason is not None:
+                    _note_once(
+                        f"hardened task {task_id!r}: {reason}; "
+                        f"attempt {attempt}/{max_attempts}"
+                    )
+                    worker.kill()
+                    workers[position] = _HardenedWorker(
+                        mp_context, fn, inbox
+                    )
+                    fail_attempt(index, attempt, reason)
+    finally:
+        for worker in workers:
+            worker.stop()
+        inbox_dir.cleanup()
+    return [outcomes[index] for index in range(len(tasks))]

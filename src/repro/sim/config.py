@@ -108,6 +108,13 @@ class MachineConfig:
     lsq_entries: int = 64
     #: reorder-window safety cap (instructions in flight)
     max_in_flight: int = 512
+    #: retirement watchdog: raise :class:`~repro.sim.core.SimulationHang`
+    #: when no instruction retires for this many consecutive cycles.  The
+    #: default is far above any legitimate retirement gap (the worst case —
+    #: a ROB head waiting out a main-memory miss — is ~400 cycles), so
+    #: correct runs never trip it; fault-injection campaigns lower it to
+    #: classify hangs quickly.
+    max_idle_cycles: int = 200_000
     memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
 
     @property

@@ -34,6 +34,45 @@ class SimulationError(RuntimeError):
     """Raised when a simulation wedges (exceeds the cycle safety cap)."""
 
 
+class SimulationHang(SimulationError):
+    """Retirement stopped advancing for ``max_idle_cycles`` straight cycles.
+
+    Unlike the coarse ``max_cycles`` safety cap (a whole-run budget that a
+    wedged core only hits after minutes of silent spinning), this watchdog
+    fires as soon as *no instruction retires* for the configured window and
+    carries a diagnostic snapshot: the cycle, the ROB head, and a summary
+    of every in-flight population — enough to see *which* structure wedged
+    without re-running under a debugger.  Fault-injection campaigns
+    (:mod:`repro.faults`) rely on it to classify hangs deterministically.
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        benchmark: str,
+        cycle: int,
+        idle_cycles: int,
+        retired: int,
+        target: int,
+        rob_head: str,
+        in_flight: Dict[str, int],
+    ) -> None:
+        self.machine = machine
+        self.benchmark = benchmark
+        self.cycle = cycle
+        self.idle_cycles = idle_cycles
+        self.retired = retired
+        self.target = target
+        self.rob_head = rob_head
+        self.in_flight = dict(in_flight)
+        summary = ", ".join(f"{k}={v}" for k, v in self.in_flight.items())
+        super().__init__(
+            f"{machine} on {benchmark}: no retirement for {idle_cycles} "
+            f"cycles (cycle {cycle}, retired {retired}/{target}, "
+            f"ROB head {rob_head}; {summary})"
+        )
+
+
 class WInst:
     """One in-flight dynamic instruction."""
 
@@ -145,6 +184,12 @@ class TimingCore:
         self.skip_hook = None
         #: called as ``hook(core, cycle)`` once per simulated cycle
         self.invariant_hook = None
+        #: fault-injection hook (repro.faults): called as ``hook(core,
+        #: cycle)`` once per simulated cycle, *before* the cycle's stages,
+        #: so an injected bit flip is visible to every stage of that cycle.
+        #: Like invariant_hook it reroutes _run_until to the instrumented
+        #: twin, so the fast loop pays nothing while it is None.
+        self.fault_hook = None
 
     # ----------------------------------------------------------------- hooks
     def accept(self, winst: WInst, cycle: int) -> bool:
@@ -195,9 +240,12 @@ class TimingCore:
         it alternates ``_run_until`` over detailed windows with
         :meth:`fast_forward` over the skipped gaps.
         """
-        if self.invariant_hook is not None:
+        if self.invariant_hook is not None or self.fault_hook is not None:
             return self._run_until_checked(target_retired, cycle, max_cycles)
         start_cycle = cycle
+        idle_limit = self.config.max_idle_cycles
+        watch_cycle = cycle
+        watch_retired = self._retired_count
         complete_stage = self.complete_stage
         retire_stage = self.retire_stage
         issue_stage = self.issue_stage
@@ -222,6 +270,16 @@ class TimingCore:
                     f"progress after {max_cycles} cycles "
                     f"(retired {self._retired_count}/{target_retired})"
                 )
+            # Retirement watchdog: one conditional per cycle in the common
+            # case.  The inner check runs only once per idle_limit window,
+            # so a wedge is detected within at most two windows.
+            if cycle - watch_cycle > idle_limit:
+                if self._retired_count == watch_retired:
+                    raise self._hang_error(
+                        cycle, cycle - watch_cycle, target_retired
+                    )
+                watch_cycle = cycle
+                watch_retired = self._retired_count
             cycle = skip_idle(cycle)
             if (
                 pending_writeback
@@ -260,6 +318,9 @@ class TimingCore:
         """
         hook = self.invariant_hook
         start_cycle = cycle
+        idle_limit = self.config.max_idle_cycles
+        watch_cycle = cycle
+        watch_retired = self._retired_count
         front = self.config.front_end
         while self._retired_count < target_retired:
             if cycle - start_cycle > max_cycles:
@@ -268,7 +329,17 @@ class TimingCore:
                     f"progress after {max_cycles} cycles "
                     f"(retired {self._retired_count}/{target_retired})"
                 )
+            if cycle - watch_cycle > idle_limit:
+                if self._retired_count == watch_retired:
+                    raise self._hang_error(
+                        cycle, cycle - watch_cycle, target_retired
+                    )
+                watch_cycle = cycle
+                watch_retired = self._retired_count
             cycle = self._skip_idle(cycle)
+            fault = self.fault_hook
+            if fault is not None:
+                fault(self, cycle)
             self.complete_stage(cycle)
             self.retire_stage(cycle)
             self.issue_stage(cycle)
@@ -284,6 +355,32 @@ class TimingCore:
                 hook(self, cycle)
             cycle += 1
         return cycle
+
+    def _hang_error(self, cycle: int, idle_cycles: int,
+                    target: int) -> SimulationHang:
+        """Build the diagnostic hang exception (retirement stopped)."""
+        head = repr(self._rob[0]) if self._rob else "<rob empty>"
+        in_flight = {
+            "rob": len(self._rob),
+            "fetch_buffer": len(self._fetch_buffer),
+            "ready_unissued": self._ready_unissued,
+            "pending_writeback": len(self._pending_writeback),
+            "completion_events": len(self._events),
+            "mem_in_flight": self._mem_in_flight,
+            "rf_in_flight": self.rf.in_flight,
+            "checkpoints": self.checkpoints.occupancy,
+            "lsq_stores": self.lsq.occupancy,
+        }
+        return SimulationHang(
+            machine=self.config.name,
+            benchmark=self.workload.name,
+            cycle=cycle,
+            idle_cycles=idle_cycles,
+            retired=self._retired_count,
+            target=target,
+            rob_head=head,
+            in_flight=in_flight,
+        )
 
     def drain_in_flight(self, cycle: int) -> int:
         """Finish writebacks/releases left after the last retirement.

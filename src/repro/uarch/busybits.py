@@ -43,6 +43,14 @@ class BusyBitVector:
     def is_ready(self, tag: int) -> bool:
         return tag not in self._busy
 
+    def toggle(self, tag: int) -> None:
+        """Invert one bit (transient-fault model: a single-event upset
+        either clears a busy bit early or sets a spurious one)."""
+        if tag in self._busy:
+            self.mark_ready(tag)
+        else:
+            self.mark_busy(tag)
+
     @property
     def occupancy(self) -> int:
         return len(self._busy)

@@ -75,3 +75,8 @@ class CheckpointManager:
     def seqs(self) -> tuple:
         """Branch sequence numbers of live checkpoints, oldest first."""
         return tuple(cp.seq for cp in self._stack)
+
+    def live(self) -> List[Checkpoint]:
+        """Live checkpoints, oldest first (mutable — the fault injectors
+        in :mod:`repro.faults` flip tag bits on these)."""
+        return list(self._stack)

@@ -82,6 +82,11 @@ class LoadStoreQueue:
     def occupancy(self) -> int:
         return len(self._stores)
 
+    def entries(self) -> list:
+        """Live store entries in dispatch order (mutable — used by the
+        fault injectors in :mod:`repro.faults` to flip entry bits)."""
+        return list(self._stores.values())
+
     def seqs(self) -> tuple:
         """In-flight store sequence numbers, in insertion (dispatch) order."""
         return tuple(self._stores)

@@ -152,6 +152,40 @@ class TestArtifactCache:
         key = ArtifactCache.compilation_key("gcc", 1.0, 8)
         assert CACHE_FORMAT_VERSION in key
 
+    def test_orphaned_tmp_files_swept_on_open(self, tmp_path):
+        import os
+
+        from repro.harness.artifacts import _ORPHAN_TMP_AGE_SECONDS
+
+        stale = tmp_path / "dead-writer.pkl.tmp"
+        stale.write_bytes(b"torso")
+        old = stale.stat().st_mtime - _ORPHAN_TMP_AGE_SECONDS - 60
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "live-writer.pkl.tmp"
+        fresh.write_bytes(b"in progress")
+        entry = tmp_path / "kept.pkl"
+        entry.write_bytes(b"entry")
+
+        cache = ArtifactCache(root=tmp_path)
+        assert not stale.exists()  # the killed writer's orphan is gone
+        assert fresh.exists()  # a concurrent writer's file is left alone
+        assert entry.exists()
+        assert cache.tmp_swept == 1
+        assert cache.stats()["tmp_swept"] == 1
+
+    def test_disabled_cache_does_not_sweep(self, tmp_path):
+        import os
+
+        from repro.harness.artifacts import _ORPHAN_TMP_AGE_SECONDS
+
+        stale = tmp_path / "dead-writer.pkl.tmp"
+        stale.write_bytes(b"torso")
+        old = stale.stat().st_mtime - _ORPHAN_TMP_AGE_SECONDS - 60
+        os.utime(stale, (old, old))
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        assert stale.exists()
+        assert cache.tmp_swept == 0
+
     def test_context_reloads_workload_from_disk(self, tmp_path):
         warm = ExperimentContext(
             benchmarks=("gcc",), max_instructions=5_000, jobs=1,

@@ -1,0 +1,213 @@
+"""Hardened task dispatch and worker-death resilience (repro.harness.parallel).
+
+Fault-injection campaigns run tasks that are *expected* to wedge or kill
+their workers; these tests drive ``run_tasks_hardened`` through every
+failure mode it guarantees against — worker death, wall-clock timeouts,
+exceptions escaping the task function — plus the sweep-side
+``_collect_resilient`` guarantee that a dead pool worker never loses
+completed results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.harness.parallel import (
+    TaskOutcome,
+    _collect_resilient,
+    run_tasks_hardened,
+)
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+needs_fork = pytest.mark.skipif(
+    not _has_fork(), reason="requires the fork start method"
+)
+
+
+# Worker functions live at module level so every start method can reach
+# them; cross-process state goes through flag files under the payload dir.
+
+def _double(payload):
+    return payload * 2
+
+
+def _raise_value_error(payload):
+    raise ValueError(f"boom on {payload}")
+
+
+def _die_immediately(payload):
+    os._exit(11)
+
+
+def _die_first_attempt(payload):
+    """Kill the worker on the first attempt, succeed on retries."""
+    flag = payload + ".seen"
+    if not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8"):
+            pass
+        os._exit(13)
+    return "recovered"
+
+
+def _sleep_forever(payload):
+    time.sleep(600)
+
+
+def _crash_pool_worker(payload):
+    if payload == "die":
+        os._exit(7)
+    return payload.upper()
+
+
+class TestSerialPath:
+    def test_ok_results_in_task_order(self):
+        outcomes = run_tasks_hardened(
+            _double, [("a", 1), ("b", 2), ("c", 3)], jobs=1
+        )
+        assert [o.task_id for o in outcomes] == ["a", "b", "c"]
+        assert [o.result for o in outcomes] == [2, 4, 6]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_exception_retried_then_quarantined(self):
+        outcomes = run_tasks_hardened(
+            _raise_value_error, [("a", 1)], jobs=1, max_attempts=3
+        )
+        outcome = outcomes[0]
+        assert outcome.status == "quarantined" and not outcome.ok
+        assert outcome.attempts == 3
+        assert len(outcome.failures) == 3
+        assert "ValueError" in outcome.error
+
+    def test_quarantine_does_not_abort_later_tasks(self):
+        outcomes = run_tasks_hardened(
+            lambda p: _raise_value_error(p) if p == 1 else p,
+            [("bad", 1), ("good", 2)],
+            jobs=1, max_attempts=2,
+        )
+        assert not outcomes[0].ok
+        assert outcomes[1].ok and outcomes[1].result == 2
+
+    def test_on_result_fires_once_per_task(self):
+        settled = []
+        run_tasks_hardened(
+            _double, [("a", 1), ("b", 2)], jobs=1, on_result=settled.append
+        )
+        assert [o.task_id for o in settled] == ["a", "b"]
+        assert all(isinstance(o, TaskOutcome) for o in settled)
+
+    def test_empty_task_list(self):
+        assert run_tasks_hardened(_double, [], jobs=4) == []
+
+
+@needs_fork
+class TestHardenedWorkers:
+    def test_parallel_ok_path(self):
+        outcomes = run_tasks_hardened(
+            _double, [(str(i), i) for i in range(6)], jobs=2, timeout=30.0
+        )
+        assert [o.result for o in outcomes] == [0, 2, 4, 6, 8, 10]
+        assert all(o.ok for o in outcomes)
+
+    def test_dead_worker_does_not_lose_completed_work(self):
+        tasks = [("ok-1", 1), ("fatal", 2), ("ok-2", 3)]
+
+        def fn(payload):
+            if payload == 2:
+                os._exit(11)
+            return payload * 2
+
+        outcomes = run_tasks_hardened(
+            fn, tasks, jobs=2, timeout=30.0, max_attempts=2, backoff=0.05
+        )
+        by_id = {o.task_id: o for o in outcomes}
+        assert by_id["ok-1"].ok and by_id["ok-1"].result == 2
+        assert by_id["ok-2"].ok and by_id["ok-2"].result == 6
+        fatal = by_id["fatal"]
+        assert fatal.status == "quarantined"
+        assert fatal.attempts == 2
+        assert "worker died mid-task" in fatal.error
+
+    def test_worker_death_retries_with_fresh_worker(self, tmp_path):
+        payload = str(tmp_path / "attempt")
+        outcomes = run_tasks_hardened(
+            _die_first_attempt, [("t", payload)],
+            jobs=2, timeout=30.0, max_attempts=3, backoff=0.05,
+        )
+        outcome = outcomes[0]
+        assert outcome.ok and outcome.result == "recovered"
+        assert outcome.attempts == 2
+        assert len(outcome.failures) == 1
+        assert "worker died" in outcome.failures[0]
+
+    def test_wall_clock_timeout_kills_and_quarantines(self):
+        started = time.monotonic()
+        outcomes = run_tasks_hardened(
+            _sleep_forever, [("stuck", None)],
+            jobs=2, timeout=1.0, max_attempts=1,
+        )
+        elapsed = time.monotonic() - started
+        outcome = outcomes[0]
+        assert outcome.status == "quarantined"
+        assert "timeout" in outcome.error
+        assert elapsed < 30.0  # the watchdog, not the sleep, ended the task
+
+    def test_incremental_delivery_under_failures(self):
+        settled = []
+
+        def fn(payload):
+            if payload == "die":
+                os._exit(9)
+            return payload
+
+        run_tasks_hardened(
+            fn, [("a", "x"), ("b", "die"), ("c", "y")],
+            jobs=2, timeout=30.0, max_attempts=1, on_result=settled.append,
+        )
+        assert sorted(o.task_id for o in settled) == ["a", "b", "c"]
+
+
+@needs_fork
+class TestCollectResilient:
+    def test_pool_break_keeps_finished_results(self):
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_crash_pool_worker, payload)
+                for payload in ("first", "die", "last")
+            ]
+            results = _collect_resilient(
+                futures,
+                labels=["first", "die", "last"],
+                serial_fn=lambda index: ("first", "die", "last")[
+                    index
+                ].upper(),
+            )
+        # The completed result survives; the in-flight and queued tasks
+        # are recomputed serially in the parent.
+        assert results == ["FIRST", "DIE", "LAST"]
+
+    def test_clean_pool_passes_through(self):
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=2, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_crash_pool_worker, payload)
+                for payload in ("a", "b")
+            ]
+            results = _collect_resilient(
+                futures, labels=["a", "b"],
+                serial_fn=lambda index: pytest.fail("no rerun expected"),
+            )
+        assert results == ["A", "B"]
