@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.harness.artifacts import ArtifactCache
 from repro.harness.context import ExperimentContext
 from repro.harness.experiments import fig9_braid_beus
+from repro.obs import Observer
 from repro.sim.config import braid_config, depsteer_config, inorder_config, ooo_config
 from repro.sim.run import simulate
 from repro.sim.sampling import SamplingConfig
@@ -87,6 +88,62 @@ def measure_throughput() -> dict:
             "insts_per_sec": round(instructions / elapsed) if elapsed else 0,
         }
     return throughput
+
+
+#: Hooks-off throughput may not regress below this fraction of the seed
+#: baseline: the observability layer's zero-overhead-when-off contract.
+OBS_OVERHEAD_FLOOR = 0.97
+
+
+def measure_obs_overhead(hooks_off: dict) -> dict:
+    """Observer-attached throughput vs the hooks-off numbers just taken.
+
+    ``hooks_off`` is :func:`measure_throughput`'s result — those runs have no
+    hooks installed, so they double as the zero-overhead side of the contract.
+    The guard compares them against the recorded seed baseline; the observed
+    column quantifies what attaching a full Observer costs when you opt in.
+    """
+    ctx = ExperimentContext(
+        benchmarks=QUICK, jobs=1, cache=ArtifactCache(enabled=False)
+    )
+    workloads = {
+        braided: [ctx.workload(name, braided=braided) for name in QUICK]
+        for braided in (False, True)
+    }
+    seed_tp = SEED_BASELINE["throughput_insts_per_sec"]
+    section = {}
+    for kind, (config, braided) in CORE_CONFIGS.items():
+        instructions = 0
+        started = time.perf_counter()
+        for workload in workloads[braided]:
+            observe = Observer(trace=True, cpi=True, metrics=True)
+            instructions += simulate(
+                workload, config, observe=observe
+            ).instructions
+        elapsed = time.perf_counter() - started
+        observed = instructions / elapsed if elapsed else 0.0
+        plain = hooks_off[kind]["insts_per_sec"]
+        section[kind] = {
+            "hooks_off_insts_per_sec": plain,
+            "observed_insts_per_sec": round(observed),
+            "observer_cost_pct": round(100 * (1 - observed / plain), 1)
+            if plain else 0.0,
+            "hooks_off_vs_seed": round(plain / seed_tp[kind], 3),
+        }
+    return section
+
+
+def check_obs_overhead(section: dict) -> list:
+    """Cores whose hooks-off throughput regressed past the floor."""
+    return [
+        f"{kind}: hooks-off throughput is "
+        f"{entry['hooks_off_vs_seed']:.3f}x the seed baseline "
+        f"({entry['hooks_off_insts_per_sec']} vs "
+        f"{SEED_BASELINE['throughput_insts_per_sec'][kind]} insts/s, "
+        f"floor {OBS_OVERHEAD_FLOOR})"
+        for kind, entry in section.items()
+        if entry["hooks_off_vs_seed"] < OBS_OVERHEAD_FLOOR
+    ]
 
 
 def time_f9(jobs: int, cache: ArtifactCache) -> float:
@@ -181,6 +238,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     throughput = measure_throughput()
+    obs_overhead = measure_obs_overhead(throughput)
     sweep = measure_sweep(args.jobs)
     sampling = measure_sampling()
 
@@ -201,6 +259,7 @@ def main(argv=None) -> int:
         },
         "suite": {"benchmarks": list(QUICK), "max_instructions": 60_000},
         "throughput": throughput,
+        "obs_overhead": obs_overhead,
         "f9_quick_sweep": sweep,
         "interval_sampling": sampling,
         "seed_baseline": SEED_BASELINE,
@@ -222,6 +281,17 @@ def main(argv=None) -> int:
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+
+    regressions = check_obs_overhead(obs_overhead)
+    if regressions:
+        print(
+            "\nFAIL: observability-off throughput regressed past the "
+            f"{OBS_OVERHEAD_FLOOR} floor vs the seed baseline:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""CI smoke test for the observability layer.
+
+Two checks, both cheap enough for every push:
+
+1. **Export schema** — the Chrome trace JSON written by
+   ``python -m repro.harness trace`` (path passed as argv[1]) passes the
+   schema validator and actually contains events.
+2. **Non-interference** — a traced+attributed run of one benchmark is
+   bit-identical to the plain run (cycles, instructions, IPC), and the
+   CPI-stack components sum to the cycle count exactly.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py trace-gcc-braid.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.obs import Observer, chrome_schema_errors
+from repro.sim.config import braid_config
+from repro.sim.run import simulate
+
+
+def fail(message: str) -> None:
+    print(f"obs_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome_export(path: Path) -> None:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        fail(f"cannot load chrome trace {path}: {exc}")
+    errors = chrome_schema_errors(doc)
+    if errors:
+        fail(f"{path} violates the Chrome trace schema: {errors[:5]}")
+    if not doc.get("traceEvents"):
+        fail(f"{path} has no traceEvents")
+    print(f"obs_smoke: {path}: {len(doc['traceEvents'])} events, schema ok")
+
+
+def check_non_interference() -> None:
+    ctx = ExperimentContext(
+        benchmarks=("gcc",),
+        max_instructions=20_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+    workload = ctx.workload("gcc", braided=True)
+    config = braid_config(8)
+    plain = simulate(workload, config)
+    observe = Observer(trace=True, cpi=True, metrics=True)
+    traced = simulate(workload, config, observe=observe)
+    for field in ("cycles", "instructions", "issued", "ipc"):
+        if getattr(plain, field) != getattr(traced, field):
+            fail(
+                f"observer changed {field}: "
+                f"{getattr(plain, field)} -> {getattr(traced, field)}"
+            )
+    total = sum(traced.cpi_stack.values())
+    if total != traced.cycles:
+        fail(f"cpi_stack sums to {total}, expected {traced.cycles} cycles")
+    print(
+        "obs_smoke: traced run bit-identical to plain "
+        f"({traced.cycles} cycles), cpi_stack sums exactly"
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        fail("usage: obs_smoke.py <chrome-trace.json>")
+    check_chrome_export(Path(argv[0]))
+    check_non_interference()
+    print("obs_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ from .sweep import Cell, SweepPoint, sweep_experiment
 from .experiments import (
     abl_beu_occupancy,
     abl_internal_reg_limit,
+    cpi_stack_experiment,
     disc_pipeline_length,
     fig1_width_potential,
     fig5_ooo_registers,
@@ -25,7 +26,7 @@ from .experiments import (
     tab2_braid_size_width,
     tab3_braid_io,
 )
-from .figures import render_bars, render_series
+from .figures import render_bars, render_series, render_stacked
 from .reporting import ExperimentResult, normalize_rows
 
 ALL_EXPERIMENTS = {
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "A1": abl_beu_occupancy,
     "A2": abl_internal_reg_limit,
     "SV": sampling_validation,
+    "CS": cpi_stack_experiment,
 }
 
 __all__ = [
@@ -64,6 +66,7 @@ __all__ = [
     "sweep_experiment",
     "render_bars",
     "render_series",
+    "render_stacked",
     "ExperimentResult",
     "normalize_rows",
     "ALL_EXPERIMENTS",

@@ -32,6 +32,18 @@ rerunning completed work::
     python -m repro.harness faults --cores braid,ooo --runs 32 --seed 7
     python -m repro.harness faults --structures rob,scheduler --jobs 4
     python -m repro.harness faults --resume
+
+``trace`` records a cycle-level pipeline trace of one benchmark on one
+core and writes it for a pipeline viewer — Konata text or Chrome
+trace-event JSON (Perfetto / ``chrome://tracing``)::
+
+    python -m repro.harness trace --bench gcc --core braid --format konata
+    python -m repro.harness trace --bench mcf --core ooo --format chrome \
+        --out mcf.trace.json
+
+``CS`` (an ordinary experiment id) prints CPI stall-attribution stacks;
+``--format bars`` renders them as stacked bars.  ``--profile`` wraps the
+run (workers included) in cProfile and prints an aggregated top-N report.
 """
 
 from __future__ import annotations
@@ -191,6 +203,90 @@ def _run_faults(args, parser) -> int:
     return 0 if report.passed else 1
 
 
+def _run_trace(args, parser) -> int:
+    """The ``trace`` command: one observed run, exported for a viewer."""
+    from pathlib import Path
+
+    from ..obs import (
+        Observer,
+        chrome_schema_errors,
+        export_chrome,
+        export_konata,
+    )
+    from ..sim.run import simulate
+    from ..validate import CORE_FACTORIES
+    from . import ExperimentContext
+    from .artifacts import ArtifactCache
+
+    fmt = args.format if args.format in ("konata", "chrome") else "chrome"
+    bench = args.bench
+    core_key = args.core
+    if core_key not in CORE_FACTORIES:
+        parser.error(
+            f"--core: unknown core {core_key!r}; "
+            f"choose from {', '.join(sorted(CORE_FACTORIES))}"
+        )
+    sampling = None
+    if args.sample is not None:
+        from ..sim.sampling import SamplingConfig
+
+        try:
+            sampling = SamplingConfig.parse(args.sample)
+        except ValueError as error:
+            parser.error(f"--sample: {error}")
+
+    cache = ArtifactCache(enabled=False) if args.no_cache else None
+    context = ExperimentContext(
+        benchmarks=(bench,), scale=args.scale, jobs=1, cache=cache,
+    )
+    factory, braided = CORE_FACTORIES[core_key]
+    config = factory()
+    try:
+        workload = context.workload(bench, braided=braided)
+    except KeyError:
+        parser.error(f"--bench: unknown benchmark {bench!r}")
+    observer = Observer(
+        trace=True, cpi=True, metrics=True, trace_capacity=args.limit,
+    )
+    result = simulate(workload, config, sampling=sampling, observe=observer)
+
+    records = observer.trace_records()
+    suffix = "konata" if fmt == "konata" else "json"
+    out = Path(args.out) if args.out else Path(
+        f"trace-{bench}-{core_key}.{suffix}"
+    )
+    if fmt == "konata":
+        out.write_text(export_konata(records), encoding="utf-8")
+    else:
+        import json
+
+        doc = export_chrome(records, benchmark=bench, machine=config.name)
+        errors = chrome_schema_errors(doc)
+        if errors:
+            print("trace export failed schema validation:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        out.write_text(json.dumps(doc), encoding="utf-8")
+
+    print(result.summary())
+    dropped = int(result.extra.get("trace_dropped", 0))
+    print(
+        f"trace: {len(records)} instruction(s) -> {out} ({fmt})"
+        + (f", {dropped} dropped by the {args.limit}-entry ring" if dropped
+           else "")
+    )
+    if result.cpi_stack:
+        instructions = result.instructions or 1
+        stack = ", ".join(
+            f"{cause}={value / instructions:.3f}"
+            for cause, value in result.cpi_stack.items()
+            if value > 0
+        )
+        print(f"cpi stack: {stack}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -213,9 +309,12 @@ def main(argv=None) -> int:
         help="dynamic-length multiplier (overrides REPRO_SCALE)",
     )
     parser.add_argument(
-        "--format", choices=("table", "bars", "series"), default="table",
+        "--format",
+        choices=("table", "bars", "series", "konata", "chrome"),
+        default="table",
         help="output style: per-benchmark table (default), grouped bar "
-             "chart, or compact suite-average series",
+             "chart, or compact suite-average series; for the trace "
+             "command: konata or chrome (default chrome)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -286,6 +385,29 @@ def main(argv=None) -> int:
         help="faults: per-injection wall-clock budget before the "
              "hardened runner kills the worker (default 120)",
     )
+    parser.add_argument(
+        "--bench", default="gcc", metavar="NAME",
+        help="trace: the benchmark to record (default gcc)",
+    )
+    parser.add_argument(
+        "--core", default="braid", metavar="KIND",
+        help="trace: the timing core to record "
+             "(ooo, inorder, depsteer, braid; default braid)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="trace: output file (default trace-<bench>-<core>.<ext>)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20000, metavar="N",
+        help="trace: ring-buffer capacity in instructions; older "
+             "instructions are dropped beyond this (default 20000)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run (worker processes included) in cProfile and "
+             "print an aggregated top-N report to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
@@ -314,6 +436,13 @@ def main(argv=None) -> int:
                 "'faults' cannot be mixed with experiment ids"
             )
         return _run_faults(args, parser)
+
+    if "trace" in args.experiments:
+        if args.experiments != ["trace"]:
+            parser.error(
+                "'trace' cannot be mixed with experiment ids"
+            )
+        return _run_trace(args, parser)
 
     selected = list(ALL_EXPERIMENTS) if "all" in args.experiments else []
     for experiment_id in args.experiments:
@@ -345,13 +474,20 @@ def main(argv=None) -> int:
             name.strip() for name in args.benchmarks.split(",") if name.strip()
         )
 
-    from .figures import render_bars, render_series
+    from .figures import render_bars, render_series, render_stacked
 
     renderers = {
         "table": lambda result: result.render(),
-        "bars": render_bars,
+        "bars": lambda result: (
+            render_stacked(result) if getattr(result, "stacked", False)
+            else render_bars(result)
+        ),
         "series": render_series,
     }
+    if args.format not in renderers:
+        parser.error(
+            f"--format {args.format} only applies to the trace command"
+        )
     render = renderers[args.format]
 
     from .artifacts import ArtifactCache
@@ -361,12 +497,39 @@ def main(argv=None) -> int:
         benchmarks=benchmarks, scale=args.scale, jobs=args.jobs, cache=cache,
         sampling=sampling, result_cache=True if args.result_cache else None,
     )
-    for experiment_id in selected:
-        started = time.time()
-        result = ALL_EXPERIMENTS[experiment_id](context)
-        print(render(result))
-        print(f"   [{time.time() - started:.1f}s]")
-        print()
+
+    profile_tmp = None
+    if args.profile:
+        import os
+        import tempfile
+
+        from ..obs.profiling import ENV_PROFILE_DIR
+
+        profile_tmp = tempfile.TemporaryDirectory(prefix="repro-profile-")
+        # Workers inherit the environment at fork time, so exporting here
+        # covers the whole sweep, pool included.
+        os.environ[ENV_PROFILE_DIR] = profile_tmp.name
+    try:
+        from ..obs.profiling import maybe_profiled
+
+        for experiment_id in selected:
+            started = time.time()
+            result = maybe_profiled(
+                lambda: ALL_EXPERIMENTS[experiment_id](context)
+            )
+            print(render(result))
+            print(f"   [{time.time() - started:.1f}s]")
+            print()
+        if profile_tmp is not None:
+            from ..obs.profiling import aggregate_profiles
+
+            print(aggregate_profiles(profile_tmp.name), file=sys.stderr)
+    finally:
+        if profile_tmp is not None:
+            import os
+
+            os.environ.pop(ENV_PROFILE_DIR, None)
+            profile_tmp.cleanup()
     return 0
 
 

@@ -45,7 +45,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when artifact pickles or phase-one semantics change shape.
-CACHE_FORMAT_VERSION = 1
+#: v2: SimResult grew observability fields (cpi_stack, metrics).
+CACHE_FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"

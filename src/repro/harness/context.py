@@ -28,6 +28,7 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import BraidCompilation, braidify
@@ -37,6 +38,7 @@ from ..sim.results import SimResult
 from ..sim.run import simulate
 from ..sim.sampling import SamplingConfig, sampling_from_env
 from ..sim.workload import PreparedWorkload, prepare_workload
+from ..obs.runlog import RunLog
 from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
 from ..workloads.suite import QUICK_BENCHMARKS, build_program
 from .artifacts import ArtifactCache
@@ -117,6 +119,9 @@ class ExperimentContext:
         self.result_cache = (
             result_cache if result_cache is not None else result_cache_from_env()
         )
+        #: structured JSONL sweep telemetry (REPRO_RUNLOG; defaults to a
+        #: runlog.jsonl next to the artifact cache when that is enabled)
+        self.runlog = RunLog.from_env(self.cache)
         self._programs: Dict[str, Program] = {}
         self._compilations: Dict[Tuple[str, int], BraidCompilation] = {}
         self._workloads: Dict[Tuple[str, bool, bool, int], PreparedWorkload] = {}
@@ -192,7 +197,11 @@ class ExperimentContext:
         point = SweepPoint(name, config, braided, perfect, internal_limit)
         result = self._results.get(point)
         if result is None:
+            started = time.perf_counter()
+            hits_before = self.cache.hits
+            misses_before = self.cache.misses
             disk_key = None
+            result_cache_hit = False
             if self.result_cache:
                 disk_key = self.cache.result_key(
                     name, self.scale, braided, perfect, internal_limit,
@@ -201,6 +210,7 @@ class ExperimentContext:
                     if self.sampling is not None else None,
                 )
                 result = self.cache.get(disk_key)
+                result_cache_hit = result is not None
             if result is None:
                 workload = self.workload(
                     name, braided=braided, perfect=perfect,
@@ -210,6 +220,26 @@ class ExperimentContext:
                 if disk_key is not None:
                     self.cache.put(disk_key, result)
             self._results[point] = result
+            self.runlog.log(
+                event="cell",
+                benchmark=name,
+                machine=config.name,
+                braided=braided,
+                perfect=perfect,
+                internal_limit=internal_limit,
+                sampled=result.sampled,
+                sample_intervals=result.sample_intervals,
+                sample_detail_fraction=result.extra.get(
+                    "sample_detail_fraction", 0.0
+                ),
+                cycles=result.cycles,
+                instructions=result.instructions,
+                ipc=round(result.ipc, 4),
+                seconds=round(time.perf_counter() - started, 4),
+                result_cache_hit=result_cache_hit,
+                artifact_hits=self.cache.hits - hits_before,
+                artifact_misses=self.cache.misses - misses_before,
+            )
         return result
 
     def run_many(

@@ -680,3 +680,55 @@ def sampling_validation(ctx: ExperimentContext) -> ExperimentResult:
             f"(trace too short for a sample plan)"
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# CPI stacks — where every cycle goes, per core kind
+# ---------------------------------------------------------------------------
+def cpi_stack_experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """CS: CPI stall-attribution stacks for every (benchmark, core kind).
+
+    Each row is one (benchmark, core) cell decomposed into CPI components
+    from the :data:`~repro.obs.cpi.STALL_CAUSES` taxonomy: per-cycle
+    retirement-slot accounting charges used slots to ``base`` and every
+    empty slot to exactly one cause, so the columns of a row sum to that
+    cell's CPI (exactly in exact mode, within rounding for sampled runs).
+    The stacked-bar rendering (``--format bars``) makes the paper's core
+    comparison visual: the braid core's residual over out-of-order should
+    appear as data-dependence and FIFO-structural segments, not as base.
+    """
+    from ..obs import STALL_CAUSES, Observer
+    from ..sim.run import simulate
+
+    configs = {
+        "ooo": (ooo_config(8), False),
+        "inorder": (inorder_config(8), False),
+        "depsteer": (depsteer_config(8), False),
+        "braid": (braid_config(8), True),
+    }
+    result = ExperimentResult(
+        experiment_id="CS",
+        title="CPI stacks by stall cause (cycles per instruction)",
+        paper_expectation="braid residual over ooo concentrates in "
+                          "data-dependence and FIFO-structural slots",
+        columns=list(STALL_CAUSES),
+        stacked=True,
+    )
+    for name in ctx.benchmarks:
+        for label, (config, braided) in configs.items():
+            workload = ctx.workload(name, braided=braided)
+            observe = Observer(cpi=True)
+            cell = simulate(
+                workload, config, sampling=ctx.sampling, observe=observe
+            )
+            instructions = cell.instructions or 1
+            result.rows[f"{name}/{label}"] = {
+                cause: cell.cpi_stack.get(cause, 0.0) / instructions
+                for cause in STALL_CAUSES
+            }
+    result.finalize_averages()
+    result.notes.append(
+        "each row sums to the cell's CPI; empty retirement slots are "
+        "charged to exactly one cause per cycle"
+    )
+    return result

@@ -11,7 +11,7 @@ from typing import Optional
 
 from .reporting import ExperimentResult
 
-_BAR_CHARS = "#*+o@x%&"
+_BAR_CHARS = "#*+o@x%&=~"
 
 
 def render_bars(
@@ -68,6 +68,49 @@ def render_bars(
                 f"  {column:>{label_width}s} {value:6.2f} "
                 f"{bar(value, mark)}"
             )
+    return "\n".join(lines)
+
+
+def render_stacked(result: ExperimentResult, bar_width: int = 60) -> str:
+    """Render rows whose columns are additive components (CPI stacks).
+
+    One horizontal bar per row; each column contributes a run of its own
+    marker character, proportional to its share of the row total.  All
+    bars share one scale (the largest row total), so bar length compares
+    CPI across rows and segment length attributes it.
+    """
+    totals = {
+        name: sum(row.get(column, 0.0) for column in result.columns)
+        for name, row in result.rows.items()
+    }
+    if not totals:
+        return f"== {result.experiment_id}: (no data)"
+    peak = max(totals.values()) or 1.0
+    name_width = max(len(name) for name in result.rows)
+    lines = [
+        f"== {result.experiment_id}: {result.title}",
+        f"   paper: {result.paper_expectation}",
+        f"   scale: full bar = {peak:.2f}",
+        "   legend: " + "  ".join(
+            f"{_BAR_CHARS[i % len(_BAR_CHARS)]}={column}"
+            for i, column in enumerate(result.columns)
+        ),
+    ]
+    for name, row in result.rows.items():
+        segments = []
+        carried = 0.0  # accumulate sub-cell components so none vanish
+        for index, column in enumerate(result.columns):
+            value = row.get(column, 0.0) + carried
+            cells = int(round(bar_width * value / peak))
+            carried = value - cells * peak / bar_width
+            mark = _BAR_CHARS[index % len(_BAR_CHARS)]
+            segments.append(mark * cells)
+        lines.append(
+            f"  {name:>{name_width}s} {totals[name]:6.2f} "
+            f"{''.join(segments)}"
+        )
+    for note in result.notes:
+        lines.append(f"   note: {note}")
     return "\n".join(lines)
 
 

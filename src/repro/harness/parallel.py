@@ -164,12 +164,19 @@ def _init_worker(spec: Tuple) -> None:
 
 
 def _run_point(point: SweepPoint) -> SimResult:
-    return _WORKER_CONTEXT.run(
-        point.benchmark,
-        point.config,
-        braided=point.braided,
-        perfect=point.perfect,
-        internal_limit=point.internal_limit,
+    from ..obs.profiling import maybe_profiled
+
+    # maybe_profiled is a straight call unless the parent exported
+    # REPRO_PROFILE_DIR (--profile); then each worker dumps cProfile data
+    # the parent aggregates after the sweep.
+    return maybe_profiled(
+        lambda: _WORKER_CONTEXT.run(
+            point.benchmark,
+            point.config,
+            braided=point.braided,
+            perfect=point.perfect,
+            internal_limit=point.internal_limit,
+        )
     )
 
 

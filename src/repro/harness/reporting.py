@@ -22,6 +22,9 @@ class ExperimentResult:
     rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
     averages: Dict[str, float] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: columns are additive components of one quantity per row (CPI stacks);
+    #: the bar renderer then stacks segments instead of grouping bars
+    stacked: bool = False
 
     def column_average(self, column: str) -> float:
         values = [row[column] for row in self.rows.values() if column in row]

@@ -1,0 +1,48 @@
+"""Observability layer: tracing, CPI stall attribution, harness telemetry.
+
+Everything here is opt-in and rides on the per-cycle hook mechanism of
+:class:`~repro.sim.core.TimingCore` (``trace_hook``, next to
+``invariant_hook`` and ``fault_hook``); with every knob off the timing
+loop takes the unhooked fast path and is bit-identical to the seed.
+"""
+
+from .cpi import STALL_CAUSES, classify_cycle, classify_stall, empty_stack
+from .metrics import BoundedHistogram, MetricsRegistry
+from .observer import Observer
+from .profiling import (
+    ENV_PROFILE_DIR,
+    aggregate_profiles,
+    maybe_profiled,
+    profile_dir,
+)
+from .runlog import ENV_RUNLOG, RunLog
+from .tracing import (
+    RingLog,
+    chrome_schema_errors,
+    export_chrome,
+    export_konata,
+    issue_stall_cause,
+    retired_records,
+)
+
+__all__ = [
+    "STALL_CAUSES",
+    "classify_cycle",
+    "classify_stall",
+    "empty_stack",
+    "BoundedHistogram",
+    "MetricsRegistry",
+    "Observer",
+    "ENV_PROFILE_DIR",
+    "aggregate_profiles",
+    "maybe_profiled",
+    "profile_dir",
+    "ENV_RUNLOG",
+    "RunLog",
+    "RingLog",
+    "chrome_schema_errors",
+    "export_chrome",
+    "export_konata",
+    "issue_stall_cause",
+    "retired_records",
+]

@@ -1,0 +1,102 @@
+"""Harness telemetry primitives: counters and bounded histograms.
+
+A :class:`BoundedHistogram` keeps one integer bucket per value up to a
+fixed bound (structure occupancies are naturally bounded by capacity), an
+overflow bucket for anything beyond, and enough moments for mean/max.
+Weights let idle-skip gaps contribute their whole width in one call.
+:class:`MetricsRegistry` is the named bag of both that the observer fills
+and :class:`~repro.sim.results.SimResult` carries as plain dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class BoundedHistogram:
+    """Integer-valued histogram with ``bound + 1`` exact buckets."""
+
+    __slots__ = (
+        "bound", "counts", "overflow", "total_weight", "weighted_sum",
+        "max_value",
+    )
+
+    def __init__(self, bound: int) -> None:
+        self.bound = max(0, int(bound))
+        self.counts: List[int] = [0] * (self.bound + 1)
+        self.overflow = 0
+        self.total_weight = 0
+        self.weighted_sum = 0
+        self.max_value = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        if weight <= 0:
+            return
+        self.total_weight += weight
+        self.weighted_sum += value * weight
+        if value > self.max_value:
+            self.max_value = value
+        if 0 <= value <= self.bound:
+            self.counts[value] += weight
+        else:
+            self.overflow += weight
+
+    @property
+    def mean(self) -> float:
+        if self.total_weight == 0:
+            return 0.0
+        return self.weighted_sum / self.total_weight
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest bucket value covering ``fraction`` of the weight.
+
+        Overflow weight counts as ``bound`` (the histogram cannot resolve
+        beyond its bound; ``max_value`` records the true extreme).
+        """
+        if self.total_weight == 0:
+            return 0
+        threshold = fraction * self.total_weight
+        running = 0
+        for value, count in enumerate(self.counts):
+            running += count
+            if running >= threshold:
+                return value
+        return self.bound
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "weight": float(self.total_weight),
+            "mean": self.mean,
+            "p50": float(self.percentile(0.50)),
+            "p95": float(self.percentile(0.95)),
+            "max": float(self.max_value),
+            "overflow": float(self.overflow),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms collected during a simulation."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, BoundedHistogram] = {}
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def histogram(self, name: str, bound: int) -> BoundedHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = BoundedHistogram(bound)
+        return hist
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict snapshot (picklable, cache-friendly)."""
+        out: Dict[str, Dict[str, float]] = {
+            name: hist.summary() for name, hist in self.histograms.items()
+        }
+        if self.counters:
+            out["counters"] = {
+                name: float(value) for name, value in self.counters.items()
+            }
+        return out

@@ -1,0 +1,196 @@
+"""The observability front door: one object wiring all three layers.
+
+``Observer`` attaches to a :class:`~repro.sim.core.TimingCore` through the
+same per-cycle hook mechanism the invariant checker and fault injector use
+(``core.trace_hook``), so observability is a pure add-on: with no observer
+attached the timing loop takes the unhooked fast path and is bit-identical
+to the seed simulator.
+
+Layers (independently switchable):
+
+* ``cpi`` — per-cycle retirement-slot accounting into the
+  :data:`~repro.obs.cpi.STALL_CAUSES` taxonomy.  Exact identity: the
+  components sum to the simulated cycle count (slot fractions are k/width
+  with width a power of two, hence exact in binary floating point).
+* ``trace`` — installs a :class:`~repro.obs.tracing.RingLog` as
+  ``core.trace_log`` so dispatched instructions are recorded for the
+  Konata / Chrome exporters.
+* ``metrics`` — bounded occupancy histograms (ROB, fetch buffer, LSQ,
+  scheduler) and issue-slot utilization via
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Idle-skip interaction: ``_skip_idle`` jumps over state-frozen cycles
+without firing per-cycle hooks, so the observer charges each gap when the
+next hook fires.  The gap's cycles are attributed to the *state-only*
+classification computed at the end of the previous hooked cycle (the state
+a frozen machine holds throughout the gap), and occupancy gauges add the
+previous cycle's readings with the gap width as weight.
+
+Sampling interaction: :func:`~repro.sim.sampling.simulate_sampled` calls
+:meth:`Observer.skip_to` after each fast-forward to resynchronize counter
+snapshots (drain/fast-forward mutate state outside hooked execution), and
+:meth:`Observer.finalize` scales measured-window slot counts up to the
+estimated total cycle count when the result is sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .cpi import STALL_CAUSES, classify_cycle, empty_stack
+from .metrics import MetricsRegistry
+from .tracing import RingLog, retired_records
+
+
+class Observer:
+    """Attachable pipeline observer: CPI stack, trace ring, telemetry."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        cpi: bool = True,
+        metrics: bool = False,
+        trace_capacity: int = 65536,
+    ) -> None:
+        self.trace = trace
+        self.cpi = cpi
+        self.metrics_enabled = metrics
+        self.trace_capacity = trace_capacity
+        self.core = None
+        self.ring: Optional[RingLog] = None
+        self.slots: Dict[str, float] = empty_stack()
+        self.metrics = MetricsRegistry()
+        self._width = 1
+        self._last_cycle = -1
+        self._last_retired = 0
+        self._last_issued = 0
+        self._last_rob_cap = 0
+        self._last_struct = 0
+        self._gap_cause = "fetch_limited"
+        #: end-of-previous-cycle gauge readings, charged to idle-skip gaps
+        self._pending: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self, core) -> None:
+        """Install hooks on ``core`` (before ``run`` / first window)."""
+        self.core = core
+        self._width = max(1, core.config.issue_width)
+        core.trace_hook = self._on_cycle
+        if self.trace:
+            self.ring = RingLog(self.trace_capacity)
+            core.trace_log = self.ring
+        if self.metrics_enabled:
+            config = core.config
+            self.metrics.histogram("rob_occupancy", config.max_in_flight)
+            self.metrics.histogram(
+                "fetch_buffer_occupancy", config.front_end.fetch_buffer
+            )
+            self.metrics.histogram("lsq_occupancy", config.lsq_entries)
+            self.metrics.histogram(
+                "scheduler_occupancy", config.max_in_flight
+            )
+            self.metrics.histogram("issue_slots", self._width)
+        self._resync(0)
+
+    def _resync(self, cycle: int) -> None:
+        """Align counter snapshots with the core's current state."""
+        core = self.core
+        self._last_cycle = cycle - 1
+        self._last_retired = core._retired_count
+        self._last_issued = core._issued_count
+        self._last_rob_cap = core.stalls.in_flight_cap
+        self._last_struct = core.stalls.structure_full
+        self._gap_cause = classify_cycle(core, cycle)
+        self._pending = self._readings(issued_delta=0)
+
+    def skip_to(self, cycle: int) -> None:
+        """Resynchronize after a sampling drain + fast-forward.
+
+        Drain cycles execute unhooked and fast-forward rewrites machine
+        state wholesale; neither belongs to a measured window, so the
+        observer simply realigns its snapshots at the next window's start.
+        """
+        self._resync(cycle)
+
+    # -------------------------------------------------------------- collection
+    def _readings(self, issued_delta: int) -> Dict[str, int]:
+        core = self.core
+        return {
+            "rob_occupancy": len(core._rob),
+            "fetch_buffer_occupancy": len(core._fetch_buffer),
+            "lsq_occupancy": core._mem_in_flight,
+            "scheduler_occupancy": core.scheduler_occupancy(),
+            "issue_slots": issued_delta,
+        }
+
+    def _on_cycle(self, core, cycle: int) -> None:
+        """Per-cycle hook: charge the preceding gap, then this cycle."""
+        gap = cycle - self._last_cycle - 1
+        if gap > 0:
+            # Idle-skipped cycles: state frozen, zero retirement — the full
+            # width of every gap cycle goes to the cause the frozen state
+            # exhibited when we last looked.
+            if self.cpi:
+                self.slots[self._gap_cause] += gap
+            if self.metrics_enabled:
+                for name, value in self._pending.items():
+                    weight = gap
+                    if name == "issue_slots":
+                        value = 0
+                    self.metrics.histograms[name].add(value, weight)
+
+        retired_delta = core._retired_count - self._last_retired
+        issued_delta = core._issued_count - self._last_issued
+        width = self._width
+        if self.cpi:
+            rob_cap_delta = core.stalls.in_flight_cap - self._last_rob_cap
+            structure_delta = core.stalls.structure_full - self._last_struct
+            self.slots["base"] += retired_delta / width
+            empty = width - retired_delta
+            if empty > 0:
+                cause = classify_cycle(
+                    core, cycle, rob_cap_delta, structure_delta
+                )
+                self.slots[cause] += empty / width
+        if self.metrics_enabled:
+            readings = self._readings(issued_delta)
+            for name, value in readings.items():
+                self.metrics.histograms[name].add(value, 1)
+            self._pending = readings
+
+        self._last_cycle = cycle
+        self._last_retired = core._retired_count
+        self._last_issued = core._issued_count
+        self._last_rob_cap = core.stalls.in_flight_cap
+        self._last_struct = core.stalls.structure_full
+        # State-only label for a possible idle-skip gap that follows.
+        self._gap_cause = classify_cycle(core, cycle)
+
+    # --------------------------------------------------------------- reporting
+    def cpi_totals(self) -> Dict[str, float]:
+        """Snapshot of the slot accumulators (for sampling-window diffs)."""
+        return dict(self.slots)
+
+    def trace_records(self):
+        """Retired instructions currently held by the trace ring."""
+        if self.ring is None:
+            return []
+        return retired_records(self.ring)
+
+    def finalize(self, result, cpi_slots: Optional[Dict[str, float]] = None) -> None:
+        """Publish collected data onto a :class:`SimResult`."""
+        if self.cpi:
+            slots = dict(cpi_slots) if cpi_slots is not None else dict(self.slots)
+            if result.sampled:
+                total = sum(slots.values())
+                if total > 0:
+                    scale = result.cycles / total
+                    slots = {
+                        cause: value * scale for cause, value in slots.items()
+                    }
+            result.cpi_stack = {cause: slots.get(cause, 0.0) for cause in STALL_CAUSES}
+        if self.metrics_enabled:
+            result.metrics = self.metrics.summary()
+        if self.ring is not None:
+            result.extra["trace_events"] = float(len(self.ring))
+            result.extra["trace_dropped"] = float(self.ring.dropped)

@@ -1,0 +1,67 @@
+"""Opt-in cProfile support for harness runs (``--profile``).
+
+Workers of a parallel sweep are separate processes, so profiling works by
+convention: the parent sets ``REPRO_PROFILE_DIR`` and every process wraps
+its unit of work in :func:`maybe_profiled`, dumping one ``.prof`` file per
+call into the shared directory.  The parent then merges them with
+:func:`aggregate_profiles` and prints the top-N cumulative entries.
+
+When the environment variable is unset, :func:`maybe_profiled` calls the
+function directly — zero overhead on the normal path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+from pathlib import Path
+from typing import Callable, Optional, TypeVar
+
+ENV_PROFILE_DIR = "REPRO_PROFILE_DIR"
+
+T = TypeVar("T")
+
+_counter = 0
+
+
+def profile_dir() -> Optional[Path]:
+    raw = os.environ.get(ENV_PROFILE_DIR)
+    if not raw:
+        return None
+    return Path(raw)
+
+
+def maybe_profiled(fn: Callable[[], T]) -> T:
+    """Run ``fn`` under cProfile when ``REPRO_PROFILE_DIR`` is set."""
+    directory = profile_dir()
+    if directory is None:
+        return fn()
+    global _counter
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn)
+    finally:
+        _counter += 1
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(
+                str(directory / f"worker-{os.getpid()}-{_counter}.prof")
+            )
+        except OSError:
+            pass
+
+
+def aggregate_profiles(directory, top: int = 15) -> str:
+    """Merge every ``.prof`` file in ``directory`` into a top-N report."""
+    paths = sorted(Path(directory).glob("*.prof"))
+    if not paths:
+        return "no profile data collected"
+    stream = io.StringIO()
+    stats = pstats.Stats(str(paths[0]), stream=stream)
+    for path in paths[1:]:
+        stats.add(str(path))
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    header = f"profile: {len(paths)} sample file(s), top {top} by cumulative time\n"
+    return header + stream.getvalue()

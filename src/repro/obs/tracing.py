@@ -1,0 +1,280 @@
+"""Pipeline event tracing: ring buffer plus viewer exports.
+
+The trace rides on the dispatch-time ``core.trace_log`` append (the same
+mechanism :mod:`repro.sim.pipeview` consumes): each recorded
+:class:`~repro.sim.core.WInst` already carries its full lifecycle —
+fetch/dispatch/issue/complete/writeback/retire cycles, the mispredict
+(flush) flag, and its captured producers, from which per-event stall causes
+are derived at export time.  :class:`RingLog` bounds memory on long runs by
+keeping only the newest ``capacity`` instructions (and counting the drops).
+
+Two export formats:
+
+* **Konata** (:func:`export_konata`) — the Kanata ``0004`` text format the
+  Konata pipeline viewer loads (``I``/``L``/``S``/``R`` commands grouped
+  under ``C`` cycle advances);
+* **Chrome trace events** (:func:`export_chrome`) — a
+  ``{"traceEvents": [...]}`` JSON document of ``ph: "X"`` complete events
+  (one slice per pipeline stage), loadable in Perfetto or
+  ``chrome://tracing``.  :func:`chrome_schema_errors` validates a document
+  against the minimal schema CI asserts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Chrome event phases the minimal schema accepts.
+_CHROME_PHASES = {"X", "i", "I", "B", "E", "M"}
+
+
+class RingLog:
+    """Bounded trace sink for ``core.trace_log`` (newest-wins ring)."""
+
+    __slots__ = ("buffer", "capacity", "dropped")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = max(1, int(capacity))
+        self.buffer: deque = deque(maxlen=self.capacity)
+        #: instructions evicted because the ring was full
+        self.dropped = 0
+
+    def append(self, winst) -> None:
+        if len(self.buffer) == self.capacity:
+            self.dropped += 1
+        self.buffer.append(winst)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def __iter__(self):
+        return iter(self.buffer)
+
+
+def retired_records(trace_log: Iterable) -> List:
+    """The ring's retired instructions, oldest first.
+
+    In-flight instructions (no retire cycle yet — only possible when the
+    trace is inspected mid-run) are skipped: every export event of a
+    retired instruction has a defined cycle.
+    """
+    return [w for w in trace_log if w.retire_cycle is not None]
+
+
+def issue_stall_cause(winst) -> str:
+    """Why ``winst`` waited between dispatch and issue.
+
+    Derived from the recorded lifecycle: if issue happened as soon as the
+    last producer's value was visible, the wait was a data dependence;
+    extra cycles beyond that mean structural contention (ports, functional
+    units, issue policy).  ``none`` when it issued at the earliest
+    possible cycle.
+    """
+    if winst.issue_cycle is None:
+        return "unissued"
+    earliest = winst.dispatch_cycle + 1
+    data_ready = earliest
+    has_deps = False
+    for producer, _internal in winst.deps:
+        if producer is not None and producer.complete_cycle is not None:
+            has_deps = True
+            if producer.complete_cycle > data_ready:
+                data_ready = producer.complete_cycle
+    if winst.issue_cycle <= earliest:
+        return "none"
+    if has_deps and winst.issue_cycle <= data_ready + 1:
+        return "data_dependence"
+    return "structural"
+
+
+def _retire_order(records) -> List:
+    """Records sorted by retirement (cycle, then in-order seq)."""
+    return sorted(records, key=lambda w: (w.retire_cycle, w.seq))
+
+
+# ---------------------------------------------------------------- Konata
+def export_konata(records) -> str:
+    """Render retired trace records as Kanata ``0004`` text.
+
+    Event order within the file follows the Kanata contract: ``C=`` sets
+    the first cycle, each ``C n`` advances the clock, and every
+    ``I``/``L``/``S``/``R`` command applies at the current cycle.  Stage
+    lanes use ``F`` (fetch), ``D`` (dispatch/wait), ``X`` (execute) and
+    ``C`` (completed, waiting for in-order retirement).
+    """
+    records = retired_records(records)
+    lines = ["Kanata\t0004"]
+    if not records:
+        return "\n".join(lines) + "\n"
+
+    retire_ids = {
+        id(w): position for position, w in enumerate(_retire_order(records))
+    }
+    #: (cycle, record index, intra-cycle order, command line)
+    events: List = []
+    for index, winst in enumerate(records):
+        label = (
+            f"{winst.seq}: {winst.dyn.inst.opcode.name} "
+            f"pc={winst.dyn.pc:#x}"
+        )
+        events.append((winst.fetch_cycle, index, 0, f"I\t{index}\t{winst.seq}\t0"))
+        events.append((winst.fetch_cycle, index, 1, f"L\t{index}\t0\t{label}"))
+        events.append((winst.fetch_cycle, index, 2, f"S\t{index}\t0\tF"))
+        if winst.dispatch_cycle >= 0:
+            events.append(
+                (winst.dispatch_cycle, index, 2, f"S\t{index}\t0\tD")
+            )
+            stall = issue_stall_cause(winst)
+            if stall not in ("none", "unissued"):
+                events.append(
+                    (winst.dispatch_cycle, index, 1,
+                     f"L\t{index}\t1\tissue wait: {stall}")
+                )
+        if winst.mispredicted:
+            events.append(
+                (winst.fetch_cycle, index, 1,
+                 f"L\t{index}\t1\tmispredicted branch (redirect)")
+            )
+        if winst.issue_cycle is not None:
+            events.append((winst.issue_cycle, index, 2, f"S\t{index}\t0\tX"))
+        if winst.complete_cycle is not None:
+            events.append(
+                (winst.complete_cycle, index, 2, f"S\t{index}\t0\tC")
+            )
+        events.append(
+            (winst.retire_cycle, index, 3,
+             f"R\t{index}\t{retire_ids[id(winst)]}\t0")
+        )
+
+    events.sort(key=lambda event: (event[0], event[1], event[2]))
+    current = events[0][0]
+    lines.append(f"C=\t{current}")
+    for cycle, _index, _order, line in events:
+        if cycle > current:
+            lines.append(f"C\t{cycle - current}")
+            current = cycle
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------- Chrome trace
+def export_chrome(
+    records, benchmark: str = "?", machine: str = "?", lanes: int = 32
+) -> Dict[str, Any]:
+    """Render retired trace records as a Chrome trace-event document.
+
+    One ``ph: "X"`` slice per occupied pipeline stage (``fetch``,
+    ``dispatch``, ``execute``, ``commit-wait``); ``ts``/``dur`` are in
+    cycles.  ``args`` carries seq, pc, the derived issue-stall cause, the
+    flush flag, and the retirement index — the retirement stream is
+    recoverable by sorting any one slice per instruction by
+    ``args.retire_index``.
+    """
+    records = retired_records(records)
+    retire_ids = {
+        id(w): position for position, w in enumerate(_retire_order(records))
+    }
+    events: List[Dict[str, Any]] = []
+    for winst in records:
+        opcode = winst.dyn.inst.opcode.name
+        args = {
+            "seq": winst.seq,
+            "pc": f"{winst.dyn.pc:#x}",
+            "stall": issue_stall_cause(winst),
+            "flush": bool(winst.mispredicted),
+            "retire_cycle": winst.retire_cycle,
+            "retire_index": retire_ids[id(winst)],
+        }
+        tid = winst.seq % lanes
+        stages = [
+            ("fetch", winst.fetch_cycle,
+             winst.dispatch_cycle if winst.dispatch_cycle >= 0 else None),
+            ("dispatch",
+             winst.dispatch_cycle if winst.dispatch_cycle >= 0 else None,
+             winst.issue_cycle),
+            ("execute", winst.issue_cycle, winst.complete_cycle),
+            ("commit-wait", winst.complete_cycle, winst.retire_cycle),
+        ]
+        for stage, start, end in stages:
+            if start is None or end is None:
+                continue
+            events.append(
+                {
+                    "name": f"{stage} {opcode}",
+                    "cat": stage,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(0, end - start),
+                    "pid": 0,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "benchmark": benchmark,
+            "machine": machine,
+            "time_unit": "cycle",
+            "instructions": len(records),
+        },
+    }
+
+
+def chrome_schema_errors(
+    doc: Any, max_errors: int = 20
+) -> List[str]:
+    """Validate a Chrome trace document against the minimal schema.
+
+    Returns a (bounded) list of human-readable problems; an empty list
+    means the document is loadable.  This is the schema the CI smoke job
+    asserts: top-level object with a ``traceEvents`` list whose entries
+    have a string ``name``, a known ``ph``, non-negative numeric ``ts``
+    (plus ``dur`` for complete events), and integer ``pid``/``tid``.
+    """
+    errors: List[str] = []
+
+    def note(message: str) -> bool:
+        errors.append(message)
+        return len(errors) >= max_errors
+
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            if note(f"{where}: must be an object"):
+                break
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            if note(f"{where}: 'name' must be a non-empty string"):
+                break
+        phase = event.get("ph")
+        if phase not in _CHROME_PHASES:
+            if note(f"{where}: unknown phase {phase!r}"):
+                break
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            if note(f"{where}: 'ts' must be a non-negative number"):
+                break
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                if note(f"{where}: 'X' events need non-negative 'dur'"):
+                    break
+        for field in ("pid", "tid"):
+            value = event.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                if note(f"{where}: {field!r} must be an integer"):
+                    break
+    return errors

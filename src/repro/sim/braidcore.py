@@ -66,6 +66,12 @@ class BraidCore(TimingCore):
         for beu in self.beus:
             beu.fifo.clear()
 
+    def dispatch_block_cause(self) -> str:
+        return "structural_fifo"
+
+    def scheduler_occupancy(self) -> int:
+        return sum(len(beu.fifo) for beu in self.beus)
+
     def accept(self, winst: WInst, cycle: int) -> bool:
         if self.config.beu_exception_mode:
             # Exception processing (paper section 3.4): all but one BEU are

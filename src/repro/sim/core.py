@@ -56,6 +56,8 @@ class SimulationHang(SimulationError):
         target: int,
         rob_head: str,
         in_flight: Dict[str, int],
+        stall_cause: str = "unknown",
+        stall_snapshot: Optional[Dict[str, int]] = None,
     ) -> None:
         self.machine = machine
         self.benchmark = benchmark
@@ -65,11 +67,17 @@ class SimulationHang(SimulationError):
         self.target = target
         self.rob_head = rob_head
         self.in_flight = dict(in_flight)
+        #: stall-attribution label (repro.obs taxonomy) for the frozen
+        #: idle window, and the window accounted under that label.  The
+        #: machine state does not change during an idle window, so one
+        #: classification covers all ``idle_cycles`` cycles of it.
+        self.stall_cause = stall_cause
+        self.stall_snapshot = dict(stall_snapshot or {stall_cause: idle_cycles})
         summary = ", ".join(f"{k}={v}" for k, v in self.in_flight.items())
         super().__init__(
             f"{machine} on {benchmark}: no retirement for {idle_cycles} "
             f"cycles (cycle {cycle}, retired {retired}/{target}, "
-            f"ROB head {rob_head}; {summary})"
+            f"waiting on {stall_cause}, ROB head {rob_head}; {summary})"
         )
 
 
@@ -117,8 +125,15 @@ class WInst:
         self.ext_src_ops = facts.ext_src_ops
         self.ext_dest_ops = facts.ext_dest_ops
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"WInst(seq={self.seq}, {self.dyn.inst.opcode.name})"
+    def __repr__(self) -> str:
+        def at(cycle: Optional[int]) -> str:
+            return "-" if cycle is None or cycle < 0 else str(cycle)
+
+        return (
+            f"WInst(seq={self.seq} {self.dyn.inst.opcode.name}"
+            f" f={self.fetch_cycle} d={at(self.dispatch_cycle)}"
+            f" i={at(self.issue_cycle)} r={at(self.retire_cycle)})"
+        )
 
 
 class TimingCore:
@@ -190,6 +205,14 @@ class TimingCore:
         #: Like invariant_hook it reroutes _run_until to the instrumented
         #: twin, so the fast loop pays nothing while it is None.
         self.fault_hook = None
+        #: observability hook (repro.obs): called as ``hook(core, cycle)``
+        #: once per simulated cycle, *after* the cycle's stages, so the
+        #: observer sees end-of-cycle state (what retired, what stalled).
+        #: Reroutes _run_until to the instrumented twin like the other
+        #: per-cycle hooks; note that :meth:`_skip_idle` gaps do not fire
+        #: it — skipped cycles mutate no state, so an observer accounts
+        #: them from the frozen state it saw at the previous firing.
+        self.trace_hook = None
 
     # ----------------------------------------------------------------- hooks
     def accept(self, winst: WInst, cycle: int) -> bool:
@@ -240,7 +263,11 @@ class TimingCore:
         it alternates ``_run_until`` over detailed windows with
         :meth:`fast_forward` over the skipped gaps.
         """
-        if self.invariant_hook is not None or self.fault_hook is not None:
+        if (
+            self.invariant_hook is not None
+            or self.fault_hook is not None
+            or self.trace_hook is not None
+        ):
             return self._run_until_checked(target_retired, cycle, max_cycles)
         start_cycle = cycle
         idle_limit = self.config.max_idle_cycles
@@ -308,7 +335,7 @@ class TimingCore:
     def _run_until_checked(
         self, target_retired: int, cycle: int, max_cycles: int
     ) -> int:
-        """``_run_until`` with the per-cycle invariant hook enabled.
+        """``_run_until`` with the per-cycle hooks enabled.
 
         Timing-identical to the fast loop: the fast loop's stage guards
         replicate each stage's own first-line early-outs, so calling every
@@ -351,6 +378,9 @@ class TimingCore:
                 and len(self._fetch_buffer) < front.fetch_buffer
             ):
                 self.fetch_stage(cycle)
+            trace = self.trace_hook
+            if trace is not None:
+                trace(self, cycle)
             if hook is not None:
                 hook(self, cycle)
             cycle += 1
@@ -360,6 +390,16 @@ class TimingCore:
                     target: int) -> SimulationHang:
         """Build the diagnostic hang exception (retirement stopped)."""
         head = repr(self._rob[0]) if self._rob else "<rob empty>"
+        # Stall attribution for the wedged window: the state has been
+        # frozen for idle_cycles straight cycles, so one classification
+        # labels every cycle of it.  Lazy import keeps repro.sim free of
+        # an obs dependency on the healthy path.
+        try:
+            from ..obs.cpi import classify_stall
+
+            stall_cause = classify_stall(self, cycle)
+        except Exception:  # diagnostics must never mask the hang itself
+            stall_cause = "unknown"
         in_flight = {
             "rob": len(self._rob),
             "fetch_buffer": len(self._fetch_buffer),
@@ -380,6 +420,8 @@ class TimingCore:
             target=target,
             rob_head=head,
             in_flight=in_flight,
+            stall_cause=stall_cause,
+            stall_snapshot={stall_cause: idle_cycles},
         )
 
     def drain_in_flight(self, cycle: int) -> int:
@@ -440,6 +482,24 @@ class TimingCore:
     def unissued_in_flight(self):
         """Every dispatched-but-unissued instruction (for validation)."""
         return [w for w in self._rob if w.issue_cycle is None]
+
+    def dispatch_block_cause(self) -> str:
+        """Taxonomy label when :meth:`accept` is refusing dispatch.
+
+        Used by the CPI stall attribution (:mod:`repro.obs.cpi`) to split
+        the shared ``structure_full`` stall counter into the paradigm's
+        actual full structure: a scheduler for the out-of-order and
+        in-order cores, an issue FIFO for the steering/braid cores.
+        """
+        return "structural_scheduler"
+
+    def scheduler_occupancy(self) -> int:
+        """Instructions waiting in the paradigm's issue structure(s).
+
+        Observability gauge (:mod:`repro.obs.metrics`); subclasses return
+        the occupancy of their scheduler / FIFO / BEU structures.
+        """
+        return 0
 
     def attach_activity(self, result: SimResult) -> None:
         """Attach shared activity counters plus subclass annotations."""

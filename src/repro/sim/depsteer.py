@@ -63,6 +63,12 @@ class DependenceSteeringCore(TimingCore):
         for fifo in self._fifos:
             fifo.clear()
 
+    def dispatch_block_cause(self) -> str:
+        return "structural_fifo"
+
+    def scheduler_occupancy(self) -> int:
+        return sum(len(fifo) for fifo in self._fifos)
+
     def core_invariants(self, cycle: int):
         capacity = self.config.cluster_entries
         total = 0

@@ -35,6 +35,9 @@ class InOrderCore(TimingCore):
         # sampling gap can never leak queue occupancy into the next window.
         self._queue.clear()
 
+    def scheduler_occupancy(self) -> int:
+        return len(self._queue)
+
     def core_invariants(self, cycle: int):
         if len(self._queue) > self.config.window_capacity:
             yield (

@@ -46,6 +46,9 @@ class OutOfOrderCore(TimingCore):
         self._ready = []
         self._retry = []
 
+    def scheduler_occupancy(self) -> int:
+        return sum(self._scheduler_load)
+
     def core_invariants(self, cycle: int):
         load = self._scheduler_load
         for index, occupancy in enumerate(load):

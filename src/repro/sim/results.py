@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -52,6 +52,11 @@ class SimResult:
     sample_detail_instructions: int = 0
     #: standard error of the extrapolated cycle count (0.0 for exact runs)
     cycles_stderr: float = 0.0
+    #: observability (populated only when an Observer was attached):
+    #: per-cause cycle components summing to ``cycles`` (see repro.obs.cpi)
+    cpi_stack: Optional[Dict[str, float]] = None
+    #: telemetry summary from repro.obs.metrics (histogram digests)
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ipc(self) -> float:

@@ -48,6 +48,7 @@ def simulate(
     max_cycles: Optional[int] = None,
     sampling=None,
     validation=None,
+    observe=None,
 ) -> SimResult:
     """Run ``workload`` on the machine described by ``config``.
 
@@ -61,6 +62,11 @@ def simulate(
     runs pay no validation cost.  Divergences raise
     :class:`~repro.validate.DivergenceError` /
     :class:`~repro.validate.InvariantViolation`.
+
+    ``observe`` (a :class:`~repro.obs.Observer`) attaches the observability
+    layer — CPI stall attribution, pipeline tracing, telemetry — and
+    publishes its data onto the returned result.  ``None`` (the default)
+    keeps the timing loop on the unhooked fast path.
     """
     if validation is None:
         validation = _env_validation()
@@ -70,10 +76,11 @@ def simulate(
         if max_cycles is not None:
             return simulate_sampled(
                 workload, config, sampling, max_cycles=max_cycles,
-                validation=validation,
+                validation=validation, observe=observe,
             )
         return simulate_sampled(
-            workload, config, sampling, validation=validation
+            workload, config, sampling, validation=validation,
+            observe=observe,
         )
     core = build_core(workload, config)
     session = None
@@ -81,10 +88,14 @@ def simulate(
         from ..validate import attach_validation
 
         session = attach_validation(core, workload, validation)
+    if observe is not None:
+        observe.attach(core)
     if max_cycles is not None:
         result = core.run(max_cycles=max_cycles)
     else:
         result = core.run()
     if session is not None:
         session.finish(expect_full=True)
+    if observe is not None:
+        observe.finalize(result)
     return result

@@ -504,6 +504,7 @@ def simulate_sampled(
     max_cycles: int = 100_000_000,
     validation=None,
     core=None,
+    observe=None,
 ) -> SimResult:
     """Estimate ``workload``'s IPC on ``config`` from sampled intervals.
 
@@ -522,6 +523,12 @@ def simulate_sampled(
     runner — supply a pre-built, pre-instrumented core instead; the
     caller then owns any post-run ``finish`` bookkeeping for hooks it
     attached itself.
+
+    ``observe`` (a :class:`~repro.obs.Observer`) attaches the
+    observability layer.  CPI-stack accounting covers only the measured
+    windows (warmup, drain, and fast-forward cycles are excluded by
+    snapshot-diffing around each window) and is scaled up to the
+    estimated total cycle count at finalize time.
     """
     total = len(workload.trace)
     plan = plan_windows(workload.trace, sampling)
@@ -532,11 +539,15 @@ def simulate_sampled(
             from ..validate import attach_validation
 
             session = attach_validation(core, workload, validation)
+    if observe is not None:
+        observe.attach(core)
     if plan is None:
         result = core.run(max_cycles=max_cycles)
         result.extra["sample_fallback_exact"] = 1.0
         if session is not None:
             session.finish(expect_full=True)
+        if observe is not None:
+            observe.finalize(result)
         return result
 
     cycle = 0
@@ -551,6 +562,10 @@ def simulate_sampled(
     warmup_cycles = 0
     measured_stalls = {name: 0 for name in core.stalls.as_dict()}
     measured_issued = 0
+    measured_cpi = (
+        None if observe is None
+        else {cause: 0.0 for cause in observe.cpi_totals()}
+    )
 
     windows = sorted(
         [(window, True) for window in plan.certain]
@@ -584,6 +599,10 @@ def simulate_sampled(
             if core._next_fetch != detail_start:
                 cycle = core.drain_in_flight(cycle)
                 core.fast_forward(detail_start, cycle)
+                if observe is not None:
+                    # Drain/fast-forward mutated state outside hooked
+                    # execution; realign snapshots at the window start.
+                    observe.skip_to(cycle)
             # Retirement can overshoot a target by up to the retire width,
             # so targets must be absolute trace positions, not deltas from
             # the observed retired count.
@@ -594,6 +613,7 @@ def simulate_sampled(
         warm_cycle = cycle
         warm_stalls = core.stalls.as_dict()
         warm_issued = core._issued_count
+        warm_cpi = None if observe is None else observe.cpi_totals()
         cycle = core._run_until(origin + measure_end, cycle, max_cycles)
         window_measured = cycle - warm_cycle
         window_insts = measure_end - measure_start
@@ -611,6 +631,9 @@ def simulate_sampled(
         for name, value in core.stalls.as_dict().items():
             measured_stalls[name] += value - warm_stalls[name]
         measured_issued += core._issued_count - warm_issued
+        if observe is not None:
+            for cause, value in observe.cpi_totals().items():
+                measured_cpi[cause] += value - warm_cpi[cause]
     cycle = core.drain_in_flight(cycle)
 
     covariates = _unit_covariates(workload, plan.units)
@@ -664,6 +687,8 @@ def simulate_sampled(
         (measured_instructions + warmup_instructions) / total
     )
     core.attach_activity(result)
+    if observe is not None:
+        observe.finalize(result, cpi_slots=measured_cpi)
     if session is not None:
         # Lattice plans may leave an unmeasured tail, so coverage of the
         # whole trace is not required — only consistency of what ran.

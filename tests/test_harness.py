@@ -395,6 +395,7 @@ class TestExperimentRegistry:
         expected = {
             "F1", "VC", "T1", "T2", "T3", "F5", "F6", "F7", "F8", "F9",
             "F10", "F11", "F12", "F13", "F14", "D1", "A1", "A2", "SV",
+            "CS",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

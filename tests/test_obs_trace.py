@@ -1,0 +1,207 @@
+"""Pipeline trace exports (repro.obs.tracing) and the ``trace`` CLI.
+
+The load-bearing check: the retirement stream recovered from either
+export format matches the lockstep oracle's architectural stream — a
+fresh :class:`~repro.sim.functional.FunctionalExecutor` replay of the
+program — on two benchmarks across all four timing cores.  Plus the ring
+buffer's bounded-memory contract, the Konata/Chrome format invariants,
+the minimal Chrome schema validator, and the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.obs import (
+    Observer,
+    RingLog,
+    chrome_schema_errors,
+    export_chrome,
+    export_konata,
+    issue_stall_cause,
+)
+from repro.sim.config import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from repro.sim.functional import FunctionalExecutor
+from repro.sim.run import simulate
+
+BENCHMARKS = ("gcc", "mcf")
+
+CORES = {
+    "ooo": (ooo_config(8), False),
+    "inorder": (inorder_config(8), False),
+    "depsteer": (depsteer_config(8), False),
+    "braid": (braid_config(8), True),
+}
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        benchmarks=BENCHMARKS,
+        max_instructions=20_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+
+
+def traced_run(ctx, benchmark, kind):
+    config, braided = CORES[kind]
+    workload = ctx.workload(benchmark, braided=braided)
+    observe = Observer(
+        trace=True, cpi=False, trace_capacity=len(workload.trace) + 1,
+    )
+    result = simulate(workload, config, observe=observe)
+    return workload, result, observe.trace_records()
+
+
+def oracle_stream(workload):
+    """Architectural retirement order: a fresh functional replay."""
+    executor = FunctionalExecutor(
+        workload.program, max_instructions=len(workload.trace)
+    )
+    return [dyn.seq for dyn in executor.trace()]
+
+
+class TestRetirementOrder:
+    @pytest.mark.parametrize("kind", list(CORES))
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_konata_matches_oracle(self, ctx, bench, kind):
+        workload, _result, records = traced_run(ctx, bench, kind)
+        text = export_konata(records)
+        lines = text.splitlines()
+        assert lines[0] == "Kanata\t0004"
+        # R lines: R <file id> <retire id> 0, in file order = record order.
+        retire_of = {}
+        for line in lines:
+            if line.startswith("R\t"):
+                _, file_id, retire_id, _ = line.split("\t")
+                retire_of[int(file_id)] = int(retire_id)
+        assert len(retire_of) == len(records)
+        stream = [
+            records[file_id].seq
+            for file_id, _ in sorted(
+                retire_of.items(), key=lambda item: item[1]
+            )
+        ]
+        assert stream == oracle_stream(workload)
+
+    @pytest.mark.parametrize("kind", list(CORES))
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_chrome_matches_oracle(self, ctx, bench, kind):
+        workload, _result, records = traced_run(ctx, bench, kind)
+        doc = export_chrome(records, benchmark=bench, machine=kind)
+        assert chrome_schema_errors(doc) == []
+        position = {}
+        for event in doc["traceEvents"]:
+            position[event["args"]["seq"]] = event["args"]["retire_index"]
+        stream = [
+            seq for seq, _ in sorted(position.items(), key=lambda kv: kv[1])
+        ]
+        assert stream == oracle_stream(workload)
+
+
+class TestExportFormats:
+    def test_chrome_round_trips_through_json(self, ctx):
+        _workload, _result, records = traced_run(ctx, "gcc", "braid")
+        doc = export_chrome(records, benchmark="gcc", machine="braid")
+        reloaded = json.loads(json.dumps(doc))
+        assert chrome_schema_errors(reloaded) == []
+        assert reloaded["otherData"]["instructions"] == len(records)
+        # Four stage slices per retired instruction, all with defined spans.
+        assert len(reloaded["traceEvents"]) == 4 * len(records)
+
+    def test_konata_clock_only_advances(self, ctx):
+        _workload, _result, records = traced_run(ctx, "gcc", "ooo")
+        deltas = [
+            int(line.split("\t")[1])
+            for line in export_konata(records).splitlines()
+            if line.startswith("C\t")
+        ]
+        assert deltas and all(delta > 0 for delta in deltas)
+
+    def test_schema_validator_rejects_malformed_documents(self):
+        assert chrome_schema_errors([]) != []
+        assert chrome_schema_errors({}) != []
+        good = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0}
+        ]}
+        assert chrome_schema_errors(good) == []
+        for corruption in (
+            {"name": ""},
+            {"ph": "Z"},
+            {"ts": -1},
+            {"dur": -2},
+            {"tid": "lane"},
+        ):
+            event = dict(good["traceEvents"][0])
+            event.update(corruption)
+            assert chrome_schema_errors({"traceEvents": [event]}) != []
+
+    def test_issue_stall_cause_taxonomy(self, ctx):
+        _workload, _result, records = traced_run(ctx, "mcf", "inorder")
+        causes = {issue_stall_cause(w) for w in records}
+        assert causes <= {"none", "data_dependence", "structural"}
+        assert "none" in causes
+
+
+class TestRingLog:
+    def test_ring_bounds_memory_and_counts_drops(self, ctx):
+        config, braided = CORES["ooo"]
+        workload = ctx.workload("gcc", braided=braided)
+        observe = Observer(trace=True, cpi=False, trace_capacity=100)
+        result = simulate(workload, config, observe=observe)
+        assert len(observe.ring) == 100
+        assert observe.ring.dropped == result.instructions - 100
+        assert result.extra["trace_dropped"] == result.instructions - 100
+        # The ring keeps the newest instructions.
+        newest = [w.seq for w in observe.trace_records()]
+        assert newest == list(
+            range(result.instructions - 100, result.instructions)
+        )
+
+    def test_ring_is_iterable_and_sized(self):
+        ring = RingLog(capacity=2)
+        for item in ("a", "b", "c"):
+            ring.append(item)
+        assert list(ring) == ["b", "c"]
+        assert len(ring) == 2
+        assert ring.dropped == 1
+
+
+class TestTraceCli:
+    def test_chrome_export_via_cli(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        out = tmp_path / "gcc.trace.json"
+        code = main([
+            "trace", "--bench", "gcc", "--core", "braid",
+            "--format", "chrome", "--out", str(out),
+            "--scale", "0.5", "--no-cache",
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert chrome_schema_errors(doc) == []
+        assert doc["traceEvents"]
+
+    def test_konata_export_via_cli(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        out = tmp_path / "gcc.konata"
+        code = main([
+            "trace", "--bench", "gcc", "--core", "ooo",
+            "--format", "konata", "--out", str(out),
+            "--scale", "0.5", "--no-cache",
+        ])
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("Kanata\t0004\n")
+        assert "\nR\t" in text
