@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""CI smoke test for the fidelity ladder (exact / sampled / interval).
+
+Runs one benchmark through all three fidelity tiers on the out-of-order
+core and checks the contracts that make the cheap tiers trustworthy:
+
+1. **Coverage** — every tier reports the full instruction count and
+   labels its result with the right ``SimResult.fidelity``.
+2. **Honesty** — the interval tier's actual IPC error against exact is
+   within its *stated* error bound, and the sampled tier's error is
+   within a loose sanity ceiling.
+3. **Accounting** — the interval tier's model-derived CPI stack sums
+   exactly to its estimated cycle count.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fidelity_smoke.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.sim.config import ooo_config
+from repro.sim.run import simulate
+from repro.sim.sampling import SamplingConfig
+
+#: sampled mode has no per-run stated bound; its stride-4 error on the
+#: quick benchmarks is well under 1%, so 5% flags real breakage only
+SAMPLED_ERROR_CEILING_PCT = 5.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    ctx = ExperimentContext(
+        benchmarks=(benchmark,),
+        scale=8,
+        max_instructions=200_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+    workload = ctx.workload(benchmark)
+    config = ooo_config(8)
+
+    exact = simulate(workload, config, fidelity="exact")
+    sampled = simulate(
+        workload, config, fidelity="sampled",
+        sampling=SamplingConfig(stride=4),
+    )
+    analytic = simulate(workload, config, fidelity="interval")
+
+    for tier, result in (
+        ("exact", exact), ("sampled", sampled), ("interval", analytic)
+    ):
+        if result.fidelity != tier:
+            fail(f"{tier} run labelled fidelity={result.fidelity!r}")
+        if result.instructions != exact.instructions:
+            fail(
+                f"{tier} covered {result.instructions} instructions, "
+                f"exact covered {exact.instructions}"
+            )
+
+    def error_pct(estimate) -> float:
+        return 100.0 * abs(estimate.ipc - exact.ipc) / exact.ipc
+
+    print(f"{benchmark} on {config.name} ({exact.instructions} insts):")
+    print(f"  exact    ipc={exact.ipc:.4f}")
+    print(
+        f"  sampled  ipc={sampled.ipc:.4f}  "
+        f"error={error_pct(sampled):.2f}%"
+    )
+    if analytic.extra.get("interval_fallback_exact"):
+        fail(
+            "interval tier fell back to exact — trace too short for the "
+            "calibration planner; raise the smoke scale"
+        )
+    bound = analytic.extra["interval_error_bound_pct"]
+    print(
+        f"  interval ipc={analytic.ipc:.4f}  "
+        f"error={error_pct(analytic):.2f}%  stated bound={bound:.1f}%"
+    )
+
+    if error_pct(sampled) > SAMPLED_ERROR_CEILING_PCT:
+        fail(
+            f"sampled IPC error {error_pct(sampled):.2f}% exceeds the "
+            f"{SAMPLED_ERROR_CEILING_PCT}% sanity ceiling"
+        )
+    if error_pct(analytic) > bound:
+        fail(
+            f"interval IPC error {error_pct(analytic):.2f}% exceeds its "
+            f"stated bound {bound:.2f}%"
+        )
+    if analytic.cpi_stack is None:
+        fail("interval run shipped no model CPI stack")
+    total = sum(analytic.cpi_stack.values())
+    if not math.isclose(total, analytic.cycles, rel_tol=1e-9):
+        fail(
+            f"interval CPI stack sums to {total}, "
+            f"estimated cycles are {analytic.cycles}"
+        )
+
+    print("fidelity smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,13 +6,17 @@ Regenerate any of the paper's tables/figures directly::
     python -m repro.harness all             # everything
     REPRO_BENCHMARKS=quick python -m repro.harness F9 F10
     python -m repro.harness F9 --scale 64 --sample stride=16   # sampled mode
+    python -m repro.harness F9 --fidelity interval             # analytic mode
     python -m repro.harness cache-info      # persistent cache report
     python -m repro.harness cache-clear     # wipe the persistent cache
 
 Experiment ids follow DESIGN.md section 3 (F1, VC, T1-T3, F5-F14, D1,
 A1-A2).  ``--sample`` (or ``REPRO_SAMPLE``) switches the timing runs to
 interval-sampled estimation; sampled figures carry a note with the worst
-IPC confidence interval of their points.
+IPC confidence interval of their points.  ``--fidelity`` (or
+``REPRO_FIDELITY``) picks the tier explicitly — ``exact``, ``sampled``,
+or ``interval``, the cheapest analytic model, tunable via ``--interval``
+(``REPRO_INTERVAL``).
 
 ``validate`` runs the differential validation sweep instead of an
 experiment: every selected benchmark on every selected core under the
@@ -332,6 +336,19 @@ def main(argv=None) -> int:
              "like stride=16,warmup=512,interval=500,seed=0",
     )
     parser.add_argument(
+        "--fidelity", choices=("exact", "sampled", "interval"), default=None,
+        help="fidelity tier for timing runs (overrides REPRO_FIDELITY): "
+             "exact simulation, sampled estimation, or the analytic "
+             "interval model; default: sampled when --sample is given, "
+             "exact otherwise",
+    )
+    parser.add_argument(
+        "--interval", nargs="?", const="default", default=None, metavar="SPEC",
+        help="interval-tier tuning (overrides REPRO_INTERVAL), e.g. "
+             "windows=8,window=500,warmup=512,seed=0,bound=10; implies "
+             "--fidelity interval when no tier is named",
+    )
+    parser.add_argument(
         "--result-cache", action="store_true",
         help="also persist finished timing results in the artifact cache "
              "(overrides REPRO_RESULT_CACHE)",
@@ -464,6 +481,18 @@ def main(argv=None) -> int:
         except ValueError as error:
             parser.error(f"--sample: {error}")
 
+    interval = None
+    if args.interval is not None:
+        from ..sim.interval import IntervalConfig
+
+        try:
+            interval = IntervalConfig.parse(args.interval)
+        except ValueError as error:
+            parser.error(f"--interval: {error}")
+    fidelity = args.fidelity
+    if fidelity is None and interval is not None:
+        fidelity = "interval"
+
     benchmarks = None
     if args.benchmarks == "quick":
         from ..workloads import QUICK_BENCHMARKS
@@ -496,6 +525,7 @@ def main(argv=None) -> int:
     context = ExperimentContext(
         benchmarks=benchmarks, scale=args.scale, jobs=args.jobs, cache=cache,
         sampling=sampling, result_cache=True if args.result_cache else None,
+        fidelity=fidelity, interval=interval,
     )
 
     profile_tmp = None

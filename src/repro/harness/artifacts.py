@@ -46,7 +46,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when artifact pickles or phase-one semantics change shape.
 #: v2: SimResult grew observability fields (cpi_stack, metrics).
-CACHE_FORMAT_VERSION = 2
+#: v3: SimResult grew the fidelity field; result keys carry a fidelity
+#: token so exact/sampled/interval runs of one point never collide.
+CACHE_FORMAT_VERSION = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
@@ -311,13 +313,16 @@ class ArtifactCache:
         max_instructions: int,
         config: Any,
         sampling_token: Optional[Tuple] = None,
+        fidelity_token: Optional[Tuple] = None,
     ) -> Tuple:
         """Key for a finished timing result (``REPRO_RESULT_CACHE``).
 
         ``config`` is the full :class:`~repro.sim.config.MachineConfig`
         (its dataclass repr is part of the digest, so any knob change is a
         new key); ``sampling_token`` distinguishes exact runs (``None``)
-        from each sampled configuration.
+        from each sampled configuration, and ``fidelity_token`` (the
+        resolved fidelity plus its tier config token) keeps the
+        exact/sampled/interval tiers of one point apart.
         """
         return (
             "result",
@@ -331,4 +336,5 @@ class ArtifactCache:
             max_instructions,
             config,
             sampling_token,
+            fidelity_token,
         )

@@ -19,6 +19,12 @@ Environment knobs:
   exact mode (the default), ``1``/``default`` enables sampling with the
   default :class:`~repro.sim.sampling.SamplingConfig`, and a spec like
   ``stride=16,warmup=512`` tunes it;
+* ``REPRO_FIDELITY`` — explicit fidelity tier for every timing run:
+  ``exact``, ``sampled``, or ``interval`` (the analytic tier); unset keeps
+  the legacy rule (sampled when a sampling config is active, else exact);
+* ``REPRO_INTERVAL`` — tuning spec for the interval tier, e.g.
+  ``windows=8,window=500,bound=10``
+  (see :class:`~repro.sim.interval.IntervalConfig`);
 * ``REPRO_RESULT_CACHE`` — opt-in persistence of finished timing results
   (keyed by machine and sampling configuration) in the artifact cache;
 * ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` / ``REPRO_CACHE_LIMIT_MB`` —
@@ -34,24 +40,44 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.pipeline import BraidCompilation, braidify
 from ..isa.program import Program
 from ..sim.config import MachineConfig
+from ..sim.interval import IntervalConfig, interval_from_env
 from ..sim.results import SimResult
-from ..sim.run import simulate
+from ..sim.run import FIDELITIES, simulate
 from ..sim.sampling import SamplingConfig, sampling_from_env
 from ..sim.workload import PreparedWorkload, prepare_workload
+from ..obs.metrics import MetricsRegistry
 from ..obs.runlog import RunLog
 from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
 from ..workloads.suite import QUICK_BENCHMARKS, build_program
 from .artifacts import ArtifactCache
-from .parallel import effective_jobs, jobs_from_env, run_points_parallel
+from .parallel import (
+    effective_jobs,
+    jobs_from_env,
+    run_point_groups_parallel,
+)
 from .sweep import SweepPoint
 
 _ENV_RESULT_CACHE = "REPRO_RESULT_CACHE"
+_ENV_FIDELITY = "REPRO_FIDELITY"
 
 
 def result_cache_from_env() -> bool:
     """Resolve the timing-result persistence opt-in (``REPRO_RESULT_CACHE``)."""
     value = os.environ.get(_ENV_RESULT_CACHE, "").strip().lower()
     return value not in ("", "0", "false", "no", "off")
+
+
+def fidelity_from_env() -> Optional[str]:
+    """Resolve ``REPRO_FIDELITY``: unset/``auto`` keeps the legacy rule."""
+    value = os.environ.get(_ENV_FIDELITY, "").strip().lower()
+    if not value or value == "auto":
+        return None
+    if value not in FIDELITIES:
+        raise ValueError(
+            f"{_ENV_FIDELITY} must be one of {FIDELITIES} (or 'auto'), "
+            f"got {value!r}"
+        )
+    return value
 
 
 def benchmarks_from_env(default: str = "full") -> Tuple[str, ...]:
@@ -105,6 +131,8 @@ class ExperimentContext:
         cache: Optional[ArtifactCache] = None,
         sampling: Optional[SamplingConfig] = None,
         result_cache: Optional[bool] = None,
+        fidelity: Optional[str] = None,
+        interval: Optional[IntervalConfig] = None,
     ) -> None:
         self.benchmarks: Tuple[str, ...] = (
             tuple(benchmarks) if benchmarks is not None else benchmarks_from_env()
@@ -119,6 +147,14 @@ class ExperimentContext:
         self.result_cache = (
             result_cache if result_cache is not None else result_cache_from_env()
         )
+        #: explicit fidelity tier for every timing run (None: legacy rule —
+        #: sampled when a sampling config is active, exact otherwise)
+        self.fidelity = fidelity if fidelity is not None else fidelity_from_env()
+        #: tuning for the analytic interval tier (used when the effective
+        #: fidelity is "interval")
+        self.interval = interval if interval is not None else interval_from_env()
+        #: harness-level telemetry (run_many dedup/memoization counters)
+        self.telemetry = MetricsRegistry()
         #: structured JSONL sweep telemetry (REPRO_RUNLOG; defaults to a
         #: runlog.jsonl next to the artifact cache when that is enabled)
         self.runlog = RunLog.from_env(self.cache)
@@ -186,6 +222,20 @@ class ExperimentContext:
         return self._workloads[key]
 
     # -------------------------------------------------------------------- runs
+    @property
+    def effective_fidelity(self) -> str:
+        """The tier every timing run of this context actually uses."""
+        if self.fidelity is not None:
+            return self.fidelity
+        return "sampled" if self.sampling is not None else "exact"
+
+    def _fidelity_token(self) -> Tuple:
+        """Cache-key component identifying the resolved fidelity tier."""
+        mode = self.effective_fidelity
+        if mode == "interval":
+            return self.interval.cache_token()
+        return (mode,)
+
     def run(
         self,
         name: str,
@@ -208,6 +258,7 @@ class ExperimentContext:
                     self.predictor, self.max_instructions, config,
                     self.sampling.cache_token()
                     if self.sampling is not None else None,
+                    self._fidelity_token(),
                 )
                 result = self.cache.get(disk_key)
                 result_cache_hit = result is not None
@@ -216,7 +267,10 @@ class ExperimentContext:
                     name, braided=braided, perfect=perfect,
                     internal_limit=internal_limit,
                 )
-                result = simulate(workload, config, sampling=self.sampling)
+                result = simulate(
+                    workload, config, sampling=self.sampling,
+                    fidelity=self.fidelity, interval=self.interval,
+                )
                 if disk_key is not None:
                     self.cache.put(disk_key, result)
             self._results[point] = result
@@ -228,6 +282,7 @@ class ExperimentContext:
                 perfect=perfect,
                 internal_limit=internal_limit,
                 sampled=result.sampled,
+                fidelity=result.fidelity,
                 sample_intervals=result.sample_intervals,
                 sample_detail_fraction=result.extra.get(
                     "sample_detail_fraction", 0.0
@@ -247,33 +302,73 @@ class ExperimentContext:
     ) -> Dict[SweepPoint, SimResult]:
         """Simulate a batch of sweep points, deduplicated and memoized.
 
-        With ``jobs > 1`` the not-yet-memoized points fan out over the
-        process pool (deterministic, submission-ordered results); with
-        ``jobs = 1`` they run serially in-process, exactly like :meth:`run`.
-        The requested worker count is clamped to the pending work and falls
-        back to the serial path on single-CPU hosts (see
-        :func:`~repro.harness.parallel.effective_jobs`).
+        Identical requests — same (workload, config, sampling, fidelity)
+        — coalesce to one simulation; the context-wide sampling/fidelity
+        settings make point identity sufficient.  Coalesced and
+        already-memoized requests are counted in the context's telemetry
+        registry (``run_many.deduped`` / ``run_many.memoized``).
+
+        The fresh points are scheduled *workload-major*: all configs of
+        one prepared workload run together (see :mod:`repro.sim.batch`),
+        so the shared decode/replay facts are built once per workload —
+        per worker — instead of once per point.  With ``jobs > 1`` the
+        workload groups fan out over the process pool (deterministic,
+        submission-ordered results; large groups split to keep every
+        worker busy); with ``jobs = 1`` they run serially in-process,
+        exactly like :meth:`run`.  The requested worker count is clamped
+        to the pending work and falls back to the serial path on
+        single-CPU hosts (see :func:`~repro.harness.parallel.effective_jobs`).
         """
         fresh: List[SweepPoint] = []
         seen = set()
+        deduped = 0
+        memoized = 0
         for point in points:
-            if point in self._results or point in seen:
+            if point in self._results:
+                memoized += 1
+                continue
+            if point in seen:
+                deduped += 1
                 continue
             seen.add(point)
             fresh.append(point)
+        if deduped:
+            self.telemetry.counter("run_many.deduped", deduped)
+        if memoized:
+            self.telemetry.counter("run_many.memoized", memoized)
+        groups: Dict[Tuple[str, bool, bool, int], List[SweepPoint]] = {}
+        for point in fresh:
+            key = (
+                point.benchmark, point.braided, point.perfect,
+                point.internal_limit,
+            )
+            groups.setdefault(key, []).append(point)
+        tasks: List[List[SweepPoint]] = list(groups.values())
         workers = effective_jobs(self.jobs, len(fresh))
-        if workers > 1:
-            for point, result in zip(
-                fresh, run_points_parallel(self, fresh, workers)
+        # Few workloads but many configs would idle most of the pool at
+        # group granularity; split the largest groups (still workload-
+        # major within each task) until every worker has work.
+        while tasks and len(tasks) < workers:
+            largest = max(range(len(tasks)), key=lambda i: len(tasks[i]))
+            group = tasks[largest]
+            if len(group) < 2:
+                break
+            half = len(group) // 2
+            tasks[largest:largest + 1] = [group[:half], group[half:]]
+        if workers > 1 and len(tasks) > 1:
+            for group, results in zip(
+                tasks, run_point_groups_parallel(self, tasks, workers)
             ):
-                self._results[point] = result
+                for point, result in zip(group, results):
+                    self._results[point] = result
         else:
-            for point in fresh:
-                self.run(
-                    point.benchmark,
-                    point.config,
-                    braided=point.braided,
-                    perfect=point.perfect,
-                    internal_limit=point.internal_limit,
-                )
+            for group in tasks:
+                for point in group:
+                    self.run(
+                        point.benchmark,
+                        point.config,
+                        braided=point.braided,
+                        perfect=point.perfect,
+                        internal_limit=point.internal_limit,
+                    )
         return {point: self._results[point] for point in points}

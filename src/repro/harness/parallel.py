@@ -134,6 +134,7 @@ def _init_worker(spec: Tuple) -> None:
         # program/compilation/workload caches) copy-on-write.
         _WORKER_CONTEXT = _PARENT_CONTEXT
         return
+    from ..sim.interval import IntervalConfig
     from ..sim.sampling import SamplingConfig
     from .artifacts import ArtifactCache
     from .context import ExperimentContext
@@ -146,6 +147,8 @@ def _init_worker(spec: Tuple) -> None:
         cache_enabled,
         sampling_spec,
         result_cache,
+        fidelity,
+        interval_spec,
     ) = spec
     _WORKER_CONTEXT = ExperimentContext(
         benchmarks=benchmarks,
@@ -155,28 +158,54 @@ def _init_worker(spec: Tuple) -> None:
         cache=ArtifactCache(root=cache_root, enabled=cache_enabled),
         result_cache=result_cache,
     )
-    # Assign directly: the constructor treats None as "consult REPRO_SAMPLE",
-    # but the worker must mirror the parent's *resolved* sampling mode even
-    # when the parent overrode the environment.
+    # Assign directly: the constructor treats None as "consult the
+    # environment" for sampling and fidelity, but the worker must mirror
+    # the parent's *resolved* modes even when the parent overrode them.
     _WORKER_CONTEXT.sampling = (
         SamplingConfig.parse(sampling_spec) if sampling_spec else None
     )
+    _WORKER_CONTEXT.fidelity = fidelity
+    _WORKER_CONTEXT.interval = (
+        IntervalConfig.parse(interval_spec) if interval_spec
+        else IntervalConfig()
+    )
 
 
-def _run_point(point: SweepPoint) -> SimResult:
+def _context_spec(context) -> Tuple:
+    """The picklable context identity shipped to spawn-start workers."""
+    return (
+        context.benchmarks,
+        context.scale,
+        context.max_instructions,
+        str(context.cache.root),
+        context.cache.enabled,
+        context.sampling.spec() if context.sampling is not None else None,
+        context.result_cache,
+        context.fidelity,
+        context.interval.spec() if context.interval is not None else None,
+    )
+
+
+def _run_group(points: Tuple[SweepPoint, ...]) -> List[SimResult]:
     from ..obs.profiling import maybe_profiled
 
     # maybe_profiled is a straight call unless the parent exported
     # REPRO_PROFILE_DIR (--profile); then each worker dumps cProfile data
-    # the parent aggregates after the sweep.
+    # the parent aggregates after the sweep.  Points of one task share a
+    # workload (run_many groups workload-major), so the context's warm
+    # caches make every point after the first reuse the decode/replay
+    # facts the first one built.
     return maybe_profiled(
-        lambda: _WORKER_CONTEXT.run(
-            point.benchmark,
-            point.config,
-            braided=point.braided,
-            perfect=point.perfect,
-            internal_limit=point.internal_limit,
-        )
+        lambda: [
+            _WORKER_CONTEXT.run(
+                point.benchmark,
+                point.config,
+                braided=point.braided,
+                perfect=point.perfect,
+                internal_limit=point.internal_limit,
+            )
+            for point in points
+        ]
     )
 
 
@@ -234,20 +263,29 @@ def _collect_resilient(
     return results
 
 
-def run_points_parallel(
-    context, points: Sequence[SweepPoint], jobs: int
-) -> List[SimResult]:
-    """Simulate ``points`` on ``jobs`` workers; results in submission order."""
+def run_point_groups_parallel(
+    context, groups: Sequence[Sequence[SweepPoint]], jobs: int
+) -> List[List[SimResult]]:
+    """Simulate point groups on ``jobs`` workers; results in submission order.
+
+    Each group is one pool task (one worker runs its points back to
+    back), so callers that group workload-major —
+    :meth:`ExperimentContext.run_many` — amortize the shared
+    decode/replay facts across every config of a workload.  Results come
+    back as one list per group, aligned with the request.
+    """
     global _PARENT_CONTEXT
-    points = list(points)
-    if not points:
+    groups = [list(group) for group in groups]
+    if not groups:
         return []
-    jobs = min(jobs, len(points))
+    jobs = min(jobs, len(groups))
 
     # Warm phase one in the parent so forked workers share it copy-on-write
     # and the persistent cache covers spawn-start platforms.
     for key in {
-        (p.benchmark, p.braided, p.perfect, p.internal_limit) for p in points
+        (p.benchmark, p.braided, p.perfect, p.internal_limit)
+        for group in groups
+        for p in group
     }:
         benchmark, braided, perfect, internal_limit = key
         context.workload(
@@ -257,15 +295,18 @@ def run_points_parallel(
             internal_limit=internal_limit,
         )
 
-    spec = (
-        context.benchmarks,
-        context.scale,
-        context.max_instructions,
-        str(context.cache.root),
-        context.cache.enabled,
-        context.sampling.spec() if context.sampling is not None else None,
-        context.result_cache,
-    )
+    spec = _context_spec(context)
+
+    def _serial_group(group: Sequence[SweepPoint]) -> List[SimResult]:
+        return [_run_point_serial(context, point) for point in group]
+
+    def _label(group: Sequence[SweepPoint]) -> str:
+        first = group[0]
+        label = f"{first.benchmark} on {first.config.name}"
+        if len(group) > 1:
+            label += f" (+{len(group) - 1} more)"
+        return label
+
     try:
         mp_context = multiprocessing.get_context("fork")
     except ValueError:
@@ -278,7 +319,7 @@ def run_points_parallel(
             "fork start method unavailable on this platform: running "
             "sweep points serially in-process"
         )
-        return [_run_point_serial(context, point) for point in points]
+        return [_serial_group(group) for group in groups]
 
     _PARENT_CONTEXT = context
     try:
@@ -288,19 +329,31 @@ def run_points_parallel(
             initializer=_init_worker,
             initargs=(spec,),
         ) as pool:
-            futures = [pool.submit(_run_point, point) for point in points]
+            futures = [
+                pool.submit(_run_group, tuple(group)) for group in groups
+            ]
             results = _collect_resilient(
                 futures,
-                labels=[
-                    f"{p.benchmark} on {p.config.name}" for p in points
-                ],
-                serial_fn=lambda index: _run_point_serial(
-                    context, points[index]
-                ),
+                labels=[_label(group) for group in groups],
+                serial_fn=lambda index: _serial_group(groups[index]),
             )
     finally:
         _PARENT_CONTEXT = None
     return results
+
+
+def run_points_parallel(
+    context, points: Sequence[SweepPoint], jobs: int
+) -> List[SimResult]:
+    """Simulate ``points`` on ``jobs`` workers; results in submission order.
+
+    One task per point — the pre-batching dispatch shape, kept for
+    callers that schedule their own grouping.
+    """
+    groups = run_point_groups_parallel(
+        context, [(point,) for point in points], jobs
+    )
+    return [group[0] for group in groups]
 
 
 # --------------------------------------------------------------------------

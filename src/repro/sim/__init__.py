@@ -16,8 +16,10 @@ from .pipeview import PipeviewError, render_pipeview, stage_latencies
 from .depsteer import DependenceSteeringCore
 from .inorder import InOrderCore
 from .ooo import OutOfOrderCore
+from .batch import simulate_batch
+from .interval import IntervalConfig, interval_from_env, simulate_interval
 from .results import SimResult, StallCounters
-from .run import build_core, simulate
+from .run import FIDELITIES, build_core, simulate
 from .sampling import (
     SamplePlan,
     SamplingConfig,
@@ -59,8 +61,13 @@ __all__ = [
     "OutOfOrderCore",
     "SimResult",
     "StallCounters",
+    "FIDELITIES",
     "build_core",
     "simulate",
+    "simulate_batch",
+    "IntervalConfig",
+    "interval_from_env",
+    "simulate_interval",
     "SamplePlan",
     "SamplingConfig",
     "detect_anchors",

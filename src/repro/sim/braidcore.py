@@ -108,6 +108,32 @@ class BraidCore(TimingCore):
         return True
 
     # ------------------------------------------------------------------ issue
+    def issue_idle(self, cycle: int) -> bool:
+        # Each BEU examines its scheduling window (the FIFO head in strict
+        # or exception mode); if every examined entry is still pending,
+        # issue_stage would scan past all of them without touching a meter,
+        # so the next possible activity is a completion event.
+        config = self.config
+        if config.beu_exception_mode:
+            fifo = self.beus[0].fifo
+            return not fifo or fifo[0].pending != 0
+        if not config.beu_window_ooo:
+            for beu in self.beus:
+                fifo = beu.fifo
+                if fifo and not fifo[0].pending:
+                    return False
+            return True
+        window_size = config.beu_window
+        for beu in self.beus:
+            fifo = beu.fifo
+            depth = len(fifo)
+            if depth > window_size:
+                depth = window_size
+            for i in range(depth):
+                if not fifo[i].pending:
+                    return False
+        return True
+
     def issue_stage(self, cycle: int) -> None:
         window_size = self.config.beu_window
         strict = not self.config.beu_window_ooo

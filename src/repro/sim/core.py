@@ -94,11 +94,12 @@ class WInst:
     )
 
     def __init__(self, dyn, facts: DecodedInst, fetch_cycle: int,
-                 dispatch_ready: int, mispredicted: bool) -> None:
+                 dispatch_ready: int, mispredicted: bool,
+                 mem_word: Optional[int] = None) -> None:
         self.dyn = dyn
         self.facts = facts
         self.seq = dyn.seq
-        self.deps: List[Tuple[Optional["WInst"], bool]] = []
+        self.deps: List[Tuple["WInst", bool]] = []
         self.arch_reads = 0
         self.waiters: List["WInst"] = []
         self.pending = 0
@@ -120,7 +121,10 @@ class WInst:
         self.is_store = facts.is_store
         self.is_branch = facts.is_branch
         self.mispredicted = mispredicted
-        self.mem_word = (dyn.mem_addr & ~0x7) if dyn.mem_addr is not None else None
+        self.mem_word = (
+            mem_word if mem_word is not None
+            else (dyn.mem_addr & ~0x7) if dyn.mem_addr is not None else None
+        )
         self.cluster = -1
         self.ext_src_ops = facts.ext_src_ops
         self.ext_dest_ops = facts.ext_dest_ops
@@ -139,6 +143,15 @@ class WInst:
 class TimingCore:
     """Base class of the four timing simulators."""
 
+    #: Event-driven kernel switch.  True (the default) lets ``_run_until``
+    #: jump from the current cycle straight to the next cycle at which any
+    #: stage can act (see :meth:`_next_event` for the contract each
+    #: structure honors).  Setting it False on an instance restores the
+    #: strictly ticked loop; both modes are bit-identical in every
+    #: architectural counter (tests/test_determinism.py pins this), so the
+    #: flag exists for A/B benchmarking and as the reference semantics.
+    event_kernel = True
+
     def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
         self.workload = workload
         self.config = config
@@ -148,6 +161,37 @@ class TimingCore:
         self.load_latency = workload.load_latency
         self.ifetch_extra = workload.ifetch_extra
         self.l1d_latency = config.memory.l1d_latency
+
+        # Position-indexed replay arrays (shared, read-only; see
+        # repro.sim.workload.ReplayFacts).  The per-seq dict oracles above
+        # stay exposed for introspection and fault injection; the hot loop
+        # reads only these lists.
+        replay = workload.replay()
+        self.replay = replay
+        self._dep_rows = replay.deps
+        self._arch_rows = replay.arch_reads
+        self._insertable = replay.insertable
+        self._evictions = replay.evictions
+        self._ifetch_extra_row = replay.ifetch_extra
+        self._load_latency_row = replay.load_latency
+        self._mem_word_row = replay.mem_word
+
+        # Config facts hoisted out of the per-cycle path.  MachineConfig is
+        # frozen, so these can never go stale.
+        front = config.front_end
+        self._front_depth = front.depth
+        self._fetch_width = front.fetch_width
+        self._branches_per_cycle = front.branches_per_cycle
+        self._fetch_cap = front.fetch_buffer
+        self._redirect_penalty = front.redirect
+        self._alloc_width = front.alloc_width
+        self._rename_src_budget = front.rename_src_ops
+        self._rename_dest_budget = front.rename_dest_ops
+        self._max_in_flight = config.max_in_flight
+        self._lsq_entries = config.lsq_entries
+        self._mshrs = config.mshrs
+        self._rf_alloc_at_issue = config.rf_alloc_at_issue
+        self._issue_width = config.issue_width
 
         self.rf = config.regfile.build()
         self.bypass = BypassNetwork(config.bypass_levels, config.bypass_width)
@@ -166,9 +210,13 @@ class TimingCore:
         self._fetch_blocked = False
         self._fetch_resume = 0
 
-        # Dependence scoreboards: register key -> last producing WInst.
-        self._external_producers: Dict[Tuple[str, int], WInst] = {}
-        self._internal_producers: Dict[Tuple[str, int], WInst] = {}
+        # Live-producer table: trace index -> in-flight WInst.  Dispatch
+        # resolves each instruction's static dependence row against it;
+        # entries are inserted only for producers some later row references
+        # and evicted by the precomputed lists, so it stays bounded by the
+        # register namespace.  (Replaces the per-config register-key
+        # scoreboards the dispatch stage used to rebuild every run.)
+        self._live: Dict[int, WInst] = {}
 
         # Completion events, writeback queue, reorder buffer.
         self._events: List[Tuple[int, int, WInst]] = []
@@ -209,9 +257,10 @@ class TimingCore:
         #: once per simulated cycle, *after* the cycle's stages, so the
         #: observer sees end-of-cycle state (what retired, what stalled).
         #: Reroutes _run_until to the instrumented twin like the other
-        #: per-cycle hooks; note that :meth:`_skip_idle` gaps do not fire
-        #: it — skipped cycles mutate no state, so an observer accounts
-        #: them from the frozen state it saw at the previous firing.
+        #: per-cycle hooks; the twin single-steps (never event-skips), so
+        #: an attached observer fires on every architectural cycle.  Gap
+        #: accounting in observers remains only for sampled execution's
+        #: fast-forwarded windows (``skip_to``).
         self.trace_hook = None
 
     # ----------------------------------------------------------------- hooks
@@ -278,14 +327,15 @@ class TimingCore:
         issue_stage = self.issue_stage
         dispatch_stage = self.dispatch_stage
         fetch_stage = self.fetch_stage
-        skip_idle = self._skip_idle
+        issue_idle = self.issue_idle
+        next_event = self._next_event
+        skip = self.event_kernel
         events = self._events
         miss_releases = self._miss_releases
         pending_writeback = self._pending_writeback
         rob = self._rob
         buffer = self._fetch_buffer
-        front = self.config.front_end
-        fetch_cap = front.fetch_buffer
+        fetch_cap = self._fetch_cap
         fetch_limit = self._fetch_limit
         # Each stage is entered only when its cheap guard says it can act;
         # the guards replicate the stages' own first-line early-outs, so a
@@ -307,7 +357,32 @@ class TimingCore:
                     )
                 watch_cycle = cycle
                 watch_retired = self._retired_count
-            cycle = skip_idle(cycle)
+            # Event-driven kernel: when no stage can act this cycle, jump
+            # straight to the earliest published next-activity cycle.  With
+            # ready-but-unissued instructions in flight the subclass
+            # publisher must certify issue idleness — but its structure scan
+            # is only worth paying once the O(1) guards show nothing else
+            # can act right now.
+            if skip and not pending_writeback:
+                if not self._ready_unissued:
+                    cycle = next_event(cycle)
+                elif (
+                    not (events and events[0][0] <= cycle)
+                    and not (buffer and buffer[0].dispatch_ready <= cycle)
+                    and not (
+                        rob
+                        and (head := rob[0]).done
+                        and head.complete_cycle < cycle
+                    )
+                    and not (
+                        not self._fetch_blocked
+                        and cycle >= self._fetch_resume
+                        and self._next_fetch < fetch_limit
+                        and len(buffer) < fetch_cap
+                    )
+                    and issue_idle(cycle)
+                ):
+                    cycle = next_event(cycle)
             if (
                 pending_writeback
                 or (events and events[0][0] <= cycle)
@@ -337,11 +412,15 @@ class TimingCore:
     ) -> int:
         """``_run_until`` with the per-cycle hooks enabled.
 
-        Timing-identical to the fast loop: the fast loop's stage guards
-        replicate each stage's own first-line early-outs, so calling every
-        stage unconditionally produces the same state trajectory (a skipped
-        call is exactly a call that does nothing), just slower.  Kept as a
-        separate loop so the uninstrumented path pays nothing for the hook.
+        Hooks force single-stepping: this loop never skips a cycle, so an
+        attached fault/trace/invariant hook fires on every architectural
+        cycle — injections can land anywhere, observers see every stall
+        cycle first-hand, and PR 5's CPI attribution needs no gap
+        accounting.  Timing-identical to the fast loop all the same: a
+        cycle the event kernel would skip mutates no state (that is the
+        skip's precondition), so stepping through it one cycle at a time
+        produces the same trajectory, just slower.  Kept as a separate
+        loop so the uninstrumented path pays nothing for the hooks.
         """
         hook = self.invariant_hook
         start_cycle = cycle
@@ -363,7 +442,6 @@ class TimingCore:
                     )
                 watch_cycle = cycle
                 watch_retired = self._retired_count
-            cycle = self._skip_idle(cycle)
             fault = self.fault_hook
             if fault is not None:
                 fault(self, cycle)
@@ -459,8 +537,7 @@ class TimingCore:
         if self.skip_hook is not None:
             self.skip_hook(self._next_fetch, index)
         self._next_fetch = index
-        self._external_producers.clear()
-        self._internal_producers.clear()
+        self._live.clear()
         self._fetch_blocked = False
         self._fetch_resume = cycle
         self.on_fast_forward()
@@ -512,26 +589,54 @@ class TimingCore:
     def annotate_result(self, result: SimResult) -> None:
         """Subclass hook: attach extra activity statistics to a result."""
 
-    def _skip_idle(self, cycle: int) -> int:
-        """Jump past cycles in which provably no stage can act.
+    def issue_idle(self, cycle: int) -> bool:
+        """True when issue provably cannot act until a completion event.
 
-        Timing-exact: a cycle is skipped only when every stage would no-op —
-        no completion event or writeback is due, no ready instruction awaits
-        issue, the fetch-buffer head has not cleared the front-end pipeline,
-        the ROB head cannot retire, and fetch is blocked, exhausted, or
-        buffer-full.  Such cycles mutate no state and touch no stall counter
-        (port meters roll per cycle and idle cycles claim nothing), so the
-        machine wakes at the earliest cycle anything can happen with
-        bit-identical results.  Dominant wins: misprediction redirect bubbles
-        and long cache-miss shadows with a drained core.
+        Subclass publisher for the event kernel, consulted only while
+        ``_ready_unissued > 0``.  Returning True asserts that *no candidate
+        the issue stage would examine this cycle has all operands complete*
+        — every FIFO head / window entry is still ``pending`` — so calling
+        ``issue_stage`` would neither issue nor touch a port meter or stall
+        counter, and the earliest cycle that can change is a completion
+        event (which the kernel already wakes for).  The contract is strict:
+        a candidate blocked on *resources* (FUs, ports, MSHRs, register
+        entries) must return False, because resource availability is
+        per-cycle state the event heap does not model.  The base class
+        answers False (never skip), which is always safe.
         """
-        if self._ready_unissued or self._pending_writeback:
-            return cycle
+        return False
+
+    def _next_event(self, cycle: int) -> int:
+        """Earliest cycle at which any stage can act (the next-event contract).
+
+        Each structure publishes its next-possible-activity cycle and the
+        kernel jumps to the minimum; ``cycle`` itself is returned whenever
+        anything can act *now*.  The published events:
+
+        * **fetch** — ``_fetch_resume`` (redirect bubble end) while the
+          front end is unblocked with trace and buffer room;
+        * **fetch-buffer head** — its ``dispatch_ready`` cycle (front-end
+          pipeline depth plus I-cache refill);
+        * **ROB head** — ``complete_cycle + 1``, the first retirable cycle,
+          once it has completed;
+        * **completion events** — the earliest entry of the completion heap
+          (which also bounds every MSHR release: misses push both heaps at
+          the same cycle, so a due miss release implies a due event).
+
+        Callers guarantee no writeback is queued and the issue stage is
+        idle (``_ready_unissued == 0`` or :meth:`issue_idle`).  A skipped
+        cycle therefore mutates no state and touches no stall counter
+        (port meters roll per cycle and idle cycles claim nothing), so the
+        jump is bit-exact.  Dominant wins: misprediction redirect bubbles,
+        long cache-miss shadows, and dependence chains serialized on
+        multi-cycle producers.  With no publisher armed the current cycle
+        is returned — a wedged machine ticks until the watchdog fires.
+        """
         wake = None
         if (
             not self._fetch_blocked
             and self._next_fetch < self._fetch_limit
-            and len(self._fetch_buffer) < self.config.front_end.fetch_buffer
+            and len(self._fetch_buffer) < self._fetch_cap
         ):
             if cycle >= self._fetch_resume:
                 return cycle
@@ -560,39 +665,52 @@ class TimingCore:
             return cycle
         return wake
 
+    def _skip_idle(self, cycle: int) -> int:
+        """Precondition check plus :meth:`_next_event` (kept for callers
+        outside the inlined fast-loop test)."""
+        if self._pending_writeback:
+            return cycle
+        if self._ready_unissued and not self.issue_idle(cycle):
+            return cycle
+        return self._next_event(cycle)
+
     # ------------------------------------------------------------------ fetch
     def fetch_stage(self, cycle: int) -> None:
         if self._fetch_blocked or cycle < self._fetch_resume:
             return
-        front = self.config.front_end
-        budget = front.fetch_width
-        branch_budget = front.branches_per_cycle
+        budget = self._fetch_width
+        branch_budget = self._branches_per_cycle
+        fetch_cap = self._fetch_cap
+        depth = self._front_depth
+        limit = self._fetch_limit
         trace = self.trace
         decoded = self.decoded
         buffer = self._fetch_buffer
-        ifetch_extra = self.ifetch_extra
+        append = buffer.append
+        ifetch_extra = self._ifetch_extra_row
+        mem_words = self._mem_word_row
+        # The misprediction *set* stays the lookup source (not a frozen
+        # per-index array): fault injection swaps it at runtime.
         mispredicted = self.mispredicted
-        while (
-            budget > 0
-            and self._next_fetch < self._fetch_limit
-            and len(buffer) < front.fetch_buffer
-        ):
-            index = self._next_fetch
+        index = self._next_fetch
+        while budget > 0 and index < limit and len(buffer) < fetch_cap:
             dyn = trace[index]
-            delay = front.depth + ifetch_extra.get(dyn.seq, 0)
+            facts = decoded[index]
+            mis = dyn.seq in mispredicted
             winst = WInst(
                 dyn,
-                decoded[index],
+                facts,
                 fetch_cycle=cycle,
-                dispatch_ready=cycle + delay,
-                mispredicted=dyn.seq in mispredicted,
+                dispatch_ready=cycle + depth + ifetch_extra[index],
+                mispredicted=mis,
+                mem_word=mem_words[index],
             )
-            buffer.append(winst)
-            self._next_fetch += 1
+            append(winst)
+            index += 1
             budget -= 1
-            if winst.is_branch:
+            if facts.is_branch:
                 branch_budget -= 1
-                if winst.mispredicted:
+                if mis:
                     # Wrong-path fetch begins next cycle; correct-path fetch
                     # resumes only after the branch resolves.
                     self._fetch_blocked = True
@@ -601,51 +719,57 @@ class TimingCore:
                     break  # taken-branch redirect ends the fetch group
                 if branch_budget == 0:
                     break
+        self._next_fetch = index
 
     # --------------------------------------------------------------- dispatch
     def dispatch_stage(self, cycle: int) -> None:
-        front = self.config.front_end
-        budget = front.alloc_width
-        src_budget = front.rename_src_ops
-        dest_budget = front.rename_dest_ops
-        while budget > 0 and self._fetch_buffer:
-            winst = self._fetch_buffer[0]
+        budget = self._alloc_width
+        src_budget = self._rename_src_budget
+        dest_budget = self._rename_dest_budget
+        buffer = self._fetch_buffer
+        rob = self._rob
+        stalls = self.stalls
+        max_in_flight = self._max_in_flight
+        lsq_entries = self._lsq_entries
+        alloc_at_dispatch = not self._rf_alloc_at_issue
+        while budget > 0 and buffer:
+            winst = buffer[0]
             if winst.dispatch_ready > cycle:
                 break
-            if len(self._rob) >= self.config.max_in_flight:
-                self.stalls.in_flight_cap += 1
+            if len(rob) >= max_in_flight:
+                stalls.in_flight_cap += 1
                 break
             if winst.ext_src_ops > src_budget or winst.ext_dest_ops > dest_budget:
-                self.stalls.rename_width += 1
+                stalls.rename_width += 1
                 break
             if (
                 winst.dest_external
-                and not self.config.rf_alloc_at_issue
+                and alloc_at_dispatch
                 and not self.rf.can_allocate()
             ):
-                self.stalls.regfile_entries += 1
+                stalls.regfile_entries += 1
                 break
             if winst.is_branch and not self.checkpoints.can_take():
-                self.stalls.checkpoints += 1
+                stalls.checkpoints += 1
                 break
             if (winst.is_load or winst.is_store) and (
-                self._mem_in_flight >= self.config.lsq_entries
+                self._mem_in_flight >= lsq_entries
             ):
-                self.stalls.structure_full += 1
+                stalls.structure_full += 1
                 break
 
-            # The scoreboards only mutate on a successful dispatch, and a
+            # The live table only mutates on a successful dispatch, and a
             # failed accept() blocks all younger dispatches, so the captured
             # dependences of a stalled head stay valid across retry cycles.
             if not winst.captured:
                 self._capture_deps(winst)
                 winst.captured = True
             if not self.accept(winst, cycle):
-                self.stalls.structure_full += 1
+                stalls.structure_full += 1
                 break
 
             self._commit_dispatch(winst, cycle)
-            self._fetch_buffer.popleft()
+            buffer.popleft()
             budget -= 1
             src_budget -= winst.ext_src_ops
             dest_budget -= winst.ext_dest_ops
@@ -655,49 +779,50 @@ class TimingCore:
         return (reg.rclass.value, reg.index)
 
     def _capture_deps(self, winst: WInst) -> None:
-        """Read the scoreboards: who produces each register source?"""
-        deps = winst.deps
-        deps.clear()
-        arch_reads = 0
-        external = self._external_producers
-        internal_table = self._internal_producers
-        for key, internal in winst.facts.src_keys:
-            producer = (internal_table if internal else external).get(key)
-            if producer is None:
-                # Value lives in the architectural file (or is an internal
-                # value of an already-drained braid): a plain register read.
-                if not internal:
-                    arch_reads += 1
-                continue
-            deps.append((producer, internal))
+        """Resolve the static dependence row against the live-producer table."""
+        seq = winst.seq
+        arch_reads = self._arch_rows[seq]
+        row = self._dep_rows[seq]
+        if row:
+            live = self._live
+            deps = winst.deps
+            for pidx, internal in row:
+                producer = live.get(pidx)
+                if producer is None:
+                    # Producer replayed before a sampling gap: the value
+                    # lives in the architectural file (or died with a
+                    # drained braid) — a plain register read.
+                    if not internal:
+                        arch_reads += 1
+                else:
+                    deps.append((producer, internal))
         winst.arch_reads = arch_reads
 
     def _commit_dispatch(self, winst: WInst, cycle: int) -> None:
         winst.dispatch_cycle = cycle
         pending = 0
         for producer, _internal in winst.deps:
-            if producer is not None and not producer.done:
+            if not producer.done:
                 producer.waiters.append(winst)
                 pending += 1
         winst.pending = pending
 
-        if winst.start:
-            # Internal values never cross braid boundaries.
-            self._internal_producers.clear()
+        seq = winst.seq
+        live = self._live
+        if self._insertable[seq]:
+            live[seq] = winst
+        dead = self._evictions[seq]
+        if dead is not None:
+            pop = live.pop
+            for producer_index in dead:
+                pop(producer_index, None)
 
-        key = winst.facts.written_key
-        if key is not None:
-            if winst.dest_internal:
-                self._internal_producers[key] = winst
-            if winst.dest_external:
-                self._external_producers[key] = winst
-
-        if winst.dest_external and not self.config.rf_alloc_at_issue:
+        if winst.dest_external and not self._rf_alloc_at_issue:
             self.rf.allocate()
         if winst.is_branch:
-            self.checkpoints.take(winst.seq)
+            self.checkpoints.take(seq)
         if winst.is_store:
-            self.lsq.store_dispatched(winst.seq, winst.mem_word)
+            self.lsq.store_dispatched(seq, winst.mem_word)
         if winst.is_load or winst.is_store:
             self._mem_in_flight += 1
         self._rob.append(winst)
@@ -764,18 +889,20 @@ class TimingCore:
         latency = winst.latency
         is_miss = False
         if winst.is_load:
-            cache_latency = self.load_latency.get(winst.seq, self.l1d_latency)
+            cache_latency = self._load_latency_row[winst.seq]
+            if cache_latency is None:
+                cache_latency = self.l1d_latency
             memory_latency = self.lsq.load_latency(
                 winst.seq, winst.mem_word, cycle, cache_latency
             )
             if memory_latency is None:
                 return False
             is_miss = memory_latency > self.l1d_latency
-            if is_miss and self._outstanding_misses >= self.config.mshrs:
+            if is_miss and self._outstanding_misses >= self._mshrs:
                 return False  # all miss-status holding registers busy
             latency = memory_latency
 
-        staging = self.config.rf_alloc_at_issue and winst.dest_external
+        staging = self._rf_alloc_at_issue and winst.dest_external
         if staging and not self.rf.can_allocate():
             self.stalls.regfile_entries += 1
             return False
@@ -820,11 +947,14 @@ class TimingCore:
 
     # --------------------------------------------------------------- complete
     def complete_stage(self, cycle: int) -> None:
-        while self._miss_releases and self._miss_releases[0][0] <= cycle:
-            heapq.heappop(self._miss_releases)
+        miss_releases = self._miss_releases
+        while miss_releases and miss_releases[0][0] <= cycle:
+            heapq.heappop(miss_releases)
             self._outstanding_misses -= 1
-        while self._events and self._events[0][0] <= cycle:
-            _, _, winst = heapq.heappop(self._events)
+        events = self._events
+        pending_writeback = self._pending_writeback
+        while events and events[0][0] <= cycle:
+            _, _, winst = heapq.heappop(events)
             winst.done = True
             for waiter in winst.waiters:
                 waiter.pending -= 1
@@ -833,39 +963,41 @@ class TimingCore:
                     self.on_ready(waiter, cycle)
             winst.waiters.clear()
             if winst.dest_external:
-                self._pending_writeback.append(winst)
+                pending_writeback.append(winst)
             else:
                 winst.writeback_cycle = winst.complete_cycle
             if winst.is_branch and winst.mispredicted:
                 self._fetch_blocked = False
-                self._fetch_resume = cycle + self.config.front_end.redirect
+                self._fetch_resume = cycle + self._redirect_penalty
                 self.checkpoints.restore(winst.seq)
 
-        while self._pending_writeback:
-            winst = self._pending_writeback[0]
+        while pending_writeback:
+            winst = pending_writeback[0]
             if not self.rf.write.acquire(cycle, 1):
                 break
             winst.writeback_cycle = cycle + 1
-            self._pending_writeback.popleft()
-            if self.config.rf_alloc_at_issue:
+            pending_writeback.popleft()
+            if self._rf_alloc_at_issue:
                 # Staging policy: the entry drains to the architectural
                 # backing file as soon as the value is written.
                 self.rf.release()
 
     # ------------------------------------------------------------------ retire
     def retire_stage(self, cycle: int) -> None:
-        budget = self.config.issue_width
+        budget = self._issue_width
         retire_hook = self.retire_hook
-        while budget > 0 and self._rob:
-            winst = self._rob[0]
+        rob = self._rob
+        alloc_at_dispatch = not self._rf_alloc_at_issue
+        while budget > 0 and rob:
+            winst = rob[0]
             if not winst.done or winst.complete_cycle >= cycle:
                 break
-            self._rob.popleft()
+            rob.popleft()
             winst.retired = True
             winst.retire_cycle = cycle
             if retire_hook is not None:
                 retire_hook(winst, cycle)
-            if winst.dest_external and not self.config.rf_alloc_at_issue:
+            if winst.dest_external and alloc_at_dispatch:
                 self.rf.release()
             if winst.is_store:
                 self.lsq.store_retired(winst.seq)

@@ -96,6 +96,15 @@ class DependenceSteeringCore(TimingCore):
             )
 
     # ------------------------------------------------------------------ issue
+    def issue_idle(self, cycle: int) -> bool:
+        # Only FIFO heads are examined; when every non-empty head is still
+        # pending, issue_stage would just scan and continue past all of
+        # them, so the next possible activity is a completion event.
+        for fifo in self._fifos:
+            if fifo and not fifo[0].pending:
+                return False
+        return True
+
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
         for fifo in self._fifos:

@@ -52,6 +52,12 @@ class InOrderCore(TimingCore):
                 yield f"issue queue out of program order at seq={winst.seq}"
             previous = winst.seq
 
+    def issue_idle(self, cycle: int) -> bool:
+        # Only the queue head can issue; while its producers are pending the
+        # issue stage cannot act (or touch a meter) until a completion event.
+        queue = self._queue
+        return not queue or queue[0].pending != 0
+
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
         queue = self._queue

@@ -1,0 +1,485 @@
+"""Tiered-fidelity interval model: analytic IPC from calibration windows.
+
+The cheapest rung of the fidelity ladder (``exact`` > ``sampled`` >
+``interval``).  Where :mod:`repro.sim.sampling` measures every
+``stride``-th unit in detail, this model measures only a handful of
+evenly spread *calibration windows* — just enough to fit the linear CPI
+model whose covariates (excess load latency, mispredict rate, fetch
+penalty per instruction) phase one already fixed — and predicts every
+other unit analytically.  Detail fractions land around 1-5% of the trace
+instead of the sampled mode's ~20-30%, at a correspondingly looser error
+bound.
+
+The estimator is the same model-assisted (GREG-style) machinery the
+sampled engine uses (:func:`~repro.sim.sampling._predict_unsampled`), so
+the two tiers disagree only through sample size, never through modeling
+assumptions.  The measured windows run on the ordinary
+:class:`~repro.sim.core.TimingCore` — one core instance, one monotonic
+cycle clock, drain + fast-forward across the gaps — so the lockstep
+oracle and the observability layer attach exactly as in sampled mode.
+
+Because the fitted coefficients price the phase-one events per
+instruction, they also yield a model-derived CPI stack (intercept →
+``base``, load excess → ``memory``, mispredicts → ``branch_flush``,
+fetch penalty → ``fetch_limited``) without attaching an observer; an
+attached observer's measured-window stack takes precedence.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .config import MachineConfig
+from .results import SimResult, StallCounters
+from .sampling import (
+    _fit_ridge,
+    _interp_at,
+    _predict_unsampled,
+    _unit_covariates,
+)
+from .workload import PreparedWorkload
+
+_ENV_INTERVAL = "REPRO_INTERVAL"
+
+#: fitting fewer windows than covariates degenerates to the ratio
+#: fallback; keep at least one spare beyond the 4-covariate model
+_MIN_WINDOWS = 2
+
+
+@dataclass(frozen=True)
+class IntervalConfig:
+    """Calibration parameters for the interval (analytic) fidelity tier.
+
+    ``windows`` calibration windows of ``window`` instructions each are
+    spread evenly across the trace (first and last units always
+    included, so predictions interpolate rather than extrapolate);
+    ``seed`` nudges the interior windows for cross-validation without
+    losing determinism.  ``error_bound_pct`` is the *stated* IPC error
+    bound the tier advertises; the run reports
+    ``max(error_bound_pct, 1.96 * stderr)`` so a noisy fit can widen the
+    bound but never silently narrow it.
+    """
+
+    windows: int = 12
+    window: int = 500
+    warmup: int = 512
+    seed: int = 0
+    error_bound_pct: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.windows < _MIN_WINDOWS:
+            raise ValueError(
+                f"interval windows must be >= {_MIN_WINDOWS}, "
+                f"got {self.windows}"
+            )
+        if self.window < 1:
+            raise ValueError(
+                f"interval window must be >= 1, got {self.window}"
+            )
+        if self.warmup < 0:
+            raise ValueError(
+                f"interval warmup must be >= 0, got {self.warmup}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"interval seed must be >= 0, got {self.seed}")
+        if self.error_bound_pct <= 0:
+            raise ValueError(
+                f"interval error bound must be positive, "
+                f"got {self.error_bound_pct}"
+            )
+
+    def cache_token(self) -> Tuple:
+        """Hashable identity for cache keys and worker specs."""
+        return (
+            "interval", self.windows, self.window, self.warmup, self.seed,
+            round(self.error_bound_pct, 4),
+        )
+
+    def spec(self) -> str:
+        """Round-trippable textual form (the ``--interval`` argument)."""
+        bound = f"{self.error_bound_pct:g}"
+        return (
+            f"windows={self.windows},window={self.window},"
+            f"warmup={self.warmup},seed={self.seed},bound={bound}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "IntervalConfig":
+        """Parse ``windows=8,window=500,warmup=512,seed=0,bound=10``."""
+        text = text.strip()
+        if not text or text.lower() in ("1", "on", "true", "default"):
+            return cls()
+        values: Dict[str, float] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad interval spec {text!r}: expected key=value pairs "
+                    f"(windows/window/warmup/seed/bound), got {part!r}"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in ("windows", "window", "warmup", "seed", "bound"):
+                raise ValueError(
+                    f"bad interval spec {text!r}: unknown key {key!r} "
+                    f"(expected windows/window/warmup/seed/bound)"
+                )
+            raw = raw.strip()
+            try:
+                values[key] = float(raw) if key == "bound" else int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad interval spec {text!r}: {key} must be "
+                    f"{'a number' if key == 'bound' else 'an integer'}, "
+                    f"got {raw!r}"
+                ) from None
+        if "bound" in values:
+            values["error_bound_pct"] = values.pop("bound")
+        return cls(**values)  # type: ignore[arg-type]
+
+
+def interval_from_env() -> IntervalConfig:
+    """Resolve ``REPRO_INTERVAL`` (a spec string; unset means defaults)."""
+    value = os.environ.get(_ENV_INTERVAL, "").strip()
+    if not value:
+        return IntervalConfig()
+    return IntervalConfig.parse(value)
+
+
+def plan_calibration(
+    total: int, interval: IntervalConfig
+) -> Optional[Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...]]]:
+    """Units and calibration indices, or None when exact is cheaper.
+
+    The trace is cut into a fixed lattice of ``interval.window``-sized
+    units (plus a trailing partial unit); ``interval.windows`` of them —
+    always the first and the last, the rest evenly spread with a
+    deterministic seed nudge — are calibrated in detail, plus
+    geometrically spaced early units (1, 2, 4, ...): phase-one cache
+    warming concentrates CPI drift and its curvature in the first units,
+    where an even spread is blind.  Returns None when the lattice has no
+    units left to predict, i.e. calibration would measure (almost) the
+    whole trace anyway.
+    """
+    span = interval.window
+    full = total // span
+    units: List[Tuple[int, int]] = [
+        (i * span, (i + 1) * span) for i in range(full)
+    ]
+    if full * span < total:
+        units.append((full * span, total))
+    count = len(units)
+    if count <= interval.windows:
+        return None
+    want = interval.windows
+    spread = (count - 1) / (want - 1)
+    # One window per stratum, scattered inside it by a deterministic
+    # PRNG rather than evenly spaced: benchmarks with periodic
+    # per-iteration behaviour alias an even lattice (every window lands
+    # at the same phase of the iteration), and scatter breaks the
+    # alignment without losing determinism.
+    rng = random.Random((interval.seed << 16) ^ count)
+    picks = {0, count - 1}
+    for i in range(1, want - 1):
+        low = 1 + (i * (count - 2)) // (want - 1)
+        high = 1 + ((i + 1) * (count - 2)) // (want - 1)
+        if high > low:
+            picks.add(rng.randrange(low, high))
+    geometric = 1
+    while geometric < min(spread, count - 1):
+        picks.add(geometric)
+        geometric *= 2
+    if len(picks) >= count:
+        return None
+    return tuple(units), tuple(sorted(picks))
+
+
+def simulate_interval(
+    workload: PreparedWorkload,
+    config: MachineConfig,
+    interval: Optional[IntervalConfig] = None,
+    max_cycles: int = 100_000_000,
+    validation=None,
+    observe=None,
+) -> SimResult:
+    """Estimate ``workload``'s IPC on ``config`` analytically.
+
+    Measures only the calibration windows in detail and predicts the
+    rest from the fitted linear CPI model; see the module docstring for
+    the fidelity contract.  Falls back to exact simulation (and says so
+    in ``extra["interval_fallback_exact"]``) when the trace is too short
+    for calibration to be cheaper than measuring everything.
+
+    ``validation`` and ``observe`` attach exactly as in
+    :func:`~repro.sim.sampling.simulate_sampled`: the lockstep oracle
+    checks the measured windows (tolerating the unmeasured remainder),
+    and an observer's CPI accounting covers the measured windows only.
+    """
+    from .run import build_core
+
+    if interval is None:
+        interval = IntervalConfig()
+    total = len(workload.trace)
+    plan = plan_calibration(total, interval)
+    core = build_core(workload, config)
+    session = None
+    if validation is not None and validation.enabled:
+        from ..validate import attach_validation
+
+        session = attach_validation(core, workload, validation)
+    if observe is not None:
+        observe.attach(core)
+    if plan is None:
+        result = core.run(max_cycles=max_cycles)
+        result.extra["interval_fallback_exact"] = 1.0
+        if session is not None:
+            session.finish(expect_full=True)
+        if observe is not None:
+            observe.finalize(result)
+        return result
+    units, chosen = plan
+
+    cycle = 0
+    measured_cycles = 0
+    measured_instructions = 0
+    warmup_instructions = 0
+    warmup_cycles = 0
+    window_cpis: List[float] = []
+    window_weights: List[int] = []
+    measured_stalls = {name: 0 for name in core.stalls.as_dict()}
+    measured_issued = 0
+    measured_cpi = (
+        None if observe is None
+        else {cause: 0.0 for cause in observe.cpi_totals()}
+    )
+
+    # Same resumable-window mechanics as simulate_sampled: windows in
+    # trace order; consecutive chosen units form one continuous detailed
+    # run (no drain between them), with the fetch limit held at the end
+    # of the run so boundary readings match continuous execution.
+    windows = []
+    previous_end = 0
+    for index in chosen:
+        start, end = units[index]
+        windows.append((max(previous_end, start - interval.warmup), start, end))
+        previous_end = end
+    adjacent = [False] + [
+        windows[k][0] == windows[k - 1][2] for k in range(1, len(windows))
+    ]
+    fetch_limits = [window[2] for window in windows]
+    for k in range(len(windows) - 2, -1, -1):
+        if adjacent[k + 1]:
+            fetch_limits[k] = fetch_limits[k + 1]
+    origin = 0
+    for k, (detail_start, measure_start, measure_end) in enumerate(windows):
+        if not adjacent[k]:
+            if core._next_fetch != detail_start:
+                cycle = core.drain_in_flight(cycle)
+                core.fast_forward(detail_start, cycle)
+                if observe is not None:
+                    observe.skip_to(cycle)
+            # Retirement can overshoot by up to the retire width, so
+            # targets are absolute trace positions, not deltas.
+            origin = core._retired_count - detail_start
+        core._fetch_limit = fetch_limits[k]
+        window_start = cycle
+        cycle = core._run_until(origin + measure_start, cycle, max_cycles)
+        warm_cycle = cycle
+        warm_stalls = core.stalls.as_dict()
+        warm_issued = core._issued_count
+        warm_cpi = None if observe is None else observe.cpi_totals()
+        cycle = core._run_until(origin + measure_end, cycle, max_cycles)
+        window_measured = cycle - warm_cycle
+        window_insts = measure_end - measure_start
+        window_cpis.append(window_measured / window_insts)
+        window_weights.append(window_insts)
+        measured_instructions += window_insts
+        measured_cycles += window_measured
+        warmup_instructions += measure_start - detail_start
+        warmup_cycles += warm_cycle - window_start
+        for name, value in core.stalls.as_dict().items():
+            measured_stalls[name] += value - warm_stalls[name]
+        measured_issued += core._issued_count - warm_issued
+        if observe is not None:
+            for cause, value in observe.cpi_totals().items():
+                measured_cpi[cause] += value - warm_cpi[cause]
+    cycle = core.drain_in_flight(cycle)
+
+    covariates = _unit_covariates(workload, units)
+    predicted_cycles, residuals, dof = _predict_unsampled(
+        units, chosen, window_cpis, covariates
+    )
+    estimated_cycles = max(1, measured_cycles + round(predicted_cycles))
+
+    count = len(window_cpis)
+    mean_weight = measured_instructions / count
+    variance = math.fsum(
+        (weight / mean_weight) ** 2 * residual ** 2
+        for residual, weight in zip(residuals, window_weights)
+    ) / max(1, count - dof)
+    fpc = 1.0 - count / len(units)
+    extrapolated_span = total - measured_instructions
+    stderr_cycles = (
+        math.sqrt(max(0.0, variance * fpc) / count) * extrapolated_span
+    )
+    # Stated bound: the configured floor, widened by whichever is worse —
+    # the sampling-theory stderr (random window-to-window noise) or the
+    # leave-one-out cross-validation error (which also sees systematic
+    # bias the residual spread hides, e.g. phase drift between the
+    # calibration windows).  The bound can widen, never silently narrow.
+    stated_bound = interval.error_bound_pct
+    if estimated_cycles:
+        stated_bound = max(
+            stated_bound, 100.0 * 1.96 * stderr_cycles / estimated_cycles
+        )
+        cv_error = _cv_relative_error(chosen, window_cpis, covariates)
+        extrapolated_fraction = predicted_cycles / estimated_cycles
+        stated_bound = max(
+            stated_bound, 100.0 * cv_error * extrapolated_fraction
+        )
+
+    result = SimResult(
+        benchmark=workload.name,
+        machine=config.name,
+        cycles=estimated_cycles,
+        instructions=total,
+        branches=workload.stats.branches,
+        mispredicts=len(workload.mispredicted),
+        issued=measured_issued,
+        stalls=StallCounters(**measured_stalls),
+        sampled=True,
+        fidelity="interval",
+        sample_intervals=count,
+        sample_measured_instructions=measured_instructions,
+        sample_detail_instructions=measured_instructions + warmup_instructions,
+        cycles_stderr=stderr_cycles,
+    )
+    result.extra["interval_windows"] = float(count)
+    result.extra["interval_window"] = float(interval.window)
+    result.extra["interval_warmup"] = float(interval.warmup)
+    result.extra["interval_seed"] = float(interval.seed)
+    result.extra["interval_error_bound_pct"] = stated_bound
+    result.extra["interval_measured_cycles"] = float(measured_cycles)
+    result.extra["interval_warmup_cycles"] = float(warmup_cycles)
+    result.extra["sample_detail_fraction"] = (
+        (measured_instructions + warmup_instructions) / total
+    )
+    if observe is None and count > len(covariates[0]) + 1:
+        result.cpi_stack = _model_cpi_stack(
+            workload, units, chosen, window_cpis, covariates, estimated_cycles
+        )
+    core.attach_activity(result)
+    if observe is not None:
+        observe.finalize(result, cpi_slots=measured_cpi)
+    if session is not None:
+        # Only the calibration windows ran; require consistency of what
+        # ran, not coverage of the whole trace.
+        session.finish(expect_full=False)
+    return result
+
+
+def _cv_relative_error(
+    chosen,
+    cpis: List[float],
+    covariates,
+) -> float:
+    """Leave-one-out RMS relative CPI error of the estimator.
+
+    Re-predicts each calibration window from the remaining ones with the
+    same model-plus-residual-interpolation machinery the real estimate
+    uses.  Unlike the residual spread around the fitted model, this sees
+    systematic prediction bias (a model refit without a window must
+    still predict it).  The returned bound component is
+    ``|mean error| + 1.96 * stderr(mean)``: the bias term does not
+    average out over predicted units, while the random part shrinks
+    with the window count like the total estimate does.
+    """
+    count = len(cpis)
+    if count < 3:
+        return 0.0
+    width = len(covariates[0])
+    errors = []
+    for leave in range(count):
+        keep = [j for j in range(count) if j != leave]
+        sub_chosen = [chosen[j] for j in keep]
+        sub_cpis = [cpis[j] for j in keep]
+        if len(sub_chosen) > width + 1:
+            beta = _fit_ridge(
+                [covariates[index] for index in sub_chosen], sub_cpis
+            )
+
+            def model(index):
+                return math.fsum(
+                    b * x for b, x in zip(beta, covariates[index])
+                )
+        else:
+            floor = [1.0 + row[1] for row in covariates]
+            rho = math.fsum(
+                cpi / floor[index]
+                for cpi, index in zip(sub_cpis, sub_chosen)
+            ) / len(sub_chosen)
+
+            def model(index):
+                return rho * floor[index]
+        residuals = [
+            cpi - model(index) for cpi, index in zip(sub_cpis, sub_chosen)
+        ]
+        predicted = model(chosen[leave]) + _interp_at(
+            sub_chosen, residuals, chosen[leave]
+        )
+        predicted = min(max(sub_cpis) * 2.0, max(min(sub_cpis) * 0.5, predicted))
+        actual = cpis[leave]
+        if actual > 0:
+            errors.append((predicted - actual) / actual)
+    if len(errors) < 2:
+        return 0.0
+    n = len(errors)
+    mean = math.fsum(errors) / n
+    variance = math.fsum((e - mean) ** 2 for e in errors) / (n - 1)
+    return abs(mean) + 1.96 * math.sqrt(variance / n)
+
+
+def _model_cpi_stack(
+    workload: PreparedWorkload,
+    units,
+    chosen,
+    cpis,
+    covariates,
+    estimated_cycles: int,
+) -> Dict[str, float]:
+    """CPI stack from the fitted coefficients, summing to the estimate.
+
+    Each coefficient prices one phase-one event class per instruction,
+    so ``beta_j * total_covariate_mass_j`` is that cause's cycle share:
+    intercept → ``base``, excess load latency → ``memory``, mispredicts
+    → ``branch_flush``, fetch penalty → ``fetch_limited``.  Negative
+    fitted shares clamp to zero and the unexplained remainder folds into
+    ``base``, so the stack always sums to ``cycles`` like an observed
+    one (see repro.obs.cpi).
+    """
+    from ..obs.cpi import empty_stack
+
+    beta = _fit_ridge([covariates[index] for index in chosen], cpis)
+    mass = [0.0] * len(beta)
+    for (start, end), row in zip(units, covariates):
+        span = end - start
+        for j, value in enumerate(row):
+            mass[j] += value * span
+    stack = empty_stack()
+    stack["memory"] = max(0.0, beta[1] * mass[1])
+    stack["branch_flush"] = max(0.0, beta[2] * mass[2])
+    stack["fetch_limited"] = max(0.0, beta[3] * mass[3])
+    explained = stack["memory"] + stack["branch_flush"] + stack["fetch_limited"]
+    if explained > estimated_cycles:
+        scale = estimated_cycles / explained
+        for cause in ("memory", "branch_flush", "fetch_limited"):
+            stack[cause] *= scale
+        explained = float(estimated_cycles)
+    stack["base"] = estimated_cycles - explained
+    return stack

@@ -75,6 +75,12 @@ class OutOfOrderCore(TimingCore):
         heapq.heappush(self._ready, (winst.seq, winst))
 
     # ------------------------------------------------------------------ issue
+    def issue_idle(self, cycle: int) -> bool:
+        # The ready pool only holds instructions whose operands are all
+        # complete — anything in it may issue as soon as ports/FUs allow,
+        # which the event heap does not model.  Never skip while one waits.
+        return False
+
     def issue_stage(self, cycle: int) -> None:
         if not self._ready and not self._retry:
             return

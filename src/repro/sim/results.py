@@ -47,6 +47,11 @@ class SimResult:
     extra: Dict[str, float] = field(default_factory=dict)
     #: interval sampling: estimate provenance and uncertainty
     sampled: bool = False
+    #: which fidelity tier produced this result: ``exact`` (every
+    #: instruction simulated), ``sampled`` (every stride-th unit
+    #: measured, rest extrapolated), or ``interval`` (a few calibration
+    #: windows measured, rest predicted analytically)
+    fidelity: str = "exact"
     sample_intervals: int = 0
     sample_measured_instructions: int = 0
     sample_detail_instructions: int = 0

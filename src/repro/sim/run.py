@@ -42,6 +42,10 @@ def _env_validation():
     return validation_from_env()
 
 
+#: the fidelity ladder, most to least detailed
+FIDELITIES = ("exact", "sampled", "interval")
+
+
 def simulate(
     workload: PreparedWorkload,
     config: MachineConfig,
@@ -49,8 +53,18 @@ def simulate(
     sampling=None,
     validation=None,
     observe=None,
+    fidelity: Optional[str] = None,
+    interval=None,
 ) -> SimResult:
     """Run ``workload`` on the machine described by ``config``.
+
+    ``fidelity`` picks the tier explicitly: ``"exact"`` simulates every
+    instruction (and ignores ``sampling``), ``"sampled"`` measures every
+    stride-th unit (``sampling`` or the defaults), ``"interval"`` measures
+    only a few calibration windows and predicts the rest analytically
+    (``interval``, an :class:`~repro.sim.interval.IntervalConfig`, or the
+    defaults).  ``None`` (the default) keeps the legacy rule: sampled
+    when ``sampling`` is given, exact otherwise.
 
     ``sampling`` (a :class:`~repro.sim.sampling.SamplingConfig`) switches to
     interval-sampled execution with an extrapolated cycle estimate; ``None``
@@ -70,9 +84,29 @@ def simulate(
     """
     if validation is None:
         validation = _env_validation()
-    if sampling is not None:
-        from .sampling import simulate_sampled
+    if fidelity is None:
+        fidelity = "sampled" if sampling is not None else "exact"
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; choose from {FIDELITIES}"
+        )
+    if fidelity == "interval":
+        from .interval import simulate_interval
 
+        if max_cycles is not None:
+            return simulate_interval(
+                workload, config, interval=interval, max_cycles=max_cycles,
+                validation=validation, observe=observe,
+            )
+        return simulate_interval(
+            workload, config, interval=interval, validation=validation,
+            observe=observe,
+        )
+    if fidelity == "sampled":
+        from .sampling import SamplingConfig, simulate_sampled
+
+        if sampling is None:
+            sampling = SamplingConfig()
         if max_cycles is not None:
             return simulate_sampled(
                 workload, config, sampling, max_cycles=max_cycles,

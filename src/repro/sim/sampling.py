@@ -670,6 +670,7 @@ def simulate_sampled(
         issued=measured_issued,
         stalls=StallCounters(**measured_stalls),
         sampled=True,
+        fidelity="sampled",
         sample_intervals=count,
         sample_measured_instructions=measured_instructions,
         sample_detail_instructions=measured_instructions + warmup_instructions,

@@ -96,6 +96,144 @@ def decode_trace(trace: List[DynInst]) -> List[DecodedInst]:
     return decoded
 
 
+class ReplayFacts:
+    """Config-invariant phase-two replay arrays, indexed by trace position.
+
+    Everything here is a pure function of the trace and its decode facts,
+    so it is computed once per workload and shared read-only by every
+    timing core replaying it — including every config of a batched sweep
+    (:mod:`repro.sim.batch`).  The arrays replace per-dispatch scoreboard
+    walks and per-instruction dict probes in the timing cores' hot loop:
+
+    * ``deps[i]`` — static dependence row: ``((producer_index, internal),
+      ...)`` for every register source of instruction ``i`` that has an
+      in-trace producer, under exactly the semantics the dynamic
+      scoreboards implemented (last writer in trace order, separate
+      external/internal namespaces, internal bindings dying at braid
+      start bits).  Dispatch resolves each row against a small live
+      table of in-flight producers instead of re-deriving it per config.
+    * ``arch_reads[i]`` — external sources with *no* in-trace producer
+      (architectural-file reads).  Sources whose producer retired before
+      a sampling gap are added at resolve time.
+    * ``insertable[i]`` — 1 if some later instruction's row references
+      ``i``; only those producers enter the live table.
+    * ``evictions[i]`` — producer indices whose last scoreboard binding
+      instruction ``i`` overwrites (or clears, for a braid start); the
+      live table drops them when ``i`` dispatches, keeping it bounded by
+      the register namespace instead of growing with the trace.
+    * ``ifetch_extra[i]`` / ``load_latency[i]`` / ``mem_word[i]`` — the
+      phase-one dict oracles flattened to position-indexed lists
+      (``None`` where absent) for O(1) un-hashed access.
+    """
+
+    __slots__ = (
+        "deps", "arch_reads", "insertable", "evictions",
+        "ifetch_extra", "load_latency", "mem_word",
+    )
+
+    def __init__(self, deps, arch_reads, insertable, evictions,
+                 ifetch_extra, load_latency, mem_word) -> None:
+        self.deps = deps
+        self.arch_reads = arch_reads
+        self.insertable = insertable
+        self.evictions = evictions
+        self.ifetch_extra = ifetch_extra
+        self.load_latency = load_latency
+        self.mem_word = mem_word
+
+
+def build_replay(trace: List[DynInst], decoded: List[DecodedInst],
+                 load_latency: Dict[int, int],
+                 ifetch_extra: Dict[int, int]) -> ReplayFacts:
+    """Walk the trace once, building every :class:`ReplayFacts` array.
+
+    The builder mirrors the scoreboard discipline of the dispatch stage:
+    sources read the tables *before* the instruction's own start-clear and
+    destination writes take effect, and consumers always resolve before
+    the overwriting writer dispatches (dispatch is in trace order), so
+    evict-at-overwrite is observationally identical to the dynamic maps.
+    """
+    n = len(trace)
+    ifetch = [0] * n
+    for seq, extra in ifetch_extra.items():
+        ifetch[seq] = extra
+    loads: List[Optional[int]] = [None] * n
+    for seq, value in load_latency.items():
+        loads[seq] = value
+
+    mem: List[Optional[int]] = [None] * n
+    deps: List[Tuple] = [()] * n
+    arch = [0] * n
+    referenced = bytearray(n)
+    #: producer index -> number of scoreboard slots still binding it
+    slots: Dict[int, int] = {}
+    #: overwriting index -> producer indices whose last binding it kills
+    dead_at: Dict[int, List[int]] = {}
+    ext_last: Dict[Tuple, int] = {}
+    int_last: Dict[Tuple, int] = {}
+
+    def release(producer: int, at: int) -> None:
+        remaining = slots[producer] - 1
+        if remaining:
+            slots[producer] = remaining
+        else:
+            del slots[producer]
+            dead_at.setdefault(at, []).append(producer)
+
+    for i in range(n):
+        dyn = trace[i]
+        if dyn.mem_addr is not None:
+            mem[i] = dyn.mem_addr & ~0x7
+        facts = decoded[i]
+        row = []
+        plain_reads = 0
+        for key, internal in facts.src_keys:
+            producer = (int_last if internal else ext_last).get(key)
+            if producer is None:
+                if not internal:
+                    plain_reads += 1
+                continue
+            row.append((producer, internal))
+            referenced[producer] = 1
+        if row:
+            deps[i] = tuple(row)
+        arch[i] = plain_reads
+        if facts.start and int_last:
+            # Internal values never cross braid boundaries.
+            for producer in int_last.values():
+                release(producer, i)
+            int_last.clear()
+        key = facts.written_key
+        if key is not None:
+            if facts.dest_internal:
+                previous = int_last.get(key)
+                int_last[key] = i
+                slots[i] = slots.get(i, 0) + 1
+                if previous is not None:
+                    release(previous, i)
+            if facts.dest_external:
+                previous = ext_last.get(key)
+                ext_last[key] = i
+                slots[i] = slots.get(i, 0) + 1
+                if previous is not None:
+                    release(previous, i)
+
+    evictions: List[Optional[Tuple[int, ...]]] = [None] * n
+    for at, dying in dead_at.items():
+        pruned = tuple(p for p in dying if referenced[p])
+        if pruned:
+            evictions[at] = pruned
+    return ReplayFacts(
+        deps=deps,
+        arch_reads=arch,
+        insertable=referenced,
+        evictions=evictions,
+        ifetch_extra=ifetch,
+        load_latency=loads,
+        mem_word=mem,
+    )
+
+
 @dataclass
 class WorkloadStats:
     """Phase-one facts about a prepared workload."""
@@ -133,6 +271,12 @@ class PreparedWorkload:
     decoded: Optional[List[DecodedInst]] = field(
         default=None, repr=False, compare=False
     )
+    #: lazily computed replay arrays (see :meth:`replay`); dropped from
+    #: pickles — they rebuild in one linear pass and would triple the
+    #: artifact-cache footprint
+    replay_facts: Optional[ReplayFacts] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.trace)
@@ -142,6 +286,19 @@ class PreparedWorkload:
         if self.decoded is None:
             self.decoded = decode_trace(self.trace)
         return self.decoded
+
+    def replay(self) -> ReplayFacts:
+        """Replay arrays shared by every timing core driving this workload."""
+        if self.replay_facts is None:
+            self.replay_facts = build_replay(
+                self.trace, self.decode(), self.load_latency, self.ifetch_extra
+            )
+        return self.replay_facts
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["replay_facts"] = None
+        return state
 
 
 def prepare_workload(

@@ -1,0 +1,90 @@
+"""Batched multi-config simulation shares phase-one facts, changes nothing.
+
+``simulate_batch`` runs N machine configs against one prepared workload,
+warming the decoded/replay facts once and coalescing duplicate configs.
+Sharing is a pure speed layer: every result must be bit-identical to a
+standalone :func:`simulate` call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.sim.batch import batch_order, simulate_batch
+from repro.sim.config import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from repro.sim.run import simulate
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # scale=8 so the trace is long enough for the interval planner in
+    # test_batch_forwards_fidelity (short traces fall back to exact).
+    return ExperimentContext(
+        benchmarks=("gcc",),
+        scale=8,
+        max_instructions=200_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+
+
+def fingerprint(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.issued,
+        dataclasses.asdict(result.stalls),
+        sorted(result.extra.items()),
+    )
+
+
+def test_batch_order_keeps_first_appearance():
+    a, b = ooo_config(), inorder_config()
+    assert batch_order([a, b, a, b, a]) == [0, 1]
+    assert batch_order([b, a]) == [0, 1]
+    assert batch_order([]) == []
+
+
+def test_batch_matches_standalone_runs(ctx):
+    workload = ctx.workload("gcc")
+    configs = [ooo_config(), inorder_config(), depsteer_config()]
+    batched = simulate_batch(workload, configs)
+    assert len(batched) == len(configs)
+    for config, result in zip(configs, batched):
+        assert fingerprint(result) == fingerprint(simulate(workload, config))
+
+
+def test_braided_workload_batches(ctx):
+    workload = ctx.workload("gcc", braided=True)
+    (result,) = simulate_batch(workload, [braid_config()])
+    assert fingerprint(result) == (
+        fingerprint(simulate(workload, braid_config()))
+    )
+
+
+def test_duplicate_configs_share_one_result(ctx):
+    workload = ctx.workload("gcc")
+    config = ooo_config()
+    first, second, third = simulate_batch(
+        workload, [config, config, config]
+    )
+    assert first is second is third
+
+
+def test_batch_forwards_fidelity(ctx):
+    workload = ctx.workload("gcc")
+    results = simulate_batch(
+        workload, [ooo_config(), inorder_config()], fidelity="interval"
+    )
+    assert all(result.fidelity == "interval" for result in results)
+    direct = simulate(workload, ooo_config(), fidelity="interval")
+    assert results[0].cycles == direct.cycles

@@ -134,3 +134,113 @@ def test_run_many_memoizes(serial_fingerprints):
     again = ctx.run_many(points)
     for point in points:
         assert first[point] is again[point]
+
+
+def test_run_many_counts_deduped_points():
+    """Intra-batch duplicates are collapsed and counted in telemetry."""
+    ctx = fresh_context()
+    config, braided = CORES["inorder"]
+    point = SweepPoint("swim", config, braided=braided)
+    results = ctx.run_many([point, point, point])
+    assert results[point].instructions > 0
+    assert ctx.telemetry.counters.get("run_many.deduped") == 2
+    ctx.run_many([point])
+    assert ctx.telemetry.counters.get("run_many.memoized") == 1
+
+
+class TestEventKernelEquivalence:
+    """The skip-to-next-event scheduler is a pure speed layer.
+
+    ``TimingCore.event_kernel`` switches between the classic every-cycle
+    tick loop and the next-event skip loop.  The two must be bit-identical
+    on every core kind — plain runs, hooked (observer-attached) runs, and
+    the resumable drain / fast-forward / re-run windows the sampled and
+    interval engines compose.
+    """
+
+    MAX_CYCLES = 1_000_000
+
+    @pytest.fixture(scope="class")
+    def small_ctx(self):
+        return ExperimentContext(
+            benchmarks=("gcc", "mcf"),
+            max_instructions=20_000,
+            jobs=1,
+            cache=ArtifactCache(enabled=False),
+        )
+
+    @staticmethod
+    def _ticked(monkeypatch):
+        from repro.sim.core import TimingCore
+
+        monkeypatch.setattr(TimingCore, "event_kernel", False)
+
+    @pytest.mark.parametrize("kind", list(CORES))
+    @pytest.mark.parametrize("name", ("gcc", "mcf"))
+    def test_plain_run_matches_ticked(self, kind, name, small_ctx, monkeypatch):
+        from repro.sim.run import build_core
+
+        config, braided = CORES[kind]
+        workload = small_ctx.workload(name, braided=braided)
+        fast = fingerprint(build_core(workload, config).run())
+        with monkeypatch.context() as patched:
+            self._ticked(patched)
+            slow = fingerprint(build_core(workload, config).run())
+        assert fast == slow, f"event kernel diverged on {name}/{kind}"
+
+    @pytest.mark.parametrize("kind", list(CORES))
+    def test_hooked_run_matches_ticked(self, kind, small_ctx, monkeypatch):
+        """With hooks attached both modes single-step — and still agree."""
+        from repro.obs.observer import Observer
+        from repro.sim.run import build_core
+
+        config, braided = CORES[kind]
+        workload = small_ctx.workload("mcf", braided=braided)
+
+        def hooked_run():
+            core = build_core(workload, config)
+            observer = Observer(cpi=True)
+            observer.attach(core)
+            result = core.run()
+            observer.finalize(result)
+            return fingerprint(result), result.cpi_stack
+
+        fast = hooked_run()
+        with monkeypatch.context() as patched:
+            self._ticked(patched)
+            slow = hooked_run()
+        assert fast == slow, f"hooked event kernel diverged on {kind}"
+
+    @pytest.mark.parametrize("kind", list(CORES))
+    def test_resume_windows_match_ticked(self, kind, small_ctx, monkeypatch):
+        """Drain / fast-forward / re-run windows agree across kernels."""
+        from repro.sim.run import build_core
+
+        config, braided = CORES[kind]
+        workload = small_ctx.workload("gcc", braided=braided)
+        total = len(workload.trace)
+        mid = total // 2
+
+        def windowed_run():
+            core = build_core(workload, config)
+            core._fetch_limit = 200
+            cycle = core._run_until(200, 0, self.MAX_CYCLES)
+            cycle = core.drain_in_flight(cycle)
+            core.fast_forward(mid, cycle)
+            origin = core._retired_count - mid
+            core._fetch_limit = total
+            cycle = core._run_until(
+                origin + min(total, mid + 400), cycle, self.MAX_CYCLES
+            )
+            cycle = core.drain_in_flight(cycle)
+            return (
+                cycle,
+                core._retired_count - origin,
+                dataclasses.asdict(core.stalls),
+            )
+
+        fast = windowed_run()
+        with monkeypatch.context() as patched:
+            self._ticked(patched)
+            slow = windowed_run()
+        assert fast == slow, f"windowed event kernel diverged on {kind}"
