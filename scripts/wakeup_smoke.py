@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI smoke test for the scheduler-aware event kernel.
+
+Runs every benchmark of the quick suite on all four timing cores twice —
+once with the event-driven kernel (the default), once with the strictly
+ticked reference loop — and diffs the two runs cycle-exact: cycles,
+instructions, issue count, every stall counter, and every ``extra``
+activity statistic must be bit-identical.  This is the end-to-end guard
+for the O(woken) wakeup index and the ``issue_horizon`` publishers: any
+skip past a cycle in which the scheduler could have acted shows up here
+as a counter diff.
+
+Also reports the per-core wall-clock ratio (event kernel vs ticked) so
+CI logs show how much the skip loop is actually buying on each paradigm.
+
+Exits non-zero with a per-core, per-counter diagnostic on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/wakeup_smoke.py [max_instructions]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.sim.config import (
+    braid_config,
+    depsteer_config,
+    inorder_config,
+    ooo_config,
+)
+from repro.sim.core import TimingCore
+from repro.sim.run import build_core
+
+QUICK = ("gcc", "mcf", "swim", "equake")
+
+CORES = {
+    "ooo": (ooo_config(8), False),
+    "inorder": (inorder_config(8), False),
+    "depsteer": (depsteer_config(8), False),
+    "braid": (braid_config(8), True),
+}
+
+
+def fail(message: str) -> None:
+    print(f"wakeup_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fingerprint(result) -> dict:
+    """Every architectural counter a run produces, flattened for diffing."""
+    flat = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "issued": result.issued,
+    }
+    for field, value in dataclasses.asdict(result.stalls).items():
+        flat[f"stalls.{field}"] = value
+    for key, value in sorted(result.extra.items()):
+        flat[f"extra.{key}"] = value
+    return flat
+
+
+def main() -> None:
+    max_instructions = (
+        int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    )
+    ctx = ExperimentContext(
+        benchmarks=QUICK,
+        max_instructions=max_instructions,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+    divergences = 0
+    for kind, (config, braided) in CORES.items():
+        event_seconds = 0.0
+        ticked_seconds = 0.0
+        for name in QUICK:
+            workload = ctx.workload(name, braided=braided)
+
+            core = build_core(workload, config)
+            assert core.event_kernel, "event kernel should be the default"
+            started = time.perf_counter()
+            fast = fingerprint(core.run())
+            event_seconds += time.perf_counter() - started
+
+            core = build_core(workload, config)
+            core.event_kernel = False
+            started = time.perf_counter()
+            slow = fingerprint(core.run())
+            ticked_seconds += time.perf_counter() - started
+
+            if fast != slow:
+                divergences += 1
+                diffs = [
+                    f"    {counter}: event={fast.get(counter)!r} "
+                    f"ticked={slow.get(counter)!r}"
+                    for counter in sorted(fast.keys() | slow.keys())
+                    if fast.get(counter) != slow.get(counter)
+                ]
+                print(
+                    f"wakeup_smoke: {name}/{kind} diverged on "
+                    f"{len(diffs)} counter(s):",
+                    file=sys.stderr,
+                )
+                for line in diffs:
+                    print(line, file=sys.stderr)
+        ratio = ticked_seconds / event_seconds if event_seconds else 0.0
+        print(
+            f"wakeup_smoke: {kind}: bit-identical across {len(QUICK)} "
+            f"benchmarks; event kernel {ratio:.2f}x vs ticked "
+            f"({event_seconds:.2f}s vs {ticked_seconds:.2f}s)"
+        )
+    if divergences:
+        fail(f"{divergences} run(s) diverged between kernels")
+    print("wakeup smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,12 +19,14 @@ Layers (independently switchable):
   scheduler) and issue-slot utilization via
   :class:`~repro.obs.metrics.MetricsRegistry`.
 
-Idle-skip interaction: ``_skip_idle`` jumps over state-frozen cycles
-without firing per-cycle hooks, so the observer charges each gap when the
-next hook fires.  The gap's cycles are attributed to the *state-only*
-classification computed at the end of the previous hooked cycle (the state
-a frozen machine holds throughout the gap), and occupancy gauges add the
-previous cycle's readings with the gap width as weight.
+Idle-skip interaction: none in practice — an attached per-cycle hook
+reroutes the run to the single-stepping loop
+(:meth:`~repro.sim.core.TimingCore._run_until_checked`), so the observer
+sees every architectural cycle first-hand and the hot path never pays for
+gap reconstruction.  A defensive gap branch remains (charging skipped
+cycles to the state-only classification captured at the last resync)
+should a future loop ever skip under hooks, but no per-cycle work is
+spent keeping it fresh.
 
 Sampling interaction: :func:`~repro.sim.sampling.simulate_sampled` calls
 :meth:`Observer.skip_to` after each fast-forward to resynchronize counter
@@ -69,6 +71,9 @@ class Observer:
         self._gap_cause = "fetch_limited"
         #: end-of-previous-cycle gauge readings, charged to idle-skip gaps
         self._pending: Dict[str, int] = {}
+        #: pre-resolved ``Histogram.add`` bound methods, avoiding the
+        #: name-keyed registry lookups on the per-cycle path
+        self._hist_add: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ wiring
     def attach(self, core) -> None:
@@ -90,6 +95,10 @@ class Observer:
                 "scheduler_occupancy", config.max_in_flight
             )
             self.metrics.histogram("issue_slots", self._width)
+            self._hist_add = {
+                name: histogram.add
+                for name, histogram in self.metrics.histograms.items()
+            }
         self._resync(0)
 
     def _resync(self, cycle: int) -> None:
@@ -124,47 +133,59 @@ class Observer:
         }
 
     def _on_cycle(self, core, cycle: int) -> None:
-        """Per-cycle hook: charge the preceding gap, then this cycle."""
+        """Per-cycle hook: charge the preceding gap, then this cycle.
+
+        Hooked runs single-step (an installed ``trace_hook`` routes the
+        core to ``_run_until_checked``), so the gap branch is dead on the
+        hot path — kept only as a defensive fallback, charged to the
+        classification captured at the last resync.  The hook fires once
+        per simulated cycle, so everything here is written for that
+        path: snapshot loads hoisted once, no dict built per cycle, and
+        ``classify_cycle`` invoked only for cycles with empty slots.
+        """
         gap = cycle - self._last_cycle - 1
         if gap > 0:
-            # Idle-skipped cycles: state frozen, zero retirement — the full
-            # width of every gap cycle goes to the cause the frozen state
-            # exhibited when we last looked.
+            # Skipped cycles: state frozen, zero retirement — the full
+            # width of every gap cycle goes to the cause the frozen
+            # state exhibited at the last resync.
             if self.cpi:
                 self.slots[self._gap_cause] += gap
             if self.metrics_enabled:
                 for name, value in self._pending.items():
-                    weight = gap
                     if name == "issue_slots":
                         value = 0
-                    self.metrics.histograms[name].add(value, weight)
+                    self._hist_add[name](value, gap)
 
-        retired_delta = core._retired_count - self._last_retired
-        issued_delta = core._issued_count - self._last_issued
-        width = self._width
+        retired = core._retired_count
+        issued = core._issued_count
+        stalls = core.stalls
+        rob_cap = stalls.in_flight_cap
+        struct = stalls.structure_full
         if self.cpi:
-            rob_cap_delta = core.stalls.in_flight_cap - self._last_rob_cap
-            structure_delta = core.stalls.structure_full - self._last_struct
-            self.slots["base"] += retired_delta / width
+            width = self._width
+            slots = self.slots
+            retired_delta = retired - self._last_retired
+            slots["base"] += retired_delta / width
             empty = width - retired_delta
             if empty > 0:
                 cause = classify_cycle(
-                    core, cycle, rob_cap_delta, structure_delta
+                    core, cycle,
+                    rob_cap - self._last_rob_cap,
+                    struct - self._last_struct,
                 )
-                self.slots[cause] += empty / width
+                slots[cause] += empty / width
         if self.metrics_enabled:
-            readings = self._readings(issued_delta)
+            readings = self._readings(issued - self._last_issued)
+            hist_add = self._hist_add
             for name, value in readings.items():
-                self.metrics.histograms[name].add(value, 1)
+                hist_add[name](value, 1)
             self._pending = readings
 
         self._last_cycle = cycle
-        self._last_retired = core._retired_count
-        self._last_issued = core._issued_count
-        self._last_rob_cap = core.stalls.in_flight_cap
-        self._last_struct = core.stalls.structure_full
-        # State-only label for a possible idle-skip gap that follows.
-        self._gap_cause = classify_cycle(core, cycle)
+        self._last_retired = retired
+        self._last_issued = issued
+        self._last_rob_cap = rob_cap
+        self._last_struct = struct
 
     # --------------------------------------------------------------- reporting
     def cpi_totals(self) -> Dict[str, float]:

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from .beu import BraidExecutionUnit
 from .config import MachineConfig
-from .core import TimingCore, WInst
+from .core import PARKED, TimingCore, WInst
 from .workload import PreparedWorkload
 
 
@@ -108,31 +108,44 @@ class BraidCore(TimingCore):
         return True
 
     # ------------------------------------------------------------------ issue
-    def issue_idle(self, cycle: int) -> bool:
+    def issue_horizon(self, cycle):
         # Each BEU examines its scheduling window (the FIFO head in strict
-        # or exception mode); if every examined entry is still pending,
-        # issue_stage would scan past all of them without touching a meter,
-        # so the next possible activity is a completion event.
+        # or exception mode); pending or parked entries wake via
+        # completion-side events, entries with a certified issue_wake
+        # bound contribute that bound, and any entry free of both may act
+        # now.
         config = self.config
+        wake = None
         if config.beu_exception_mode:
             fifo = self.beus[0].fifo
-            return not fifo or fifo[0].pending != 0
-        if not config.beu_window_ooo:
-            for beu in self.beus:
-                fifo = beu.fifo
-                if fifo and not fifo[0].pending:
-                    return False
-            return True
+            if not fifo:
+                return None
+            head = fifo[0]
+            if head.pending:
+                return None
+            bound = head.issue_wake
+            if bound <= cycle:
+                return cycle
+            return None if bound >= PARKED else bound
         window_size = config.beu_window
+        strict = not config.beu_window_ooo
         for beu in self.beus:
             fifo = beu.fifo
             depth = len(fifo)
             if depth > window_size:
                 depth = window_size
+            if strict and depth > 1:
+                depth = 1
             for i in range(depth):
-                if not fifo[i].pending:
-                    return False
-        return True
+                winst = fifo[i]
+                if winst.pending:
+                    continue
+                bound = winst.issue_wake
+                if bound <= cycle:
+                    return cycle
+                if bound < PARKED and (wake is None or bound < wake):
+                    wake = bound
+        return wake
 
     def issue_stage(self, cycle: int) -> None:
         window_size = self.config.beu_window
@@ -149,12 +162,17 @@ class BraidCore(TimingCore):
                 while issued < window_size and fifo:
                     winst = fifo[0]
                     # pending > 0: a producer is outstanding, try_issue
-                    # would fail its dependence walk — skip the call.
-                    if winst.pending or not self.try_issue(
+                    # would fail its dependence walk — skip the call.  A
+                    # certified issue_wake bound likewise proves the call
+                    # would fail until that cycle.
+                    if winst.pending or winst.issue_wake > cycle:
+                        break
+                    if not self.try_issue(
                         winst, cycle, beu.fus,
                         internal_reads=beu.internal_reads,
                         internal_writes=beu.internal_writes,
                     ):
+                        self._note_issue_block(winst, cycle)
                         break
                     fifo.popleft()
                     beu.instructions_issued += 1
@@ -164,13 +182,14 @@ class BraidCore(TimingCore):
                 depth = min(window_size, len(fifo))
                 window = [fifo[i] for i in range(depth)]
                 for winst in window:
-                    if winst.pending:
+                    if winst.pending or winst.issue_wake > cycle:
                         continue
                     if not self.try_issue(
                         winst, cycle, beu.fus,
                         internal_reads=beu.internal_reads,
                         internal_writes=beu.internal_writes,
                     ):
+                        self._note_issue_block(winst, cycle)
                         continue
                     fifo.remove(winst)
                     beu.instructions_issued += 1

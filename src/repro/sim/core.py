@@ -34,6 +34,14 @@ class SimulationError(RuntimeError):
     """Raised when a simulation wedges (exceeds the cycle safety cap)."""
 
 
+#: ``WInst.issue_wake`` sentinel: the instruction is parked on an older
+#: unexecuted store's waiter list and has no computable wake cycle — the
+#: store's own issue (an event some other publisher already covers) will
+#: rewrite the wake to the store's completion cycle.  Horizon publishers
+#: treat a parked candidate like a pending one (completion-driven).
+PARKED = 1 << 62
+
+
 class SimulationHang(SimulationError):
     """Retirement stopped advancing for ``max_idle_cycles`` straight cycles.
 
@@ -91,6 +99,7 @@ class WInst:
         "dest_external", "dest_internal", "latency", "start",
         "is_load", "is_store", "is_branch", "mispredicted", "mem_word",
         "cluster", "ext_src_ops", "ext_dest_ops", "retire_cycle",
+        "issue_wake",
     )
 
     def __init__(self, dyn, facts: DecodedInst, fetch_cycle: int,
@@ -128,6 +137,14 @@ class WInst:
         self.cluster = -1
         self.ext_src_ops = facts.ext_src_ops
         self.ext_dest_ops = facts.ext_dest_ops
+        #: earliest cycle a failed issue attempt could possibly succeed
+        #: (a certified lower bound published by try_issue's failure
+        #: classification; 0 = unknown, retry every cycle; PARKED = waiting
+        #: on an unexecuted store).  Head-scanning cores skip try_issue
+        #: while ``cycle < issue_wake``; the skipped calls are exactly
+        #: calls that would have failed without touching any exported
+        #: counter, so timing and fingerprints are unchanged.
+        self.issue_wake = 0
 
     def __repr__(self) -> str:
         def at(cycle: Optional[int]) -> str:
@@ -175,6 +192,7 @@ class TimingCore:
         self._ifetch_extra_row = replay.ifetch_extra
         self._load_latency_row = replay.load_latency
         self._mem_word_row = replay.mem_word
+        self._store_conflict_row = replay.store_conflict
 
         # Config facts hoisted out of the per-cycle path.  MachineConfig is
         # frozen, so these can never go stale.
@@ -195,6 +213,21 @@ class TimingCore:
 
         self.rf = config.regfile.build()
         self.bypass = BypassNetwork(config.bypass_levels, config.bypass_width)
+        #: bypass lifetime in cycles, or -1 for an unusable network — lets
+        #: try_issue test coverage as ``cycle - visible <= _bypass_life``
+        #: without a method call (BypassNetwork is built once, never swapped)
+        self._bypass_life = (
+            config.bypass_levels
+            if config.bypass_levels > 0 and config.bypass_width > 0
+            else -1
+        )
+        #: True when this core never adds inter-cluster forwarding delay
+        #: (dep_delay is the base-class zero), letting the issue path skip
+        #: one virtual call per external operand
+        self._uniform_dep_delay = type(self).dep_delay is TimingCore.dep_delay
+        #: True when the subclass actually observes readiness notifications
+        #: (the base hook is a no-op, not worth a call per woken consumer)
+        self._has_on_ready = type(self).on_ready is not TimingCore.on_ready
         self.lsq = LoadStoreQueue(forward_latency=self.l1d_latency)
         self.checkpoints = CheckpointManager(
             capacity=config.max_branches,
@@ -229,6 +262,13 @@ class TimingCore:
         self.stalls = StallCounters()
         self._issued_count = 0
         self._retired_count = 0
+        #: failure classification of the most recent try_issue call:
+        #: 0 = per-cycle resource or unknown (retry next cycle), a
+        #: positive cycle = certified earliest-possible-success lower
+        #: bound, -1 = blocked on an unexecuted older store (the entry is
+        #: left in ``_issue_block_store`` for the caller to park on)
+        self._issue_wake = 0
+        self._issue_block_store = None
         #: dispatched-but-unissued instructions whose operands are all ready;
         #: while zero, issue_stage provably cannot act (see _skip_idle)
         self._ready_unissued = 0
@@ -327,7 +367,7 @@ class TimingCore:
         issue_stage = self.issue_stage
         dispatch_stage = self.dispatch_stage
         fetch_stage = self.fetch_stage
-        issue_idle = self.issue_idle
+        issue_horizon = self.issue_horizon
         next_event = self._next_event
         skip = self.event_kernel
         events = self._events
@@ -360,9 +400,9 @@ class TimingCore:
             # Event-driven kernel: when no stage can act this cycle, jump
             # straight to the earliest published next-activity cycle.  With
             # ready-but-unissued instructions in flight the subclass
-            # publisher must certify issue idleness — but its structure scan
-            # is only worth paying once the O(1) guards show nothing else
-            # can act right now.
+            # publisher must certify an issue horizon — but its structure
+            # scan is only worth paying once the O(1) guards show nothing
+            # else can act right now.
             if skip and not pending_writeback:
                 if not self._ready_unissued:
                     cycle = next_event(cycle)
@@ -380,9 +420,10 @@ class TimingCore:
                         and self._next_fetch < fetch_limit
                         and len(buffer) < fetch_cap
                     )
-                    and issue_idle(cycle)
                 ):
-                    cycle = next_event(cycle)
+                    horizon = issue_horizon(cycle)
+                    if horizon is None or horizon > cycle:
+                        cycle = next_event(cycle, horizon)
             if (
                 pending_writeback
                 or (events and events[0][0] <= cycle)
@@ -589,24 +630,71 @@ class TimingCore:
     def annotate_result(self, result: SimResult) -> None:
         """Subclass hook: attach extra activity statistics to a result."""
 
-    def issue_idle(self, cycle: int) -> bool:
-        """True when issue provably cannot act until a completion event.
+    def issue_horizon(self, cycle: int) -> Optional[int]:
+        """Certified earliest cycle the issue stage might act (the
+        scheduler arm of the next-event contract).
 
         Subclass publisher for the event kernel, consulted only while
-        ``_ready_unissued > 0``.  Returning True asserts that *no candidate
-        the issue stage would examine this cycle has all operands complete*
-        — every FIFO head / window entry is still ``pending`` — so calling
-        ``issue_stage`` would neither issue nor touch a port meter or stall
-        counter, and the earliest cycle that can change is a completion
-        event (which the kernel already wakes for).  The contract is strict:
-        a candidate blocked on *resources* (FUs, ports, MSHRs, register
-        entries) must return False, because resource availability is
-        per-cycle state the event heap does not model.  The base class
-        answers False (never skip), which is always safe.
-        """
-        return False
+        ``_ready_unissued > 0`` and every O(1) guard already says no
+        other stage can act.  Three answers:
 
-    def _next_event(self, cycle: int) -> int:
+        * ``cycle`` — some candidate the issue stage would examine may
+          act *now* (issue, claim a port meter, or touch a stall
+          counter).  The kernel must not skip.  Per-cycle resource
+          blocks (FUs, ports, staging register entries) always answer
+          ``cycle``, because resource availability rolls per cycle and
+          the event heap does not model it.
+        * a future cycle — no candidate can act before it (every
+          examined candidate is either ``pending`` or carries a
+          certified ``issue_wake`` bound), and absent new completions
+          the earliest possible issue activity is that cycle.
+        * ``None`` — only a completion event (or a store execution,
+          itself covered inductively by another publisher) can wake the
+          issue stage; parked candidates fall here.
+
+        The contract is strict because a returned future cycle becomes a
+        skip target: every cycle before it must be one where calling
+        ``issue_stage`` would mutate nothing observable.  The base class
+        answers ``cycle`` (never skip), which is always safe.
+        """
+        return cycle
+
+    def issue_idle(self, cycle: int) -> bool:
+        """True when issue provably cannot act *this* cycle (derived from
+        :meth:`issue_horizon`; kept as the readable boolean form)."""
+        return self.issue_horizon(cycle) != cycle
+
+    def _note_issue_block(self, winst: WInst, cycle: int) -> None:
+        """Record a failed issue attempt's wake bound on the instruction.
+
+        Head-scanning cores call this after a ``try_issue`` failure:
+        a positive classification becomes the candidate's ``issue_wake``
+        (the scan skips it until then), and a store block parks the
+        candidate on the store's waiter list — ``store_executed`` will
+        rewrite the wake to the store's completion cycle.
+        """
+        wake = self._issue_wake
+        if wake > cycle:
+            winst.issue_wake = wake
+        elif wake < 0:
+            store = self._issue_block_store
+            if store.waiters is None:
+                store.waiters = []
+            store.waiters.append(winst)
+            winst.issue_wake = PARKED
+
+    def _wake_store_waiters(self, waiters: List[WInst], wake: int) -> None:
+        """The store a load was parked on has executed: publish the wake.
+
+        The base form rewrites each parked candidate's ``issue_wake`` to
+        the store's completion cycle (the first cycle forwarding can
+        succeed); pool-based cores override to also re-insert the
+        candidate into their deferred structures.
+        """
+        for winst in waiters:
+            winst.issue_wake = wake
+
+    def _next_event(self, cycle: int, horizon: Optional[int] = None) -> int:
         """Earliest cycle at which any stage can act (the next-event contract).
 
         Each structure publishes its next-possible-activity cycle and the
@@ -621,18 +709,24 @@ class TimingCore:
           once it has completed;
         * **completion events** — the earliest entry of the completion heap
           (which also bounds every MSHR release: misses push both heaps at
-          the same cycle, so a due miss release implies a due event).
+          the same cycle, so a due miss release implies a due event);
+        * **issue horizon** (the ``horizon`` argument) — the scheduler's
+          certified earliest issue-activity cycle from
+          :meth:`issue_horizon`, when the caller obtained one.
 
         Callers guarantee no writeback is queued and the issue stage is
-        idle (``_ready_unissued == 0`` or :meth:`issue_idle`).  A skipped
-        cycle therefore mutates no state and touches no stall counter
-        (port meters roll per cycle and idle cycles claim nothing), so the
-        jump is bit-exact.  Dominant wins: misprediction redirect bubbles,
-        long cache-miss shadows, and dependence chains serialized on
-        multi-cycle producers.  With no publisher armed the current cycle
-        is returned — a wedged machine ticks until the watchdog fires.
+        certified idle (``_ready_unissued == 0``, or the horizon is absent
+        or in the future).  A skipped cycle therefore mutates no state and
+        touches no stall counter (port meters roll per cycle and idle
+        cycles claim nothing), so the jump is bit-exact.  Dominant wins:
+        misprediction redirect bubbles, long cache-miss shadows, and
+        dependence chains serialized on multi-cycle producers.  With no
+        publisher armed the current cycle is returned — a wedged machine
+        ticks until the watchdog fires.
         """
-        wake = None
+        if horizon is not None and horizon <= cycle:
+            return cycle  # the issue stage may act right now
+        wake = horizon
         if (
             not self._fetch_blocked
             and self._next_fetch < self._fetch_limit
@@ -640,7 +734,8 @@ class TimingCore:
         ):
             if cycle >= self._fetch_resume:
                 return cycle
-            wake = self._fetch_resume
+            if wake is None or self._fetch_resume < wake:
+                wake = self._fetch_resume
         if self._fetch_buffer:
             ready = self._fetch_buffer[0].dispatch_ready
             if ready <= cycle:
@@ -670,9 +765,12 @@ class TimingCore:
         outside the inlined fast-loop test)."""
         if self._pending_writeback:
             return cycle
-        if self._ready_unissued and not self.issue_idle(cycle):
-            return cycle
-        return self._next_event(cycle)
+        horizon = None
+        if self._ready_unissued:
+            horizon = self.issue_horizon(cycle)
+            if horizon is not None and horizon <= cycle:
+                return cycle
+        return self._next_event(cycle, horizon)
 
     # ------------------------------------------------------------------ fetch
     def fetch_stage(self, cycle: int) -> None:
@@ -697,15 +795,14 @@ class TimingCore:
             dyn = trace[index]
             facts = decoded[index]
             mis = dyn.seq in mispredicted
-            winst = WInst(
+            append(WInst(
                 dyn,
                 facts,
-                fetch_cycle=cycle,
-                dispatch_ready=cycle + depth + ifetch_extra[index],
-                mispredicted=mis,
-                mem_word=mem_words[index],
-            )
-            append(winst)
+                cycle,
+                cycle + depth + ifetch_extra[index],
+                mis,
+                mem_words[index],
+            ))
             index += 1
             budget -= 1
             if facts.is_branch:
@@ -732,6 +829,19 @@ class TimingCore:
         max_in_flight = self._max_in_flight
         lsq_entries = self._lsq_entries
         alloc_at_dispatch = not self._rf_alloc_at_issue
+        rf = self.rf
+        rf_entries = rf.entries
+        checkpoints = self.checkpoints
+        checkpoint_cap = checkpoints.capacity
+        dep_rows = self._dep_rows
+        arch_rows = self._arch_rows
+        live = self._live
+        insertable = self._insertable
+        evictions = self._evictions
+        lsq = self.lsq
+        trace_log = self.trace_log
+        has_on_ready = self._has_on_ready
+        accept = self.accept
         while budget > 0 and buffer:
             winst = buffer[0]
             if winst.dispatch_ready > cycle:
@@ -745,11 +855,11 @@ class TimingCore:
             if (
                 winst.dest_external
                 and alloc_at_dispatch
-                and not self.rf.can_allocate()
+                and rf.in_flight >= rf_entries
             ):
                 stalls.regfile_entries += 1
                 break
-            if winst.is_branch and not self.checkpoints.can_take():
+            if winst.is_branch and len(checkpoints._stack) >= checkpoint_cap:
                 stalls.checkpoints += 1
                 break
             if (winst.is_load or winst.is_store) and (
@@ -758,17 +868,71 @@ class TimingCore:
                 stalls.structure_full += 1
                 break
 
+            seq = winst.seq
             # The live table only mutates on a successful dispatch, and a
             # failed accept() blocks all younger dispatches, so the captured
             # dependences of a stalled head stay valid across retry cycles.
             if not winst.captured:
-                self._capture_deps(winst)
+                # Resolve the static dependence row against the
+                # live-producer table.
+                arch_reads = arch_rows[seq]
+                row = dep_rows[seq]
+                if row:
+                    deps = winst.deps
+                    for pidx, internal in row:
+                        producer = live.get(pidx)
+                        if producer is None:
+                            # Producer replayed before a sampling gap: the
+                            # value lives in the architectural file (or died
+                            # with a drained braid) — a plain register read.
+                            if not internal:
+                                arch_reads += 1
+                        else:
+                            deps.append((producer, internal))
+                winst.arch_reads = arch_reads
                 winst.captured = True
-            if not self.accept(winst, cycle):
+            if not accept(winst, cycle):
                 stalls.structure_full += 1
                 break
 
-            self._commit_dispatch(winst, cycle)
+            # Commit: producer subscriptions, live-table update, structure
+            # bookkeeping (an allocation probe cannot fail here — the
+            # checks above verified a free entry this cycle and nothing
+            # allocates in between).
+            winst.dispatch_cycle = cycle
+            pending = 0
+            for producer, _internal in winst.deps:
+                if not producer.done:
+                    producer.waiters.append(winst)
+                    pending += 1
+            winst.pending = pending
+
+            if insertable[seq]:
+                live[seq] = winst
+            dead = evictions[seq]
+            if dead is not None:
+                pop = live.pop
+                for producer_index in dead:
+                    pop(producer_index, None)
+
+            if winst.dest_external and alloc_at_dispatch:
+                rf.in_flight += 1
+            if winst.is_branch:
+                checkpoints.take(seq)
+            is_store = winst.is_store
+            if is_store:
+                lsq.store_dispatched(seq, winst.mem_word)
+            if is_store or winst.is_load:
+                self._mem_in_flight += 1
+            rob.append(winst)
+
+            if trace_log is not None:
+                trace_log.append(winst)
+            if pending == 0:
+                self._ready_unissued += 1
+                if has_on_ready:
+                    self.on_ready(winst, cycle)
+
             buffer.popleft()
             budget -= 1
             src_budget -= winst.ext_src_ops
@@ -777,61 +941,6 @@ class TimingCore:
     @staticmethod
     def _reg_key(reg: Register) -> Tuple[str, int]:
         return (reg.rclass.value, reg.index)
-
-    def _capture_deps(self, winst: WInst) -> None:
-        """Resolve the static dependence row against the live-producer table."""
-        seq = winst.seq
-        arch_reads = self._arch_rows[seq]
-        row = self._dep_rows[seq]
-        if row:
-            live = self._live
-            deps = winst.deps
-            for pidx, internal in row:
-                producer = live.get(pidx)
-                if producer is None:
-                    # Producer replayed before a sampling gap: the value
-                    # lives in the architectural file (or died with a
-                    # drained braid) — a plain register read.
-                    if not internal:
-                        arch_reads += 1
-                else:
-                    deps.append((producer, internal))
-        winst.arch_reads = arch_reads
-
-    def _commit_dispatch(self, winst: WInst, cycle: int) -> None:
-        winst.dispatch_cycle = cycle
-        pending = 0
-        for producer, _internal in winst.deps:
-            if not producer.done:
-                producer.waiters.append(winst)
-                pending += 1
-        winst.pending = pending
-
-        seq = winst.seq
-        live = self._live
-        if self._insertable[seq]:
-            live[seq] = winst
-        dead = self._evictions[seq]
-        if dead is not None:
-            pop = live.pop
-            for producer_index in dead:
-                pop(producer_index, None)
-
-        if winst.dest_external and not self._rf_alloc_at_issue:
-            self.rf.allocate()
-        if winst.is_branch:
-            self.checkpoints.take(seq)
-        if winst.is_store:
-            self.lsq.store_dispatched(seq, winst.mem_word)
-        if winst.is_load or winst.is_store:
-            self._mem_in_flight += 1
-        self._rob.append(winst)
-
-        if self.trace_log is not None:
-            self.trace_log.append(winst)
-        if pending == 0:
-            self._ready_unissued += 1
-            self.on_ready(winst, cycle)
 
     # ------------------------------------------------------------------ issue
     def deps_complete(self, winst: WInst, cycle: int) -> bool:
@@ -855,36 +964,67 @@ class TimingCore:
         internal_reads=None,
         internal_writes=None,
     ) -> bool:
-        """Attempt to issue ``winst`` this cycle; all checks then all claims."""
+        """Attempt to issue ``winst`` this cycle; all checks then all claims.
+
+        Every failure classifies itself into ``self._issue_wake`` — a
+        certified lower bound on the first cycle the failed check could
+        pass (0 when the block is a per-cycle resource the event heap
+        cannot model, -1 when the load must park on the unexecuted store
+        left in ``self._issue_block_store``).  Callers use the bound to
+        defer re-examination; a deferral is sound because every check
+        before the claims section is side-effect-free except the staging
+        register-file probe (which stays wake=0 so its stall counter
+        keeps ticking exactly as before) and the LSQ conflict statistic
+        (not an exported counter).
+        """
         if winst.issue_cycle is not None or cycle <= winst.dispatch_cycle:
+            self._issue_wake = 0
             return False
 
         reads = winst.arch_reads
         bypasses = 0
         internal_read_count = 0
-        for producer, internal in winst.deps:
-            if producer is None:
-                continue
-            produced = producer.complete_cycle
-            if produced is None:
-                return False  # producer not yet issued
-            if internal:
-                if produced > cycle:
-                    return False
-                internal_read_count += 1
-                continue
-            delay = self.dep_delay(producer, winst)
-            if produced + delay > cycle:
-                return False  # value not yet visible here
-            if self.bypass.covers(cycle, produced + delay):
-                bypasses += 1
-            elif (
-                producer.writeback_cycle is not None
-                and producer.writeback_cycle + delay <= cycle
-            ):
-                reads += 1
-            else:
-                return False  # off the bypass network, writeback still pending
+        deps = winst.deps
+        if deps:
+            # ``bypass.covers(cycle, visible)`` with visible <= cycle already
+            # established reduces to ``cycle - visible <= levels`` (and the
+            # -1 sentinel encodes a zero-width/zero-level network); the
+            # uniform-delay flag skips the dep_delay virtual call entirely on
+            # cores where it is identically zero.
+            bypass_life = self._bypass_life
+            uniform = self._uniform_dep_delay
+            for producer, internal in deps:
+                if producer is None:
+                    continue
+                produced = producer.complete_cycle
+                if produced is None:
+                    self._issue_wake = 0
+                    return False  # producer not yet issued
+                if internal:
+                    if produced > cycle:
+                        self._issue_wake = produced
+                        return False
+                    internal_read_count += 1
+                    continue
+                delay = 0 if uniform else self.dep_delay(producer, winst)
+                visible = produced + delay
+                if visible > cycle:
+                    self._issue_wake = visible
+                    return False  # value not yet visible here
+                if cycle - visible <= bypass_life:
+                    bypasses += 1
+                else:
+                    wb = producer.writeback_cycle
+                    if wb is not None and wb + delay <= cycle:
+                        reads += 1
+                    else:
+                        # Off the bypass network with writeback still
+                        # pending.  Once the write port is granted the
+                        # writeback cycle is fixed, giving a firm wake;
+                        # until then the value sits in the writeback queue,
+                        # which blocks idle skipping anyway.
+                        self._issue_wake = wb + delay if wb is not None else 0
+                        return False
 
         latency = winst.latency
         is_miss = False
@@ -892,40 +1032,96 @@ class TimingCore:
             cache_latency = self._load_latency_row[winst.seq]
             if cache_latency is None:
                 cache_latency = self.l1d_latency
-            memory_latency = self.lsq.load_latency(
-                winst.seq, winst.mem_word, cycle, cache_latency
-            )
-            if memory_latency is None:
-                return False
+            lsq = self.lsq
+            # Inline lsq.conflict_entry: one dict probe for the precomputed
+            # youngest older same-word store (see ReplayFacts.store_conflict).
+            conflict_seq = self._store_conflict_row[winst.seq]
+            conflict = None
+            if conflict_seq is not None:
+                entry = lsq._stores.get(conflict_seq)
+                if entry is not None and entry.word == winst.mem_word:
+                    conflict = entry
+            if conflict is None:
+                memory_latency = cache_latency
+            else:
+                done_at = conflict.complete_cycle
+                if done_at is None:
+                    # The store has not even issued: no wake cycle exists
+                    # yet, so park on the entry — store execution rewrites
+                    # the wake to its completion cycle.
+                    lsq.stats.conflicts += 1
+                    self._issue_wake = -1
+                    self._issue_block_store = conflict
+                    return False
+                if done_at > cycle:
+                    lsq.stats.conflicts += 1
+                    self._issue_wake = done_at
+                    return False
+                lsq.stats.forwards += 1
+                memory_latency = lsq.forward_latency
             is_miss = memory_latency > self.l1d_latency
             if is_miss and self._outstanding_misses >= self._mshrs:
-                return False  # all miss-status holding registers busy
+                # All miss-status holding registers busy; the earliest
+                # release is the head of the miss-release heap (non-empty
+                # whenever outstanding misses exist).
+                releases = self._miss_releases
+                self._issue_wake = releases[0][0] if releases else 0
+                return False
             latency = memory_latency
 
+        # Check-then-claim over the per-cycle meters, with the meter roll
+        # and probe inlined (the method-call version is bit-identical but
+        # dominates the issue path; a roll is idempotent within a cycle, so
+        # rolling during a check that later fails matches the old
+        # ``available()`` behavior exactly, and a claim after an all-checks
+        # pass can never fail, so no denial counter is touched).
+        rf = self.rf
         staging = self._rf_alloc_at_issue and winst.dest_external
-        if staging and not self.rf.can_allocate():
+        if staging and rf.in_flight >= rf.entries:
             self.stalls.regfile_entries += 1
+            self._issue_wake = 0
             return False
-        if fu_pool.available(cycle) < 1:
+        if fu_pool._cycle != cycle:
+            fu_pool._cycle = cycle
+            fu_pool._issued = 0
+        if fu_pool._issued >= fu_pool.count:
+            self._issue_wake = 0
             return False
-        if bypasses and self.bypass.available(cycle) < bypasses:
-            return False
-        if reads and self.rf.read.available(cycle) < reads:
-            return False
+        if bypasses:
+            bp = self.bypass
+            if bp._cycle != cycle:
+                bp._cycle = cycle
+                bp._used = 0
+            if bp._used + bypasses > bp.width:
+                self._issue_wake = 0
+                return False
+        if reads:
+            rd = rf.read
+            if rd._cycle != cycle:
+                rd._cycle = cycle
+                rd._used = 0
+            if rd._used + reads > rd.ports:
+                self._issue_wake = 0
+                return False
         if internal_reads is not None and internal_read_count:
             if internal_reads.available(cycle) < internal_read_count:
+                self._issue_wake = 0
                 return False
         if internal_writes is not None and winst.dest_internal:
             if internal_writes.available(cycle) < 1:
+                self._issue_wake = 0
                 return False
 
-        fu_pool.issue(cycle)
+        fu_pool._issued += 1
+        fu_pool.total_issues += 1
         if staging:
-            self.rf.allocate()
+            rf.in_flight += 1
         if bypasses:
-            self.bypass.acquire(cycle, bypasses)
+            bp._used += bypasses
+            bp.total_forwards += bypasses
         if reads:
-            self.rf.read.acquire(cycle, reads)
+            rd._used += reads
+            rd.total_grants += reads
         if internal_reads is not None and internal_read_count:
             internal_reads.acquire(cycle, internal_read_count)
         if internal_writes is not None and winst.dest_internal:
@@ -941,7 +1137,11 @@ class TimingCore:
             )
         heapq.heappush(self._events, (winst.complete_cycle, winst.seq, winst))
         if winst.is_store:
-            self.lsq.store_executed(winst.seq, winst.complete_cycle)
+            entry = self.lsq.store_executed(winst.seq, winst.complete_cycle)
+            if entry is not None and entry.waiters:
+                waiters = entry.waiters
+                entry.waiters = None
+                self._wake_store_waiters(waiters, winst.complete_cycle)
         self._issued_count += 1
         return True
 
@@ -953,15 +1153,20 @@ class TimingCore:
             self._outstanding_misses -= 1
         events = self._events
         pending_writeback = self._pending_writeback
+        has_on_ready = self._has_on_ready
+        heappop = heapq.heappop
         while events and events[0][0] <= cycle:
-            _, _, winst = heapq.heappop(events)
+            _, _, winst = heappop(events)
             winst.done = True
-            for waiter in winst.waiters:
-                waiter.pending -= 1
-                if waiter.pending == 0:
-                    self._ready_unissued += 1
-                    self.on_ready(waiter, cycle)
-            winst.waiters.clear()
+            waiters = winst.waiters
+            if waiters:
+                for waiter in waiters:
+                    waiter.pending -= 1
+                    if waiter.pending == 0:
+                        self._ready_unissued += 1
+                        if has_on_ready:
+                            self.on_ready(waiter, cycle)
+                waiters.clear()
             if winst.dest_external:
                 pending_writeback.append(winst)
             else:
@@ -971,23 +1176,40 @@ class TimingCore:
                 self._fetch_resume = cycle + self._redirect_penalty
                 self.checkpoints.restore(winst.seq)
 
-        while pending_writeback:
-            winst = pending_writeback[0]
-            if not self.rf.write.acquire(cycle, 1):
-                break
-            winst.writeback_cycle = cycle + 1
-            pending_writeback.popleft()
-            if self._rf_alloc_at_issue:
-                # Staging policy: the entry drains to the architectural
-                # backing file as soon as the value is written.
-                self.rf.release()
+        if pending_writeback:
+            # Inline of ``rf.write.acquire(cycle, 1)`` per drained entry:
+            # one roll for the whole cycle, one denial when the ports run
+            # out with entries still queued — counter-for-counter what the
+            # per-entry acquire loop did.
+            wr = self.rf.write
+            if wr._cycle != cycle:
+                wr._cycle = cycle
+                wr._used = 0
+            ports = wr.ports
+            release_at_writeback = self._rf_alloc_at_issue
+            while pending_writeback:
+                if wr._used >= ports:
+                    wr.total_denials += 1
+                    break
+                winst = pending_writeback.popleft()
+                wr._used += 1
+                wr.total_grants += 1
+                winst.writeback_cycle = cycle + 1
+                if release_at_writeback:
+                    # Staging policy: the entry drains to the architectural
+                    # backing file as soon as the value is written.
+                    self.rf.release()
 
     # ------------------------------------------------------------------ retire
     def retire_stage(self, cycle: int) -> None:
         budget = self._issue_width
         retire_hook = self.retire_hook
         rob = self._rob
+        rf = self.rf
+        lsq = self.lsq
+        checkpoints = self.checkpoints
         alloc_at_dispatch = not self._rf_alloc_at_issue
+        retired = 0
         while budget > 0 and rob:
             winst = rob[0]
             if not winst.done or winst.complete_cycle >= cycle:
@@ -998,12 +1220,14 @@ class TimingCore:
             if retire_hook is not None:
                 retire_hook(winst, cycle)
             if winst.dest_external and alloc_at_dispatch:
-                self.rf.release()
+                rf.release()
             if winst.is_store:
-                self.lsq.store_retired(winst.seq)
+                lsq.store_retired(winst.seq)
             if winst.is_load or winst.is_store:
                 self._mem_in_flight -= 1
             if winst.is_branch:
-                self.checkpoints.release_older_than(winst.seq)
-            self._retired_count += 1
+                checkpoints.release_older_than(winst.seq)
+            retired += 1
             budget -= 1
+        if retired:
+            self._retired_count += retired

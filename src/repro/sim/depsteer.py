@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from ..uarch.funit import FunctionalUnitPool
 from .config import MachineConfig
-from .core import TimingCore, WInst
+from .core import PARKED, TimingCore, WInst
 from .workload import PreparedWorkload
 
 
@@ -27,11 +27,13 @@ class DependenceSteeringCore(TimingCore):
         super().__init__(workload, config)
         self.fus = FunctionalUnitPool(config.functional_units)
         self._fifos: List[deque] = [deque() for _ in range(config.clusters)]
+        self._cluster_entries = config.cluster_entries
 
     # -------------------------------------------------------------- steering
     def _steer(self, winst: WInst) -> Optional[int]:
         """Palacharla-style FIFO choice, or None to stall."""
-        capacity = self.config.cluster_entries
+        capacity = self._cluster_entries
+        fifos = self._fifos
         # Rule 1: an in-flight producer sitting at the tail of a FIFO lets the
         # chain continue in that FIFO.
         for producer, _internal in winst.deps:
@@ -40,11 +42,11 @@ class DependenceSteeringCore(TimingCore):
             fifo_index = producer.cluster
             if fifo_index < 0:
                 continue
-            fifo = self._fifos[fifo_index]
+            fifo = fifos[fifo_index]
             if fifo and fifo[-1] is producer and len(fifo) < capacity:
                 return fifo_index
         # Rule 2: otherwise open a new chain in an empty FIFO.
-        for fifo_index, fifo in enumerate(self._fifos):
+        for fifo_index, fifo in enumerate(fifos):
             if not fifo:
                 return fifo_index
         return None
@@ -96,25 +98,42 @@ class DependenceSteeringCore(TimingCore):
             )
 
     # ------------------------------------------------------------------ issue
-    def issue_idle(self, cycle: int) -> bool:
-        # Only FIFO heads are examined; when every non-empty head is still
-        # pending, issue_stage would just scan and continue past all of
-        # them, so the next possible activity is a completion event.
+    def issue_horizon(self, cycle):
+        # Only FIFO heads are examined.  A head that is pending (producer
+        # outstanding) or parked on a store wakes via a completion-side
+        # event; a head with a certified issue_wake bound contributes that
+        # bound; a head free of both may act now.
+        wake = None
         for fifo in self._fifos:
-            if fifo and not fifo[0].pending:
-                return False
-        return True
+            if fifo:
+                head = fifo[0]
+                if head.pending:
+                    continue
+                bound = head.issue_wake
+                if bound <= cycle:
+                    return cycle
+                if bound < PARKED and (wake is None or bound < wake):
+                    wake = bound
+        return wake
 
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
+        try_issue = self.try_issue
+        fus = self.fus
         for fifo in self._fifos:
             if budget == 0:
                 break
             if not fifo:
                 continue
             winst = fifo[0]
-            if winst.pending:
-                continue  # producer outstanding; try_issue would fail
-            if self.try_issue(winst, cycle, self.fus):
+            # pending: a producer is outstanding, the dependence walk would
+            # fail.  issue_wake: a previous attempt certified the earliest
+            # cycle its failed check could pass; retrying before then would
+            # fail identically without touching any exported counter.
+            if winst.pending or winst.issue_wake > cycle:
+                continue
+            if try_issue(winst, cycle, fus):
                 fifo.popleft()
                 budget -= 1
+            else:
+                self._note_issue_block(winst, cycle)

@@ -12,7 +12,7 @@ from collections import deque
 
 from ..uarch.funit import FunctionalUnitPool
 from .config import MachineConfig
-from .core import TimingCore, WInst
+from .core import PARKED, TimingCore, WInst
 from .workload import PreparedWorkload
 
 
@@ -52,11 +52,21 @@ class InOrderCore(TimingCore):
                 yield f"issue queue out of program order at seq={winst.seq}"
             previous = winst.seq
 
-    def issue_idle(self, cycle: int) -> bool:
-        # Only the queue head can issue; while its producers are pending the
-        # issue stage cannot act (or touch a meter) until a completion event.
+    def issue_horizon(self, cycle):
+        # Only the queue head can issue; while its producers are pending
+        # (or it is parked on a store) the issue stage cannot act until a
+        # completion-side event, and a certified issue_wake bound defers
+        # it to a known cycle.
         queue = self._queue
-        return not queue or queue[0].pending != 0
+        if not queue:
+            return None
+        head = queue[0]
+        if head.pending:
+            return None
+        bound = head.issue_wake
+        if bound <= cycle:
+            return cycle
+        return None if bound >= PARKED else bound
 
     def issue_stage(self, cycle: int) -> None:
         budget = self.config.issue_width
@@ -64,8 +74,12 @@ class InOrderCore(TimingCore):
         while budget > 0 and queue:
             winst = queue[0]
             # pending > 0 means an operand producer has not completed, so
-            # try_issue would fail its dependence walk; skip the call.
-            if winst.pending or not self.try_issue(winst, cycle, self.fus):
+            # try_issue would fail its dependence walk; issue_wake defers
+            # a head whose earliest-possible-success cycle is certified.
+            if winst.pending or winst.issue_wake > cycle:
+                break
+            if not self.try_issue(winst, cycle, self.fus):
+                self._note_issue_block(winst, cycle)
                 break
             queue.popleft()
             budget -= 1

@@ -5,8 +5,8 @@ The cheapest rung of the fidelity ladder (``exact`` > ``sampled`` >
 ``stride``-th unit in detail, this model measures only a handful of
 evenly spread *calibration windows* — just enough to fit the linear CPI
 model whose covariates (excess load latency, mispredict rate, fetch
-penalty per instruction) phase one already fixed — and predicts every
-other unit analytically.  Detail fractions land around 1-5% of the trace
+penalty, and the analytic proxy-pipeline CPI per instruction) phase one
+already fixed — and predicts every other unit analytically.  Detail fractions land around 1-5% of the trace
 instead of the sampled mode's ~20-30%, at a correspondingly looser error
 bound.
 
@@ -20,9 +20,11 @@ oracle and the observability layer attach exactly as in sampled mode.
 
 Because the fitted coefficients price the phase-one events per
 instruction, they also yield a model-derived CPI stack (intercept →
-``base``, load excess → ``memory``, mispredicts → ``branch_flush``,
-fetch penalty → ``fetch_limited``) without attaching an observer; an
-attached observer's measured-window stack takes precedence.
+``base``, excess load latency → ``memory``, mispredicts →
+``branch_flush``, fetch penalty → ``fetch_limited``; the attribution
+refit uses only those interpretable columns) without attaching an
+observer; an attached observer's measured-window stack takes
+precedence.
 """
 
 from __future__ import annotations
@@ -45,8 +47,9 @@ from .workload import PreparedWorkload
 
 _ENV_INTERVAL = "REPRO_INTERVAL"
 
-#: fitting fewer windows than covariates degenerates to the ratio
-#: fallback; keep at least one spare beyond the 4-covariate model
+#: config validity floor — anchoring needs a first and a last window.
+#: (Fitting fewer windows than the 5-covariate model needs degenerates
+#: gracefully to the ratio estimator, so 2 is usable, just coarse.)
 _MIN_WINDOWS = 2
 
 
@@ -458,16 +461,21 @@ def _model_cpi_stack(
     Each coefficient prices one phase-one event class per instruction,
     so ``beta_j * total_covariate_mass_j`` is that cause's cycle share:
     intercept → ``base``, excess load latency → ``memory``, mispredicts
-    → ``branch_flush``, fetch penalty → ``fetch_limited``.  Negative
-    fitted shares clamp to zero and the unexplained remainder folds into
-    ``base``, so the stack always sums to ``cycles`` like an observed
-    one (see repro.obs.cpi).
+    → ``branch_flush``, fetch penalty → ``fetch_limited``.  The
+    attribution refits on the first four (interpretable) columns only:
+    the analytic proxy-CPI column mixes base, memory, and front-end
+    cycles by construction, so pricing it into a single cause would
+    misattribute — the estimator keeps it for accuracy, the stack drops
+    it for attribution.  Negative fitted shares clamp to zero and the
+    unexplained remainder folds into ``base``, so the stack always sums
+    to ``cycles`` like an observed one (see repro.obs.cpi).
     """
     from ..obs.cpi import empty_stack
 
-    beta = _fit_ridge([covariates[index] for index in chosen], cpis)
+    named = [row[:4] for row in covariates]
+    beta = _fit_ridge([named[index] for index in chosen], cpis)
     mass = [0.0] * len(beta)
-    for (start, end), row in zip(units, covariates):
+    for (start, end), row in zip(units, named):
         span = end - start
         for j, value in enumerate(row):
             mass[j] += value * span

@@ -6,16 +6,24 @@ instruction to the least-occupied scheduler; wakeup is event-driven
 (producers notify consumers on completion) and select is oldest-first across
 all schedulers, bounded by the issue width, the shared functional units, the
 register-file ports, and the bypass bandwidth.
+
+Select is O(woken), not O(window): the age-ordered ready heap holds only
+candidates that may issue *this* cycle, a deferred heap (keyed by the wake
+cycle ``try_issue`` certified for the failed check) holds candidates blocked
+until a known future cycle, and loads blocked on an unexecuted older store
+park on that store's LSQ entry until its execution publishes a wake.  The
+old implementation re-pushed every failed candidate into the ready heap
+every cycle — a full-window rescan in disguise.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..uarch.funit import FunctionalUnitPool
 from .config import MachineConfig
-from .core import TimingCore, WInst
+from .core import PARKED, TimingCore, WInst
 from .workload import PreparedWorkload
 
 
@@ -26,25 +34,44 @@ class OutOfOrderCore(TimingCore):
         super().__init__(workload, config)
         self.fus = FunctionalUnitPool(config.functional_units)
         self._scheduler_load = [0] * config.clusters
+        self._cluster_entries = config.cluster_entries
+        #: age-ordered ready candidates that may issue as soon as this cycle
         self._ready: List[Tuple[int, WInst]] = []
-        self._retry: List[WInst] = []
+        #: candidates certified unable to issue before their wake cycle
+        self._deferred: List[Tuple[int, int, WInst]] = []
 
     # -------------------------------------------------------------- dispatch
     def accept(self, winst: WInst, cycle: int) -> bool:
+        # First-index argmin over the (small) per-scheduler occupancy list;
+        # hand-rolled because ``min(range, key=...)`` dominated dispatch.
+        # The left-to-right strict-< scan keeps min()'s tie-break (first
+        # minimum), and an empty scheduler can end the scan early — no
+        # earlier index can beat zero.
         load = self._scheduler_load
-        best = min(range(len(load)), key=load.__getitem__)
-        if load[best] >= self.config.cluster_entries:
+        best = 0
+        best_load = load[0]
+        if best_load:
+            for index in range(1, len(load)):
+                occupancy = load[index]
+                if occupancy < best_load:
+                    best = index
+                    best_load = occupancy
+                    if not occupancy:
+                        break
+        if best_load >= self._cluster_entries:
             return False
-        load[best] += 1
+        load[best] = best_load + 1
         winst.cluster = best
         return True
 
     def on_fast_forward(self) -> None:
         # Post-drain the schedulers are empty; reset occupancy and the ready
-        # pool so a sampling gap starts the next window from a clean core.
+        # pools so a sampling gap starts the next window from a clean core.
+        # (Parked loads cannot survive either: a drained window has retired
+        # every store, emptying the LSQ and its waiter lists.)
         self._scheduler_load = [0] * self.config.clusters
         self._ready = []
-        self._retry = []
+        self._deferred = []
 
     def scheduler_occupancy(self) -> int:
         return sum(self._scheduler_load)
@@ -66,36 +93,76 @@ class OutOfOrderCore(TimingCore):
         for winst in self._ready_pool():
             if winst.issue_cycle is not None:
                 yield f"issued instruction seq={winst.seq} still in ready pool"
+        for wake, _seq, winst in self._deferred:
+            if winst.pending:
+                yield (
+                    f"deferred instruction seq={winst.seq} has pending "
+                    f"operands (deferral is for ready candidates only)"
+                )
 
     def _ready_pool(self):
-        return [w for _, w in self._ready] + list(self._retry)
+        return [w for _, w in self._ready] + [w for _, _, w in self._deferred]
 
     # ----------------------------------------------------------------- wakeup
     def on_ready(self, winst: WInst, cycle: int) -> None:
         heapq.heappush(self._ready, (winst.seq, winst))
 
+    def _wake_store_waiters(self, waiters: List[WInst], wake: int) -> None:
+        # A parked load lives in no heap; the store's execution re-inserts
+        # it into the deferred pool at its forwarding-ready cycle.
+        deferred = self._deferred
+        for winst in waiters:
+            winst.issue_wake = wake
+            heapq.heappush(deferred, (wake, winst.seq, winst))
+
     # ------------------------------------------------------------------ issue
-    def issue_idle(self, cycle: int) -> bool:
-        # The ready pool only holds instructions whose operands are all
-        # complete — anything in it may issue as soon as ports/FUs allow,
-        # which the event heap does not model.  Never skip while one waits.
-        return False
+    def issue_horizon(self, cycle: int) -> Optional[int]:
+        # Anything in the ready heap may issue now (or is blocked on a
+        # per-cycle resource, which the event heap cannot model): no skip.
+        if self._ready:
+            return cycle
+        deferred = self._deferred
+        if deferred:
+            wake = deferred[0][0]
+            return cycle if wake <= cycle else wake
+        # Every ready-but-unissued candidate is parked on an unexecuted
+        # store; the store's own issue is covered by another publisher.
+        return None
 
     def issue_stage(self, cycle: int) -> None:
-        if not self._ready and not self._retry:
+        ready = self._ready
+        deferred = self._deferred
+        if deferred:
+            while deferred and deferred[0][0] <= cycle:
+                _, seq, winst = heapq.heappop(deferred)
+                heapq.heappush(ready, (seq, winst))
+        if not ready:
             return
-        if self._retry:
-            for winst in self._retry:
-                heapq.heappush(self._ready, (winst.seq, winst))
-            self._retry = []
 
         budget = self.config.issue_width
-        deferred: List[WInst] = []
-        while budget > 0 and self._ready:
-            _, winst = heapq.heappop(self._ready)
-            if self.try_issue(winst, cycle, self.fus):
-                self._scheduler_load[winst.cluster] -= 1
+        failed: List[Tuple[int, WInst]] = []
+        scheduler_load = self._scheduler_load
+        try_issue = self.try_issue
+        fus = self.fus
+        heappop = heapq.heappop
+        while budget > 0 and ready:
+            item = heappop(ready)
+            winst = item[1]
+            if try_issue(winst, cycle, fus):
+                scheduler_load[winst.cluster] -= 1
                 budget -= 1
             else:
-                deferred.append(winst)
-        self._retry.extend(deferred)
+                wake = self._issue_wake
+                if wake > cycle:
+                    winst.issue_wake = wake
+                    heapq.heappush(deferred, (wake, item[0], winst))
+                elif wake < 0:
+                    store = self._issue_block_store
+                    if store.waiters is None:
+                        store.waiters = []
+                    store.waiters.append(winst)
+                    winst.issue_wake = PARKED
+                else:
+                    failed.append(item)
+        for item in failed:
+            heapq.heappush(ready, item)

@@ -42,7 +42,8 @@ against a full run over the same span.
 Skipped units are extrapolated model-assisted (a GREG-style estimator): a
 ridge least-squares CPI model is fit on the sampled units against the
 free phase-one covariates (load-miss excess, mispredict rate, fetch-miss
-extra per instruction), and each skipped unit gets the model prediction
+extra, and the analytic proxy-pipeline CPI per instruction),
+and each skipped unit gets the model prediction
 plus the piecewise-linearly interpolated residual of its nearest sampled
 neighbours, clamped to the sampled CPI range.  The model absorbs
 iteration-to-iteration behaviour shifts (cache warming, data-dependent
@@ -357,25 +358,109 @@ def _plan_lattice(total: int, sampling: SamplingConfig) -> Optional[SamplePlan]:
 
 
 #: regression covariates per unit: intercept, excess load latency per
-#: instruction, mispredict rate, instruction-fetch extra per instruction
-_NUM_COVARIATES = 4
+#: instruction, mispredict rate, instruction-fetch extra per instruction,
+#: and the analytic proxy-pipeline CPI (see :func:`_analytic_retire`)
+_NUM_COVARIATES = 5
+
+#: proxy-pipeline parameters for the analytic retirement walk, fixed at
+#: the default 8-wide machine (``ooo_config(8)``): in-flight window
+#: (ROB) reach, fetch width, and minimum misprediction penalty
+#: (depth 8 + redirect 13 + 2).  The walk is a *covariate*, not an
+#: estimate — the per-config ridge fit calibrates its scale — so one
+#: fixed proxy serves every sweep point and keeps the column
+#: config-invariant and shareable.
+_PROXY_ROB = 256
+_PROXY_WIDTH = 8
+_PROXY_REFILL = 23
+
+
+def _analytic_retire(workload: PreparedWorkload) -> List[float]:
+    """Analytic retirement-time curve of the proxy pipeline, per position.
+
+    A single O(trace) dataflow walk in the interval-analysis tradition
+    (the paper's own analysis machinery): each instruction becomes ready
+    at the max of its producers' completion times and its front-end
+    availability, completes after its phase-one latency, and retires in
+    order; fetch is gated by the in-flight window (an instruction cannot
+    fetch before the one ``_PROXY_ROB`` positions earlier retired) and
+    restarts ``_PROXY_REFILL`` cycles after a mispredicted branch
+    resolves.  ``curve[i]`` is the retirement time of position ``i``, so
+    per-unit slopes are analytic CPIs.
+
+    This prices exactly the interaction the per-rate covariates cannot
+    see: whether a unit's cache misses overlap (independent misses
+    inside one window reach) or serialize (each miss's consumers gate
+    the window so the next miss cannot enter until the previous
+    retires).  mcf alternates between those regimes with *identical*
+    per-unit miss counts, latencies and dependence shapes — only the
+    window-reach walk separates them.
+    """
+    replay = workload.replay()
+    cached = replay.analytic_retire
+    if cached is not None:
+        return cached
+    deps = replay.deps
+    load_latency = replay.load_latency
+    ifetch_extra = replay.ifetch_extra
+    mispredicted = workload.mispredicted
+    trace = workload.trace
+    n = len(trace)
+    done = [0.0] * n
+    retire = [0.0] * n
+    fetch_clock = 0.0
+    step = 1.0 / _PROXY_WIDTH
+    for i in range(n):
+        fetch_clock += step
+        available = fetch_clock
+        extra = ifetch_extra[i]
+        if extra:
+            available += extra
+        if i >= _PROXY_ROB:
+            gate = retire[i - _PROXY_ROB]
+            if gate > available:
+                available = gate
+        ready = available
+        for producer, _internal in deps[i]:
+            produced = done[producer]
+            if produced > ready:
+                ready = produced
+        latency = load_latency[i]
+        done[i] = ready + (latency if latency is not None else 1)
+        previous = retire[i - 1] if i else 0.0
+        retire[i] = previous if done[i] <= previous else done[i]
+        dyn = trace[i]
+        if dyn.is_branch and dyn.seq in mispredicted:
+            resume = done[i] + _PROXY_REFILL
+            if resume > fetch_clock:
+                fetch_clock = resume
+    replay.analytic_retire = retire
+    return retire
 
 
 def _unit_covariates(
     workload: PreparedWorkload, units: Sequence[Tuple[int, int]]
-) -> List[Tuple[float, float, float, float]]:
+) -> List[Tuple[float, ...]]:
     """Phase-one CPI drivers for every unit, free to compute.
 
     The functional phase already fixed each load's cache latency, every
     branch outcome, and the fetch-side penalty per instruction, so the
     dominant per-unit CPI drivers are known without any timing
     simulation.  Expressed as per-instruction rates they become the
-    covariate row ``(1, load_excess, mispredicts, ifetch_extra)`` of a
-    linear CPI model fitted to the measured units.
+    covariate row ``(1, load_excess, mispredicts, ifetch_extra,
+    analytic_cpi)`` of a linear CPI model fitted to the measured units.
+
+    The first three event columns price *how much* each event class a
+    window carries; the analytic column prices how the events
+    *interact*.  Per-unit slopes of the :func:`_analytic_retire` curve
+    capture miss overlap versus serialization through the in-flight
+    window — the dominant CPI degree of freedom on memory-bound traces
+    (mcf), where windows with identical event rates differ by 2x in
+    CPI depending on whether their misses fit in one window reach.
     """
     load_latency = workload.load_latency
     mispredicted = workload.mispredicted
     ifetch_extra = workload.ifetch_extra
+    analytic = _analytic_retire(workload)
     rows = []
     for start, end in units:
         span = end - start
@@ -388,9 +473,14 @@ def _unit_covariates(
             if dyn.is_branch and dyn.seq in mispredicted:
                 mispredicts += 1
             fetch_extra += ifetch_extra.get(dyn.seq, 0)
-        rows.append(
-            (1.0, load_excess / span, mispredicts / span, fetch_extra / span)
-        )
+        analytic_base = analytic[start - 1] if start else 0.0
+        rows.append((
+            1.0,
+            load_excess / span,
+            mispredicts / span,
+            fetch_extra / span,
+            (analytic[end - 1] - analytic_base) / span,
+        ))
     return rows
 
 

@@ -124,15 +124,25 @@ class ReplayFacts:
     * ``ifetch_extra[i]`` / ``load_latency[i]`` / ``mem_word[i]`` — the
       phase-one dict oracles flattened to position-indexed lists
       (``None`` where absent) for O(1) un-hashed access.
+    * ``store_conflict[i]`` — for a load, the trace position of the
+      *youngest older* store to the same memory word (``None`` when no
+      such store exists).  Because dispatch and retirement are both
+      in order, this single static fact answers run-time memory
+      disambiguation exactly: if that store is still in the LSQ it is
+      precisely the entry a full age-ordered scan would find, and if it
+      has retired then every older matching store has retired too.  The
+      issue stage therefore replaces its per-attempt O(stores) LSQ scan
+      with one dict probe.
     """
 
     __slots__ = (
         "deps", "arch_reads", "insertable", "evictions",
-        "ifetch_extra", "load_latency", "mem_word",
+        "ifetch_extra", "load_latency", "mem_word", "store_conflict",
+        "analytic_retire",
     )
 
     def __init__(self, deps, arch_reads, insertable, evictions,
-                 ifetch_extra, load_latency, mem_word) -> None:
+                 ifetch_extra, load_latency, mem_word, store_conflict) -> None:
         self.deps = deps
         self.arch_reads = arch_reads
         self.insertable = insertable
@@ -140,6 +150,11 @@ class ReplayFacts:
         self.ifetch_extra = ifetch_extra
         self.load_latency = load_latency
         self.mem_word = mem_word
+        self.store_conflict = store_conflict
+        #: lazily computed analytic retirement-time curve (see
+        #: :func:`repro.sim.sampling._analytic_retire`); config-invariant
+        #: like everything else here, so one walk serves every sweep point
+        self.analytic_retire = None
 
 
 def build_replay(trace: List[DynInst], decoded: List[DecodedInst],
@@ -162,6 +177,9 @@ def build_replay(trace: List[DynInst], decoded: List[DecodedInst],
         loads[seq] = value
 
     mem: List[Optional[int]] = [None] * n
+    store_conflict: List[Optional[int]] = [None] * n
+    #: memory word -> trace position of its youngest store so far
+    last_store: Dict[int, int] = {}
     deps: List[Tuple] = [()] * n
     arch = [0] * n
     referenced = bytearray(n)
@@ -182,9 +200,14 @@ def build_replay(trace: List[DynInst], decoded: List[DecodedInst],
 
     for i in range(n):
         dyn = trace[i]
-        if dyn.mem_addr is not None:
-            mem[i] = dyn.mem_addr & ~0x7
         facts = decoded[i]
+        if dyn.mem_addr is not None:
+            word = dyn.mem_addr & ~0x7
+            mem[i] = word
+            if facts.is_load:
+                store_conflict[i] = last_store.get(word)
+            elif facts.is_store:
+                last_store[word] = i
         row = []
         plain_reads = 0
         for key, internal in facts.src_keys:
@@ -231,6 +254,7 @@ def build_replay(trace: List[DynInst], decoded: List[DecodedInst],
         ifetch_extra=ifetch,
         load_latency=loads,
         mem_word=mem,
+        store_conflict=store_conflict,
     )
 
 

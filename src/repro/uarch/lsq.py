@@ -22,6 +22,10 @@ class _StoreEntry:
     seq: int
     word: int
     complete_cycle: Optional[int]  # None while data/address outstanding
+    #: conflicted loads parked on this store until it executes (the
+    #: memory-dependence arm of the event-driven wakeup index); ``None``
+    #: until the first load parks, so the common store pays nothing
+    waiters: Optional[list] = None
 
 
 @dataclass
@@ -43,10 +47,32 @@ class LoadStoreQueue:
         """An older store entered the window (address known from the trace)."""
         self._stores[seq] = _StoreEntry(seq=seq, word=word, complete_cycle=None)
 
-    def store_executed(self, seq: int, cycle: int) -> None:
+    def store_executed(self, seq: int, cycle: int) -> Optional[_StoreEntry]:
+        """Record the store's completion cycle; returns the entry (if any)
+        so the caller can wake loads parked on it."""
         entry = self._stores.get(seq)
         if entry is not None:
             entry.complete_cycle = cycle
+        return entry
+
+    def conflict_entry(self, seq: Optional[int], word: int) -> Optional[_StoreEntry]:
+        """O(1) disambiguation against a precomputed conflict position.
+
+        ``seq`` is the replay-time fact (:class:`repro.sim.workload.
+        ReplayFacts` ``store_conflict``): the youngest older same-word
+        store in the whole trace.  In-order dispatch and retirement make
+        the probe exact — if that store is in flight it is the scan's
+        answer; if it is absent every older matching store has retired
+        (or was skipped by a sampling gap) and the load hits the cache.
+        The word check keeps the probe honest under fault injection,
+        which may flip an entry's address bits.
+        """
+        if seq is None:
+            return None
+        entry = self._stores.get(seq)
+        if entry is not None and entry.word == word:
+            return entry
+        return None
 
     def store_retired(self, seq: int) -> None:
         self._stores.pop(seq, None)
