@@ -4,16 +4,15 @@
 Measures, on the quick four-benchmark suite:
 
 * **per-core throughput** — simulated instructions per wall-clock second for
-  each timing-core kind (out-of-order, in-order, dependence-steering, braid)
-  with phase one (workload preparation) excluded, i.e. the hot-loop speed of
-  ``simulate`` alone;
+  every registered timing-core kind with phase one (workload preparation)
+  excluded, i.e. the hot-loop speed of ``simulate`` alone;
 * **F9 sweep wall-clock** — the Figure 9 BEU sweep end to end under three
   regimes: cold serial (no artifact cache), warm serial (persistent cache
   populated), and warm parallel (``--jobs`` workers).  Every measurement uses
   a fresh :class:`ExperimentContext` so in-memory memoization cannot hide
   phase-one cost;
 * **fidelity tiers** — the quick suite at the long-trace bench scale
-  (scale 64, 2.5M-instruction cap) on all four core kinds, exact versus
+  (scale 64, 2.5M-instruction cap) on every registered core kind, exact versus
   sampled (stride 16) versus interval (a dozen calibration windows):
   wall-clock speedup per tier and the worst/mean absolute IPC error of each
   estimate.  Phase one is excluded from all sides, so the ratios are the
@@ -50,8 +49,8 @@ from repro.harness.context import ExperimentContext
 from repro.harness.experiments import fig9_braid_beus
 from repro.harness.parallel import effective_jobs
 from repro.obs import Observer
-from repro.sim.config import braid_config, depsteer_config, inorder_config, ooo_config
 from repro.sim.interval import IntervalConfig
+from repro.sim.registry import core_registry
 from repro.sim.run import simulate
 from repro.sim.sampling import SamplingConfig
 
@@ -59,7 +58,8 @@ QUICK = ("gcc", "mcf", "swim", "equake")
 
 #: Measured at the seed commit on the reference container (1 CPU), same
 #: quick suite and max_instructions — the baseline the acceptance criteria
-#: compare against.
+#: compare against.  Core kinds that post-date the seed commit (e.g.
+#: blockooo) have no entry; seed-relative deltas are skipped for them.
 SEED_BASELINE = {
     "throughput_insts_per_sec": {
         "ooo": 37071,
@@ -70,11 +70,10 @@ SEED_BASELINE = {
     "f9_quick_serial_seconds": 4.74,
 }
 
+#: every registered paradigm, so a new core is benchmarked for free
 CORE_CONFIGS = {
-    "ooo": (ooo_config(8), False),
-    "inorder": (inorder_config(8), False),
-    "depsteer": (depsteer_config(8), False),
-    "braid": (braid_config(8), True),
+    key: (descriptor.config_factory(8), descriptor.braided)
+    for key, descriptor in core_registry().items()
 }
 
 
@@ -179,12 +178,14 @@ def measure_obs_overhead(hooks_off: dict, repeats: int = 1) -> dict:
                 observed, instructions / elapsed if elapsed else 0.0
             )
         plain = hooks_off[kind]["insts_per_sec"]
+        seed = seed_tp.get(kind)
         section[kind] = {
             "hooks_off_insts_per_sec": plain,
             "observed_insts_per_sec": round(observed),
             "observer_cost_pct": round(100 * (1 - observed / plain), 1)
             if plain else 0.0,
-            "hooks_off_vs_seed": round(plain / seed_tp[kind], 3),
+            # None for kinds the seed commit did not have
+            "hooks_off_vs_seed": round(plain / seed, 3) if seed else None,
         }
     return section
 
@@ -198,7 +199,8 @@ def check_obs_overhead(section: dict) -> list:
         f"{SEED_BASELINE['throughput_insts_per_sec'][kind]} insts/s, "
         f"floor {OBS_OVERHEAD_FLOOR})"
         for kind, entry in section.items()
-        if entry["hooks_off_vs_seed"] < OBS_OVERHEAD_FLOOR
+        if entry["hooks_off_vs_seed"] is not None
+        and entry["hooks_off_vs_seed"] < OBS_OVERHEAD_FLOOR
     ]
 
 
@@ -419,11 +421,16 @@ def run_check(args) -> int:
     recorded_tp = recorded.get("throughput", {})
     for kind, entry in fresh.items():
         rate = entry["insts_per_sec"]
-        deltas = [f"{rate / seed_tp[kind]:.2f}x seed"]
+        deltas = []
+        if seed_tp.get(kind):
+            deltas.append(f"{rate / seed_tp[kind]:.2f}x seed")
         baseline = recorded_tp.get(kind, {}).get("insts_per_sec")
         if baseline:
             deltas.append(f"{rate / baseline:.2f}x recorded")
-        print(f"{kind}: {rate} insts/s ({', '.join(deltas)})")
+        print(
+            f"{kind}: {rate} insts/s"
+            + (f" ({', '.join(deltas)})" if deltas else "")
+        )
 
     if args.update:
         if not recorded:
@@ -437,6 +444,7 @@ def run_check(args) -> int:
         recorded.setdefault("speedup_vs_seed", {})["throughput"] = {
             kind: round(entry["insts_per_sec"] / seed_tp[kind], 2)
             for kind, entry in fresh.items()
+            if seed_tp.get(kind)
         }
         output.write_text(json.dumps(recorded, indent=2) + "\n")
         print(f"re-baselined throughput in {output}")
@@ -535,6 +543,7 @@ def main(argv=None) -> int:
             "throughput": {
                 kind: round(entry["insts_per_sec"] / seed_tp[kind], 2)
                 for kind, entry in throughput.items()
+                if seed_tp.get(kind)
             },
             "f9_warm_serial": round(
                 SEED_BASELINE["f9_quick_serial_seconds"]

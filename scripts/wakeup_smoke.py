@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """CI smoke test for the scheduler-aware event kernel.
 
-Runs every benchmark of the quick suite on all four timing cores twice —
+Runs every benchmark of the quick suite on every registered timing core
+twice —
 once with the event-driven kernel (the default), once with the strictly
 ticked reference loop — and diffs the two runs cycle-exact: cycles,
 instructions, issue count, every stall counter, and every ``extra``
@@ -31,22 +32,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.harness.artifacts import ArtifactCache
 from repro.harness.context import ExperimentContext
-from repro.sim.config import (
-    braid_config,
-    depsteer_config,
-    inorder_config,
-    ooo_config,
-)
-from repro.sim.core import TimingCore
+from repro.sim.registry import core_registry
 from repro.sim.run import build_core
 
 QUICK = ("gcc", "mcf", "swim", "equake")
 
+# every registered paradigm, so a new core gets this guard for free
 CORES = {
-    "ooo": (ooo_config(8), False),
-    "inorder": (inorder_config(8), False),
-    "depsteer": (depsteer_config(8), False),
-    "braid": (braid_config(8), True),
+    key: (descriptor.config_factory(8), descriptor.braided)
+    for key, descriptor in core_registry().items()
 }
 
 

@@ -147,9 +147,23 @@ def avf_report(
         key = (result.machine, result.structure)
         row = rows.get(key)
         if row is None:
-            bits = bits_by_machine.get(result.machine, {}).get(
-                result.structure, 0
-            )
+            # Fail loudly: a structure with no modelled storage weight
+            # would silently zero its AVF contribution and an unmodeled
+            # machine would rank as invulnerable.
+            machine_bits = bits_by_machine.get(result.machine)
+            if machine_bits is None:
+                raise ValueError(
+                    f"no machine config supplied for {result.machine!r}; "
+                    f"its AVF weight would silently be zero "
+                    f"(known machines: {sorted(bits_by_machine)})"
+                )
+            bits = machine_bits.get(result.structure)
+            if bits is None:
+                raise ValueError(
+                    f"no storage-bit model for structure "
+                    f"{result.structure!r} on {result.machine!r}; "
+                    f"modelled structures: {sorted(machine_bits)}"
+                )
             row = StructureAVF(
                 machine=result.machine,
                 structure=result.structure,

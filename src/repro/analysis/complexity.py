@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ..sim.config import CoreKind, MachineConfig
+from ..sim.config import MachineConfig
+from ..sim.registry import descriptor_for
 
 #: architectural registers whose state a checkpoint must cover
 _ARCH_REGS = 64
@@ -61,51 +62,38 @@ def regfile_area(entries: int, reads: int, writes: int,
 
 
 def structure_cost(config: MachineConfig) -> StructureCost:
-    """Cost the execution-core structures of one machine configuration."""
+    """Cost the execution-core structures of one machine configuration.
+
+    Paradigm-specific terms come from the registered core class's
+    declarations (:class:`~repro.sim.core.TimingCore`): the wakeup
+    comparator count, whether registers are renamed, and whether branch
+    checkpoints must cover speculative register values.  The first-order
+    hardware models stay here; which structures a paradigm has stays
+    with the paradigm.
+    """
+    core_class = descriptor_for(config.kind).core_class
     main_rf = regfile_area(
         config.regfile.entries,
         config.regfile.read_ports,
         config.regfile.write_ports,
     )
     internal_rf = 0.0
-    if config.kind is CoreKind.BRAID and config.internal_regfile is not None:
+    if config.internal_regfile is not None:
         spec = config.internal_regfile
         internal_rf = config.clusters * regfile_area(
             spec.entries, spec.read_ports, spec.write_ports
         )
 
-    if config.kind is CoreKind.BRAID:
-        # FIFO windows: no tag broadcast; readiness checks only at the
-        # window entries against the busy-bit vector.
-        comparators = 0
+    comparators = core_class.scheduler_comparators(config)
+    if core_class.renames_registers:
         rename_ports = (
             config.front_end.rename_src_ops + config.front_end.rename_dest_ops
         )
-        # Internal values are not checkpointed (section 3.4).
-        checkpoint_words = _ARCH_REGS
-    elif config.kind is CoreKind.DEP_STEER:
-        comparators = 0  # FIFO heads only
-        rename_ports = (
-            config.front_end.rename_src_ops + config.front_end.rename_dest_ops
-        )
-        checkpoint_words = _ARCH_REGS + config.regfile.entries
-    elif config.kind is CoreKind.IN_ORDER:
-        comparators = 0
-        rename_ports = 0
-        checkpoint_words = _ARCH_REGS
     else:
-        # Broadcast wakeup: every window entry compares both source tags
-        # against every result bus, every cycle.
-        comparators = (
-            config.clusters
-            * config.cluster_entries
-            * 2
-            * config.issue_width
-        )
-        rename_ports = (
-            config.front_end.rename_src_ops + config.front_end.rename_dest_ops
-        )
-        checkpoint_words = _ARCH_REGS + config.regfile.entries
+        rename_ports = 0
+    checkpoint_words = _ARCH_REGS
+    if core_class.checkpoints_value_entries:
+        checkpoint_words += config.regfile.entries
 
     bypass_wires = config.bypass_levels * config.bypass_width ** 2
 
@@ -128,17 +116,29 @@ _BEU_FIFO_ENTRY_BITS = 32
 _PREDICTOR_BITS = 8 * 1024 * 8
 
 
+#: per-entry bit constants handed to each core class's
+#: ``fault_state_bits`` formula — the analysis layer owns the hardware
+#: model constants, the paradigm owns which structures exist and how
+#: they scale
+STATE_BIT_WEIGHTS: Dict[str, int] = {
+    "scheduler_entry": _SCHEDULER_ENTRY_BITS,
+    "beu_fifo_entry": _BEU_FIFO_ENTRY_BITS,
+    "value_width": _WIDTH,
+}
+
+
 def storage_bits(config: MachineConfig) -> Dict[str, int]:
     """Storage bits per injectable structure (AVF weights).
 
-    Keys match the structure names of :mod:`repro.faults.inject`, so the
-    AVF report can weight each structure's measured vulnerability by how
-    much state a real implementation would expose to particle strikes.
-    Uses the same first-order models as :func:`structure_cost` — the
-    checkpoint weight in particular reuses its per-checkpoint word count,
-    which is where the braid's smaller checkpoint footprint (internal
-    values are never checkpointed, paper section 3.4) shows up.
+    Keys match the structure names of :mod:`repro.faults.inject`: the
+    common structures are modelled here, and each paradigm's specific
+    structures come from its core class's ``fault_state_bits``
+    declaration (weighted by :data:`STATE_BIT_WEIGHTS`).  A core class
+    whose declared ``fault_structures`` and modelled bits disagree fails
+    loudly — an injectable structure with no storage weight would
+    silently zero its AVF contribution.
     """
+    core_class = descriptor_for(config.kind).core_class
     checkpoint_words = structure_cost(config).checkpoint_words
     bits: Dict[str, int] = {
         "rob": config.max_in_flight * _ROB_ENTRY_BITS,
@@ -147,23 +147,18 @@ def storage_bits(config: MachineConfig) -> Dict[str, int]:
         "checkpoints": config.max_branches * checkpoint_words * _WIDTH,
         "branchpred": _PREDICTOR_BITS,
     }
-    if config.kind is CoreKind.BRAID:
-        internal = config.internal_regfile
-        if internal is not None:
-            bits["regfile"] += config.clusters * internal.entries * _WIDTH
-        # FIFO slots hold a queue tag, no wakeup CAM; plus one busy bit
-        # per external register entry per BEU.
-        bits["beu_fifo"] = (
-            config.clusters * config.cluster_entries * _BEU_FIFO_ENTRY_BITS
-            + config.clusters * config.regfile.entries
+    internal = config.internal_regfile
+    if internal is not None:
+        bits["regfile"] += config.clusters * internal.entries * _WIDTH
+    paradigm_bits = core_class.fault_state_bits(config, STATE_BIT_WEIGHTS)
+    declared = set(core_class.fault_structures)
+    if set(paradigm_bits) != declared:
+        raise ValueError(
+            f"{core_class.__name__} fault_state_bits keys "
+            f"{sorted(paradigm_bits)} do not match its declared "
+            f"fault_structures {sorted(declared)}"
         )
-        # Two annotation bits (external/internal destination) per
-        # in-flight instruction.
-        bits["partition"] = config.max_in_flight * 2
-    else:
-        bits["scheduler"] = (
-            config.clusters * config.cluster_entries * _SCHEDULER_ENTRY_BITS
-        )
+    bits.update(paradigm_bits)
     return bits
 
 

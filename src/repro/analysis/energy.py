@@ -29,7 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
-from ..sim.config import CoreKind, MachineConfig
+from ..sim.config import MachineConfig
+from ..sim.registry import descriptor_for
 from ..sim.results import SimResult
 
 
@@ -87,7 +88,7 @@ def estimate_energy(config: MachineConfig, result: SimResult) -> EnergyBreakdown
     )
     regfile = (extra.get("rf_reads", 0.0) + extra.get("rf_writes", 0.0)) * main_access
 
-    if config.kind is CoreKind.BRAID and config.internal_regfile is not None:
+    if config.internal_regfile is not None:
         spec = config.internal_regfile
         internal_access = _access_energy(
             spec.entries, spec.read_ports, spec.write_ports
@@ -97,18 +98,13 @@ def estimate_energy(config: MachineConfig, result: SimResult) -> EnergyBreakdown
             + extra.get("internal_rf_writes", 0.0)
         ) * internal_access
 
-    if config.kind is CoreKind.OUT_OF_ORDER:
-        # Every completing instruction broadcasts its tag across the whole
-        # distributed window: 2 source comparators per entry.
-        window = config.clusters * config.cluster_entries
-        scheduler = float(result.issued) * 2 * window
-    elif config.kind is CoreKind.BRAID:
-        # Readiness is checked only at the per-BEU window heads against the
-        # busy-bit vector.
-        scheduler = float(result.issued) * 2 * config.beu_window
-    else:
-        # FIFO heads only (dependence steering / in-order).
-        scheduler = float(result.issued) * 2 * config.clusters
+    # Each completing instruction's tag touches the paradigm-declared
+    # number of window entries (broadcast: the whole window; FIFO heads /
+    # limited windows: only the examined entries) at 2 comparators each.
+    core_class = descriptor_for(config.kind).core_class
+    scheduler = (
+        float(result.issued) * 2 * core_class.wakeup_energy_entries(config)
+    )
 
     bypass = extra.get("bypass_forwards", 0.0) * config.bypass_width
 

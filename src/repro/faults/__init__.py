@@ -25,6 +25,8 @@ from .campaign import (
 from .inject import (
     INJECTORS,
     FaultSession,
+    injectors_for,
+    known_structures,
     run_injection,
     structures_for,
 )
@@ -47,6 +49,8 @@ __all__ = [
     "InjectionTask",
     "InjectorError",
     "OUTCOME_ORDER",
+    "injectors_for",
+    "known_structures",
     "plan_tasks",
     "run_campaign",
     "run_injection",

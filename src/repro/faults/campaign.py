@@ -38,7 +38,7 @@ from ..sim.config import MachineConfig
 from ..sim.run import build_core
 from ..validate.lockstep import LockstepChecker
 from ..validate.runner import CORE_FACTORIES
-from .inject import INJECTORS, run_injection, structures_for
+from .inject import known_structures, run_injection, structures_for
 from .model import InjectionResult
 
 #: bump when task semantics change; stale journals then refuse to resume
@@ -88,11 +88,12 @@ class CampaignSpec:
                 f"choose from {sorted(CORE_FACTORIES)}"
             )
         if self.structures is not None:
-            bad = [s for s in self.structures if s not in INJECTORS]
+            known = known_structures()
+            bad = [s for s in self.structures if s not in known]
             if bad:
                 raise CampaignError(
                     f"unknown structures {bad}; "
-                    f"choose from {sorted(INJECTORS)}"
+                    f"choose from {sorted(known)}"
                 )
         if self.runs < 1:
             raise CampaignError("runs must be >= 1")

@@ -1,10 +1,13 @@
 """Seeded single-bit-flip injectors over live microarchitectural state.
 
 Each injector perturbs one structure of a running
-:class:`~repro.sim.core.TimingCore` — ROB entries, register-file
-occupancy, LSQ entries, checkpoint tags, branch-predictor state, the
-scheduling structures of the conventional cores, and (braid only) BEU
-FIFO slots and the external/internal partition bits.  Injection rides
+:class:`~repro.sim.core.TimingCore`.  This module owns the *common*
+structures every paradigm shares — ROB entries, register-file occupancy,
+LSQ entries, checkpoint tags, branch-predictor state; each paradigm
+declares its own scheduling-structure injectors on its core class
+(``fault_structures`` / ``fault_injectors``), and the registry makes
+them discoverable here, so an unmodeled paradigm fails loudly instead
+of running a campaign as all-masked.  Injection rides
 the core's ``fault_hook`` (installed by :class:`FaultSession`), which
 fires once per cycle *before* the cycle's stages, so the flip is visible
 to every stage of the injection cycle; with no hook installed the fast
@@ -35,18 +38,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace as dataclass_replace
-from heapq import heapify
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim.config import CoreKind, MachineConfig
-from ..sim.core import SimulationError, TimingCore
+from ..sim.core import SimulationError, TimingCore, flip_bit as _flip_bit
+from ..sim.registry import core_registry, descriptor_for
 from ..sim.run import build_core
 from ..validate.lockstep import DivergenceError, LockstepChecker
 from .model import FaultOutcome, InjectionResult, InjectorError
-
-
-def _flip_bit(value: int, bit: int) -> int:
-    return value ^ (1 << bit)
 
 
 # ---------------------------------------------------------------- injectors
@@ -156,99 +155,20 @@ def _inject_branchpred(core: TimingCore, rng: random.Random) -> Optional[str]:
     return None
 
 
-def _inject_scheduler(core: TimingCore, rng: random.Random) -> Optional[str]:
-    """Scheduler state of the three conventional cores.
-
-    Dispatches on the structures the concrete core actually owns:
-    distributed out-of-order schedulers (occupancy counters + select
-    priorities), dependence-steering FIFOs, or the in-order issue queue.
-    """
-    load = getattr(core, "_scheduler_load", None)
-    if load is not None:  # out-of-order
-        mode = rng.choice(("occupancy", "priority"))
-        if mode == "priority":
-            pool = core._ready
-            if pool:
-                index = rng.randrange(len(pool))
-                seq, winst = pool[index]
-                bit = rng.randrange(8)
-                pool[index] = (_flip_bit(seq, bit), winst)
-                heapify(pool)
-                return (
-                    f"scheduler select-priority bit {bit} on seq {winst.seq}"
-                )
-            # fall through to the always-live occupancy counters
-        index = rng.randrange(len(load))
-        bit = rng.randrange(max(1, core.config.cluster_entries.bit_length()))
-        load[index] = _flip_bit(load[index], bit)
-        return f"scheduler {index} occupancy bit {bit} -> {load[index]}"
-    fifos = getattr(core, "_fifos", None)
-    if fifos is not None:  # dependence steering
-        occupied = [fifo for fifo in fifos if fifo]
-        if not occupied:
-            return None
-        fifo = occupied[rng.randrange(len(occupied))]
-        direction = rng.choice((-1, 1))
-        fifo.rotate(direction)
-        return f"steering FIFO pointer bit flip (rotated {direction:+d})"
-    queue = getattr(core, "_queue", None)  # in-order
-    if queue is None:
-        raise InjectorError(
-            f"no scheduler structure on {type(core).__name__}"
-        )
-    if len(queue) < 1:
-        return None
-    direction = rng.choice((-1, 1))
-    queue.rotate(direction)
-    return f"issue-queue pointer bit flip (rotated {direction:+d})"
-
-
-def _inject_beu_fifo(core: TimingCore, rng: random.Random) -> Optional[str]:
-    beus = [beu for beu in core.beus if beu.fifo]
-    if not beus:
-        return None
-    beu = beus[rng.randrange(len(beus))]
-    mode = rng.choice(("pointer", "busybit"))
-    if mode == "pointer" and len(beu.fifo) > 1:
-        direction = rng.choice((-1, 1))
-        beu.fifo.rotate(direction)
-        return f"BEU {beu.beu_id} FIFO pointer flip (rotated {direction:+d})"
-    winst = beu.fifo[rng.randrange(len(beu.fifo))]
-    beu.busybits.toggle(winst.seq)
-    return f"BEU {beu.beu_id} busy bit toggled for seq {winst.seq}"
-
-
-def _inject_partition(core: TimingCore, rng: random.Random) -> Optional[str]:
-    # The braid's external/internal classification bits travel with each
-    # in-flight instruction; flip one on a not-yet-issued instruction so
-    # the issue and writeback stages observe the corrupted bit.
-    candidates = [w for w in core._rob if w.issue_cycle is None]
-    if not candidates:
-        return None
-    winst = candidates[rng.randrange(len(candidates))]
-    if rng.random() < 0.5:
-        winst.dest_external = not winst.dest_external
-        return (
-            f"partition external bit -> {winst.dest_external} "
-            f"on seq {winst.seq}"
-        )
-    winst.dest_internal = not winst.dest_internal
-    return (
-        f"partition internal bit -> {winst.dest_internal} "
-        f"on seq {winst.seq}"
-    )
-
-
-#: structure name -> injector
+#: structure name -> injector, for the structures every paradigm owns.
+#: Paradigm-specific structures (schedulers, BEU FIFOs, partition bits)
+#: are declared by each core class (``fault_structures`` /
+#: ``fault_injectors``, see :class:`~repro.sim.core.TimingCore`) and
+#: discovered through the core registry — a paradigm with no declared
+#: injectors simply has no paradigm-specific structures, and asking for
+#: a structure its class does not declare fails loudly instead of
+#: sailing through a campaign as all-masked.
 INJECTORS: Dict[str, Callable[[TimingCore, random.Random], Optional[str]]] = {
     "rob": _inject_rob,
     "regfile": _inject_regfile,
     "lsq": _inject_lsq,
     "checkpoints": _inject_checkpoints,
     "branchpred": _inject_branchpred,
-    "scheduler": _inject_scheduler,
-    "beu_fifo": _inject_beu_fifo,
-    "partition": _inject_partition,
 }
 
 _COMMON_STRUCTURES: Tuple[str, ...] = (
@@ -256,11 +176,41 @@ _COMMON_STRUCTURES: Tuple[str, ...] = (
 )
 
 
+def injectors_for(kind: CoreKind) -> Dict[str, Callable]:
+    """structure name -> injector for one paradigm: the common set plus
+    the class-declared paradigm-specific injectors.  Raises
+    :class:`InjectorError` for a kind with no registered core."""
+    try:
+        core_class = descriptor_for(kind).core_class
+    except LookupError as exc:
+        raise InjectorError(str(exc)) from None
+    merged = dict(INJECTORS)
+    merged.update(core_class.fault_injectors)
+    return merged
+
+
+def known_structures() -> Tuple[str, ...]:
+    """Every structure injectable on at least one registered paradigm."""
+    names = list(_COMMON_STRUCTURES)
+    for descriptor in core_registry().values():
+        for structure in descriptor.core_class.fault_structures:
+            if structure not in names:
+                names.append(structure)
+    return tuple(names)
+
+
 def structures_for(kind: CoreKind) -> Tuple[str, ...]:
-    """Injectable structures of one core paradigm, in report order."""
-    if kind is CoreKind.BRAID:
-        return _COMMON_STRUCTURES + ("beu_fifo", "partition")
-    return _COMMON_STRUCTURES + ("scheduler",)
+    """Injectable structures of one core paradigm, in report order.
+
+    Fails loudly (:class:`InjectorError`) for a kind with no registered
+    core — an unmodeled paradigm must never sail through a campaign as
+    all-masked.
+    """
+    try:
+        core_class = descriptor_for(kind).core_class
+    except LookupError as exc:
+        raise InjectorError(str(exc)) from None
+    return _COMMON_STRUCTURES + tuple(core_class.fault_structures)
 
 
 class FaultSession:
@@ -275,13 +225,16 @@ class FaultSession:
     def __init__(
         self, structure: str, inject_cycle: int, rng: random.Random
     ) -> None:
-        try:
-            self._injector = INJECTORS[structure]
-        except KeyError:
+        # Reject structures no registered paradigm declares at session
+        # construction; the concrete injector (common table or the core
+        # class's own declaration) is resolved when the core is known.
+        known = known_structures()
+        if structure not in known:
             raise InjectorError(
                 f"unknown structure {structure!r}; "
-                f"choose from {sorted(INJECTORS)}"
-            ) from None
+                f"choose from {sorted(known)}"
+            )
+        self._injector: Optional[Callable] = None
         self.structure = structure
         self.inject_cycle = inject_cycle
         self.rng = rng
@@ -290,11 +243,13 @@ class FaultSession:
         self.detail: Optional[str] = None
 
     def attach(self, core: TimingCore) -> "FaultSession":
-        if self.structure not in structures_for(core.config.kind):
+        kind = core.config.kind
+        if self.structure not in structures_for(kind):
             raise InjectorError(
                 f"structure {self.structure!r} does not exist on "
-                f"{core.config.kind.value} cores"
+                f"{kind.value} cores"
             )
+        self._injector = injectors_for(kind)[self.structure]
         core.fault_hook = self._hook
         return self
 

@@ -292,6 +292,9 @@ def _run_trace(args, parser) -> int:
 
 
 def main(argv=None) -> int:
+    from ..sim.registry import core_keys
+
+    registered = ",".join(core_keys())
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -356,7 +359,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cores", default=None, metavar="LIST",
         help="validate: comma-separated timing cores to check "
-             "(default: ooo,inorder,depsteer,braid)",
+             f"(default: every registered core — {registered})",
     )
     parser.add_argument(
         "--invariants", action="store_true",
@@ -409,7 +412,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--core", default="braid", metavar="KIND",
         help="trace: the timing core to record "
-             "(ooo, inorder, depsteer, braid; default braid)",
+             f"({registered}; default braid)",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",

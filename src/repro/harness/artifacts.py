@@ -48,7 +48,9 @@ from typing import Any, Dict, List, Optional, Tuple
 #: v2: SimResult grew observability fields (cpi_stack, metrics).
 #: v3: SimResult grew the fidelity field; result keys carry a fidelity
 #: token so exact/sampled/interval runs of one point never collide.
-CACHE_FORMAT_VERSION = 3
+#: v4: core registry landed (blockooo paradigm, registry-ordered
+#: sweeps), so cached experiment tables can change column sets.
+CACHE_FORMAT_VERSION = 4
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"

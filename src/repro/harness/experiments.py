@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from ..analysis.braidstats import braid_statistics
 from ..analysis.values import average_fractions, characterize_values
 from ..sim.config import braid_config, depsteer_config, inorder_config, ooo_config
+from ..sim.registry import core_registry
 from ..uarch.regfile import RegFileSpec
 from .context import ExperimentContext
 from .reporting import ExperimentResult
@@ -644,10 +645,8 @@ def sampling_validation(ctx: ExperimentContext) -> ExperimentResult:
 
     sampling = ctx.sampling if ctx.sampling is not None else SamplingConfig()
     configs = {
-        "ooo": (ooo_config(8), False),
-        "inorder": (inorder_config(8), False),
-        "depsteer": (depsteer_config(8), False),
-        "braid": (braid_config(8), True),
+        key: (descriptor.config_factory(8), descriptor.braided)
+        for key, descriptor in core_registry().items()
     }
     result = ExperimentResult(
         experiment_id="SV",
@@ -701,10 +700,8 @@ def cpi_stack_experiment(ctx: ExperimentContext) -> ExperimentResult:
     from ..sim.run import simulate
 
     configs = {
-        "ooo": (ooo_config(8), False),
-        "inorder": (inorder_config(8), False),
-        "depsteer": (depsteer_config(8), False),
-        "braid": (braid_config(8), True),
+        key: (descriptor.config_factory(8), descriptor.braided)
+        for key, descriptor in core_registry().items()
     }
     result = ExperimentResult(
         experiment_id="CS",

@@ -1,6 +1,7 @@
 """Simulators: functional executor and cycle-level timing cores."""
 
 from .beu import BraidExecutionUnit
+from .blockooo import BlockOoOCore, blockooo_config
 from .braidcore import BraidCore
 from .config import (
     CoreKind,
@@ -16,6 +17,16 @@ from .pipeview import PipeviewError, render_pipeview, stage_latencies
 from .depsteer import DependenceSteeringCore
 from .inorder import InOrderCore
 from .ooo import OutOfOrderCore
+from .registry import (
+    CoreDescriptor,
+    CoreRegistryError,
+    core_keys,
+    core_registry,
+    descriptor_for,
+    descriptor_for_key,
+    paradigm_configs,
+    register_core,
+)
 from .batch import simulate_batch
 from .interval import IntervalConfig, interval_from_env, simulate_interval
 from .results import SimResult, StallCounters
@@ -42,14 +53,24 @@ from .functional import (
 
 __all__ = [
     "BraidExecutionUnit",
+    "BlockOoOCore",
     "BraidCore",
     "CoreKind",
     "FrontEndConfig",
     "MachineConfig",
+    "blockooo_config",
     "braid_config",
     "depsteer_config",
     "inorder_config",
     "ooo_config",
+    "CoreDescriptor",
+    "CoreRegistryError",
+    "core_keys",
+    "core_registry",
+    "descriptor_for",
+    "descriptor_for_key",
+    "paradigm_configs",
+    "register_core",
     "SimulationError",
     "TimingCore",
     "WInst",

@@ -14,20 +14,98 @@ exactly as in the paper:
 * Instructions writing only internal registers never allocate an external
   register entry, and internal operands are never renamed — both effects are
   inherited from the annotation-aware base-class bookkeeping.
+
+The issue mechanics compose the shared kernel helpers: strict windows use
+:meth:`~repro.sim.core.TimingCore.issue_in_order`, the default
+windowed-out-of-order mode uses
+:meth:`~repro.sim.core.TimingCore.issue_skipahead`, and the horizon is
+:meth:`~repro.sim.core.TimingCore.head_issue_horizon` over the examined
+window entries.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .beu import BraidExecutionUnit
-from .config import MachineConfig
-from .core import PARKED, TimingCore, WInst
+from .config import CoreKind, MachineConfig, braid_config
+from .core import TimingCore, WInst
+from .registry import CoreDescriptor, register_core
 from .workload import PreparedWorkload
+
+
+def _inject_beu_fifo(core: "BraidCore", rng) -> Optional[str]:
+    """Flip a BEU FIFO head pointer or one busy bit."""
+    beus = [beu for beu in core.beus if beu.fifo]
+    if not beus:
+        return None
+    beu = beus[rng.randrange(len(beus))]
+    mode = rng.choice(("pointer", "busybit"))
+    if mode == "pointer" and len(beu.fifo) > 1:
+        direction = rng.choice((-1, 1))
+        beu.fifo.rotate(direction)
+        return f"BEU {beu.beu_id} FIFO pointer flip (rotated {direction:+d})"
+    winst = beu.fifo[rng.randrange(len(beu.fifo))]
+    beu.busybits.toggle(winst.seq)
+    return f"BEU {beu.beu_id} busy bit toggled for seq {winst.seq}"
+
+
+def _inject_partition(core: "BraidCore", rng) -> Optional[str]:
+    # The braid's external/internal classification bits travel with each
+    # in-flight instruction; flip one on a not-yet-issued instruction so
+    # the issue and writeback stages observe the corrupted bit.
+    candidates = [w for w in core._rob if w.issue_cycle is None]
+    if not candidates:
+        return None
+    winst = candidates[rng.randrange(len(candidates))]
+    if rng.random() < 0.5:
+        winst.dest_external = not winst.dest_external
+        return (
+            f"partition external bit -> {winst.dest_external} "
+            f"on seq {winst.seq}"
+        )
+    winst.dest_internal = not winst.dest_internal
+    return (
+        f"partition internal bit -> {winst.dest_internal} "
+        f"on seq {winst.seq}"
+    )
 
 
 class BraidCore(TimingCore):
     """Timing model of the braid microarchitecture."""
+
+    fault_structures = ("beu_fifo", "partition")
+    fault_injectors = {
+        "beu_fifo": _inject_beu_fifo,
+        "partition": _inject_partition,
+    }
+    #: internal values are never checkpointed (paper section 3.4)
+    checkpoints_value_entries = False
+
+    @classmethod
+    def fault_state_bits(cls, config, weights):
+        return {
+            # FIFO slots hold a queue tag, no wakeup CAM; plus one busy
+            # bit per external register entry per BEU.
+            "beu_fifo": (
+                config.clusters * config.cluster_entries
+                * weights["beu_fifo_entry"]
+                + config.clusters * config.regfile.entries
+            ),
+            # Two annotation bits (external/internal destination) per
+            # in-flight instruction.
+            "partition": config.max_in_flight * 2,
+        }
+
+    @classmethod
+    def scheduler_comparators(cls, config: MachineConfig) -> int:
+        # FIFO windows: no tag broadcast; readiness checks only at the
+        # window entries against the busy-bit vector.
+        return 0
+
+    @classmethod
+    def wakeup_energy_entries(cls, config: MachineConfig) -> int:
+        return config.beu_window  # only the BEU window entries are checked
 
     def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
         super().__init__(workload, config)
@@ -37,6 +115,19 @@ class BraidCore(TimingCore):
         self._open_beu: Optional[BraidExecutionUnit] = None
         self._next_beu_hint = 0
         self.distribute_stalls = 0
+        #: per-BEU issue bookkeeping callbacks for the shared issue helpers
+        self._issue_notes: List[Callable[[WInst], None]] = [
+            self._make_issue_note(beu) for beu in self.beus
+        ]
+
+    def _make_issue_note(self, beu: BraidExecutionUnit):
+        def note(winst: WInst) -> None:
+            beu.instructions_issued += 1
+            if winst.dest_external:
+                # The busy bit clears when the value becomes ready; model
+                # the event at the known completion time.
+                beu.busybits.mark_ready(winst.seq)
+        return note
 
     # ------------------------------------------------------------- distribute
     def _find_free_beu(self) -> Optional[BraidExecutionUnit]:
@@ -108,44 +199,35 @@ class BraidCore(TimingCore):
         return True
 
     # ------------------------------------------------------------------ issue
+    def _window_depth_cap(self) -> int:
+        """Entries examined per BEU FIFO this cycle (1 in strict or
+        exception mode, the configured window otherwise)."""
+        config = self.config
+        if config.beu_exception_mode:
+            return 1
+        window = config.beu_window
+        if not config.beu_window_ooo:
+            return min(window, 1)
+        return window
+
     def issue_horizon(self, cycle):
         # Each BEU examines its scheduling window (the FIFO head in strict
-        # or exception mode); pending or parked entries wake via
-        # completion-side events, entries with a certified issue_wake
-        # bound contribute that bound, and any entry free of both may act
-        # now.
-        config = self.config
-        wake = None
-        if config.beu_exception_mode:
+        # or exception mode); the shared head-scan certification applies
+        # verbatim to the examined entries.
+        if self.config.beu_exception_mode:
             fifo = self.beus[0].fifo
-            if not fifo:
-                return None
-            head = fifo[0]
-            if head.pending:
-                return None
-            bound = head.issue_wake
-            if bound <= cycle:
-                return cycle
-            return None if bound >= PARKED else bound
-        window_size = config.beu_window
-        strict = not config.beu_window_ooo
-        for beu in self.beus:
-            fifo = beu.fifo
-            depth = len(fifo)
-            if depth > window_size:
-                depth = window_size
-            if strict and depth > 1:
-                depth = 1
-            for i in range(depth):
-                winst = fifo[i]
-                if winst.pending:
-                    continue
-                bound = winst.issue_wake
-                if bound <= cycle:
-                    return cycle
-                if bound < PARKED and (wake is None or bound < wake):
-                    wake = bound
-        return wake
+            return self.head_issue_horizon(
+                cycle, (fifo[0],) if fifo else ()
+            )
+        cap = self._window_depth_cap()
+        return self.head_issue_horizon(
+            cycle,
+            (
+                beu.fifo[i]
+                for beu in self.beus
+                for i in range(min(len(beu.fifo), cap))
+            ),
+        )
 
     def issue_stage(self, cycle: int) -> None:
         window_size = self.config.beu_window
@@ -153,53 +235,25 @@ class BraidCore(TimingCore):
         if self.config.beu_exception_mode:
             window_size = 1  # strictly in-order during exception handling
             strict = True
+        notes = self._issue_notes
         for beu in self.beus:
             fifo = beu.fifo
             if not fifo:
                 continue
             if strict:
-                issued = 0
-                while issued < window_size and fifo:
-                    winst = fifo[0]
-                    # pending > 0: a producer is outstanding, try_issue
-                    # would fail its dependence walk — skip the call.  A
-                    # certified issue_wake bound likewise proves the call
-                    # would fail until that cycle.
-                    if winst.pending or winst.issue_wake > cycle:
-                        break
-                    if not self.try_issue(
-                        winst, cycle, beu.fus,
-                        internal_reads=beu.internal_reads,
-                        internal_writes=beu.internal_writes,
-                    ):
-                        self._note_issue_block(winst, cycle)
-                        break
-                    fifo.popleft()
-                    beu.instructions_issued += 1
-                    self._note_issue(beu, winst)
-                    issued += 1
+                self.issue_in_order(
+                    fifo, cycle, beu.fus, window_size,
+                    internal_reads=beu.internal_reads,
+                    internal_writes=beu.internal_writes,
+                    on_issue=notes[beu.beu_id],
+                )
             else:
-                depth = min(window_size, len(fifo))
-                window = [fifo[i] for i in range(depth)]
-                for winst in window:
-                    if winst.pending or winst.issue_wake > cycle:
-                        continue
-                    if not self.try_issue(
-                        winst, cycle, beu.fus,
-                        internal_reads=beu.internal_reads,
-                        internal_writes=beu.internal_writes,
-                    ):
-                        self._note_issue_block(winst, cycle)
-                        continue
-                    fifo.remove(winst)
-                    beu.instructions_issued += 1
-                    self._note_issue(beu, winst)
-
-    def _note_issue(self, beu: BraidExecutionUnit, winst: WInst) -> None:
-        if winst.dest_external:
-            # The busy bit clears when the value becomes ready; model the
-            # event at the known completion time.
-            beu.busybits.mark_ready(winst.seq)
+                self.issue_skipahead(
+                    fifo, cycle, min(window_size, len(fifo)), beu.fus,
+                    internal_reads=beu.internal_reads,
+                    internal_writes=beu.internal_writes,
+                    on_issue=notes[beu.beu_id],
+                )
 
     def core_invariants(self, cycle: int):
         if self._open_beu is not None and self._open_beu not in self.beus:
@@ -207,33 +261,14 @@ class BraidCore(TimingCore):
         capacity = self.config.cluster_entries
         total = 0
         for beu in self.beus:
-            if len(beu.fifo) > capacity:
-                yield (
-                    f"BEU {beu.beu_id} FIFO holds {len(beu.fifo)}, "
-                    f"capacity {capacity}"
-                )
             total += len(beu.fifo)
-            busy_external = 0
-            previous = -1
-            for winst in beu.fifo:
-                if winst.issue_cycle is not None:
-                    yield (
-                        f"issued instruction seq={winst.seq} still in "
-                        f"BEU {beu.beu_id} FIFO"
-                    )
-                if winst.cluster != beu.beu_id:
-                    yield (
-                        f"seq={winst.seq} tagged cluster {winst.cluster} "
-                        f"but queued in BEU {beu.beu_id}"
-                    )
-                if winst.seq <= previous:
-                    yield (
-                        f"BEU {beu.beu_id} FIFO out of dispatch order "
-                        f"at seq={winst.seq}"
-                    )
-                previous = winst.seq
-                if winst.dest_external:
-                    busy_external += 1
+            yield from self.fifo_invariants(
+                f"BEU {beu.beu_id} FIFO", beu.fifo, capacity,
+                cluster=beu.beu_id,
+            )
+            busy_external = sum(
+                1 for winst in beu.fifo if winst.dest_external
+            )
             if beu.busybits.occupancy > beu.busybits.bits:
                 yield (
                     f"BEU {beu.beu_id} busy-bit occupancy "
@@ -245,12 +280,7 @@ class BraidCore(TimingCore):
                     f"disagree with queued external destinations "
                     f"({busy_external})"
                 )
-        unissued = len(self.unissued_in_flight())
-        if total != unissued:
-            yield (
-                f"BEU FIFO occupancy sum {total} != {unissued} "
-                f"dispatched-but-unissued instructions"
-            )
+        yield from self.occupancy_sum_invariant("BEU FIFO", total)
 
     # ------------------------------------------------------------- statistics
     def beu_utilization(self) -> List[int]:
@@ -268,3 +298,13 @@ class BraidCore(TimingCore):
         result.extra["busybit_sets"] = float(
             sum(beu.busybits.set_events for beu in self.beus)
         )
+
+
+register_core(CoreDescriptor(
+    kind=CoreKind.BRAID,
+    key="braid",
+    core_class=BraidCore,
+    config_factory=braid_config,
+    braided=True,
+    description="braid microarchitecture (the paper's proposal)",
+))

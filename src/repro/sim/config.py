@@ -24,12 +24,18 @@ from ..uarch.regfile import RegFileSpec
 
 
 class CoreKind(enum.Enum):
-    """Which of the four execution-core paradigms a configuration builds."""
+    """Which execution-core paradigm a configuration builds.
+
+    Every member is backed by a registered paradigm (see
+    :mod:`repro.sim.registry`); the paper's four plus the CG-OoO-style
+    block-granular coarse out-of-order point between them.
+    """
 
     OUT_OF_ORDER = "ooo"
     IN_ORDER = "inorder"
     DEP_STEER = "depsteer"
     BRAID = "braid"
+    BLOCK_OOO = "blockooo"
 
 
 @dataclass(frozen=True)
@@ -70,7 +76,8 @@ class MachineConfig:
     clusters: int = 8
     #: entries per scheduler / per BEU FIFO
     cluster_entries: int = 32
-    #: braid: in-order scheduling window per BEU
+    #: braid / blockooo: entries examined per FIFO head (the braid's
+    #: in-order BEU window; the block core's skip-ahead window)
     beu_window: int = 2
     #: braid: functional units per BEU
     beu_functional_units: int = 2

@@ -1,13 +1,23 @@
-"""Shared cycle-level timing machinery for all four execution cores.
+"""The shared pipeline kernel every execution-core paradigm plugs into.
 
 The :class:`TimingCore` base implements everything the paper holds constant
 across paradigms — fetch (width-limited, ≤3 branches/cycle, I-cache and
 misprediction bubbles), decode/allocate/rename bandwidth, register-file
 entry allocation, dependence tracking, the load/store queue, writeback port
 arbitration, bypass-network lifetime/bandwidth, checkpoints, and in-order
-retirement.  Subclasses supply only the execution-core behaviour the paper
-varies: where a dispatched instruction waits (:meth:`TimingCore.accept`) and
-how ready instructions are selected for issue (:meth:`TimingCore.issue_stage`).
+retirement — plus the paradigm-independent machinery layered on since:
+the event-driven kernel and its ``_next_event``/``issue_horizon``
+contract, the invariant/fault/trace hook family, and the resume /
+drain / fast-forward seams the sampled and interval engines compose.
+Subclasses supply only the execution-core behaviour the paper varies:
+where a dispatched instruction waits (:meth:`TimingCore.accept`) and how
+ready instructions are selected for issue (:meth:`TimingCore.issue_stage`)
+— usually by composing the shared head-scan helpers
+(:meth:`TimingCore.issue_in_order`, :meth:`TimingCore.issue_skipahead`,
+:meth:`TimingCore.head_issue_horizon`) rather than re-implementing the
+scan — and declare their cross-layer contract (fault structures and
+injectors, complexity-model terms) as class attributes the registry
+(:mod:`repro.sim.registry`), fault layer, and analyses consume.
 
 Per-cycle stage order is ``complete → retire → issue → dispatch → fetch``,
 so a value completing in cycle *t* is bypassable by an issue in cycle *t*,
@@ -18,7 +28,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa.registers import Register
 from ..uarch.bypass import BypassNetwork
@@ -40,6 +50,13 @@ class SimulationError(RuntimeError):
 #: rewrite the wake to the store's completion cycle.  Horizon publishers
 #: treat a parked candidate like a pending one (completion-driven).
 PARKED = 1 << 62
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Single-event-upset primitive shared by the per-paradigm fault
+    injectors (:attr:`TimingCore.fault_injectors`) and the common ones
+    in :mod:`repro.faults.inject`."""
+    return value ^ (1 << bit)
 
 
 class SimulationHang(SimulationError):
@@ -158,7 +175,77 @@ class WInst:
 
 
 class TimingCore:
-    """Base class of the four timing simulators."""
+    """Base class of every timing-core paradigm (see the module docstring).
+
+    Concrete paradigms register a :class:`~repro.sim.registry.CoreDescriptor`
+    and declare their cross-layer contract through the class attributes and
+    classmethods below; the defaults describe a broadcast-wakeup machine, so
+    a conventional out-of-order paradigm overrides almost nothing.
+    """
+
+    # ------------------------------------------------- declarative contract
+    #
+    # Consumed by repro.faults (injection), repro.analysis (complexity /
+    # energy / AVF weights), and the registry's registration-time
+    # validation.  Keeping these on the class — next to the structures they
+    # describe — is what lets a new paradigm live in one file.
+
+    #: paradigm-specific injectable structures beyond the common set
+    #: (rob/regfile/lsq/checkpoints/branchpred, owned by repro.faults);
+    #: every name must have a matching entry in :attr:`fault_injectors`
+    fault_structures: Tuple[str, ...] = ()
+    #: structure name -> ``injector(core, rng) -> Optional[str]`` for the
+    #: structures in :attr:`fault_structures` (same calling convention as
+    #: the common injectors in :mod:`repro.faults.inject`)
+    fault_injectors: Dict[str, Callable] = {}
+    #: False when the paradigm issues without renaming architectural
+    #: registers (zero rename map-table ports in the complexity model)
+    renames_registers = True
+    #: True when a branch checkpoint must cover speculative register
+    #: *values* beyond the architectural state (conventional merged /
+    #: staging files); False when in-flight values are recoverable without
+    #: checkpointing them (in-order, or the braid's internal values)
+    checkpoints_value_entries = True
+
+    @classmethod
+    def fault_state_bits(cls, config: MachineConfig,
+                         weights: Dict[str, int]) -> Dict[str, int]:
+        """Storage bits of each paradigm-specific injectable structure.
+
+        Keys must cover :attr:`fault_structures`; ``weights`` carries the
+        analysis layer's per-entry bit constants (``scheduler_entry``,
+        ``beu_fifo_entry``, ``value_width``) so the first-order hardware
+        model stays in :mod:`repro.analysis.complexity` while the formula
+        — which structures exist and how they scale — stays with the
+        paradigm.  The default models one scheduler entry per window slot.
+        """
+        return {
+            "scheduler": (
+                config.clusters * config.cluster_entries
+                * weights["scheduler_entry"]
+            ),
+        }
+
+    @classmethod
+    def scheduler_comparators(cls, config: MachineConfig) -> int:
+        """Wakeup CAM comparators of the issue structure (complexity model).
+
+        The default is full broadcast: every window entry compares both
+        source tags against every result bus, every cycle.  FIFO-window
+        paradigms override to 0 (readiness is checked only at heads);
+        limited-wakeup paradigms scale by their examined-entry count.
+        """
+        return (
+            config.clusters * config.cluster_entries * 2 * config.issue_width
+        )
+
+    @classmethod
+    def wakeup_energy_entries(cls, config: MachineConfig) -> int:
+        """Window entries one completing instruction's tag can touch
+        (per-event wakeup energy model).  Broadcast reaches every entry;
+        head-scanning paradigms override with their examined-entry count.
+        """
+        return config.clusters * config.cluster_entries
 
     #: Event-driven kernel switch.  True (the default) lets ``_run_until``
     #: jump from the current cycle straight to the next cycle at which any
@@ -659,10 +746,149 @@ class TimingCore:
         """
         return cycle
 
-    def issue_idle(self, cycle: int) -> bool:
-        """True when issue provably cannot act *this* cycle (derived from
-        :meth:`issue_horizon`; kept as the readable boolean form)."""
-        return self.issue_horizon(cycle) != cycle
+    # ------------------------------------------------ shared issue mechanics
+    #
+    # The FIFO-window paradigms (in-order queue, dependence-steering FIFOs,
+    # braid BEU windows, block-granular windows) share three mechanics:
+    # head-scan horizon certification, strict in-order head issue with
+    # break-on-block, and bounded skip-ahead issue with continue-on-block.
+    # They live here so the wake/park bookkeeping (``issue_wake`` bounds,
+    # ``PARKED``, ``_note_issue_block``) has exactly one implementation
+    # and a new paradigm composes them instead of re-deriving the contract.
+
+    def head_issue_horizon(self, cycle: int, candidates) -> Optional[int]:
+        """:meth:`issue_horizon` body for a head-scanning paradigm.
+
+        ``candidates`` iterates exactly the entries the paradigm's
+        ``issue_stage`` would examine this cycle (FIFO heads, or the first
+        *k* window entries).  A pending or parked candidate wakes via a
+        completion-side event and contributes nothing; a candidate whose
+        certified ``issue_wake`` bound has arrived means the stage may act
+        *now*; otherwise the earliest future bound is the horizon.
+        """
+        wake = None
+        for winst in candidates:
+            if winst.pending:
+                continue
+            bound = winst.issue_wake
+            if bound <= cycle:
+                return cycle
+            if bound < PARKED and (wake is None or bound < wake):
+                wake = bound
+        return wake
+
+    def issue_in_order(
+        self,
+        fifo,
+        cycle: int,
+        fu_pool: FunctionalUnitPool,
+        max_issues: int,
+        internal_reads=None,
+        internal_writes=None,
+        on_issue: Optional[Callable[[WInst], None]] = None,
+    ) -> int:
+        """Issue from ``fifo``'s head strictly in order; stop at the first
+        block.  Returns the number issued.
+
+        ``pending > 0`` means an operand producer has not completed, so
+        ``try_issue`` would fail its dependence walk; a certified
+        ``issue_wake`` bound likewise proves the call would fail until
+        that cycle — both skip the call without touching any counter.  A
+        live ``try_issue`` failure records its wake bound via
+        :meth:`_note_issue_block` and ends the scan (younger entries may
+        not pass an older blocked head).  ``on_issue`` runs per issued
+        instruction for paradigm-side bookkeeping (busy bits, BEU tallies).
+        """
+        issued = 0
+        try_issue = self.try_issue
+        while issued < max_issues and fifo:
+            winst = fifo[0]
+            if winst.pending or winst.issue_wake > cycle:
+                break
+            if not try_issue(
+                winst, cycle, fu_pool,
+                internal_reads=internal_reads,
+                internal_writes=internal_writes,
+            ):
+                self._note_issue_block(winst, cycle)
+                break
+            fifo.popleft()
+            if on_issue is not None:
+                on_issue(winst)
+            issued += 1
+        return issued
+
+    def issue_skipahead(
+        self,
+        fifo,
+        cycle: int,
+        depth: int,
+        fu_pool: FunctionalUnitPool,
+        internal_reads=None,
+        internal_writes=None,
+        max_issues: Optional[int] = None,
+        on_issue: Optional[Callable[[WInst], None]] = None,
+    ) -> int:
+        """Issue out of order from the first ``depth`` entries of ``fifo``;
+        a blocked entry is skipped, not a barrier.  Returns the number
+        issued.
+
+        The window is snapshotted first so removals during the scan do
+        not shift younger entries into examined positions (the hardware
+        examines one fixed window per cycle).  ``max_issues`` bounds the
+        total for paradigms sharing a global issue budget across windows.
+        """
+        issued = 0
+        window = [fifo[i] for i in range(depth)]
+        try_issue = self.try_issue
+        for winst in window:
+            if winst.pending or winst.issue_wake > cycle:
+                continue
+            if not try_issue(
+                winst, cycle, fu_pool,
+                internal_reads=internal_reads,
+                internal_writes=internal_writes,
+            ):
+                self._note_issue_block(winst, cycle)
+                continue
+            fifo.remove(winst)
+            if on_issue is not None:
+                on_issue(winst)
+            issued += 1
+            if max_issues is not None and issued >= max_issues:
+                break
+        return issued
+
+    def fifo_invariants(self, label: str, fifo, capacity: int,
+                        cluster: Optional[int] = None):
+        """Shared per-FIFO invariant checks (for :meth:`core_invariants`):
+        capacity bound, no issued-but-still-queued entries, cluster-tag
+        agreement, and dispatch-order monotonicity.  Yields messages.
+        """
+        if len(fifo) > capacity:
+            yield f"{label} holds {len(fifo)}, capacity {capacity}"
+        previous = -1
+        for winst in fifo:
+            if winst.issue_cycle is not None:
+                yield f"issued instruction seq={winst.seq} still in {label}"
+            if cluster is not None and winst.cluster != cluster:
+                yield (
+                    f"seq={winst.seq} tagged cluster {winst.cluster} "
+                    f"but found in {label}"
+                )
+            if winst.seq <= previous:
+                yield f"{label} out of dispatch order at seq={winst.seq}"
+            previous = winst.seq
+
+    def occupancy_sum_invariant(self, label: str, total: int):
+        """Shared cross-structure invariant: the paradigm's queued-entry
+        sum must equal the dispatched-but-unissued in-flight count."""
+        unissued = len(self.unissued_in_flight())
+        if total != unissued:
+            yield (
+                f"{label} occupancy sum {total} != {unissued} "
+                f"dispatched-but-unissued instructions"
+            )
 
     def _note_issue_block(self, winst: WInst, cycle: int) -> None:
         """Record a failed issue attempt's wake bound on the instruction.
@@ -761,8 +987,16 @@ class TimingCore:
         return wake
 
     def _skip_idle(self, cycle: int) -> int:
-        """Precondition check plus :meth:`_next_event` (kept for callers
-        outside the inlined fast-loop test)."""
+        """The one certified-idleness entry point: precondition check plus
+        :meth:`_next_event`.
+
+        Returns ``cycle`` itself when any stage might act now (pending
+        writebacks, or an issue horizon answering "now"); otherwise the
+        certified next-event cycle.  ``_run_until`` inlines this test in
+        its fast loop; every other caller (resume seams, tests, tools
+        probing idleness) goes through here rather than re-deriving the
+        horizon contract.
+        """
         if self._pending_writeback:
             return cycle
         horizon = None

@@ -5,8 +5,11 @@ algorithm with a design complexity that is comparable to braids".  Dispatch
 steers each instruction into one of N in-order FIFOs using the classic
 heuristic: follow your producer if it is at the tail of a FIFO, start an
 empty FIFO otherwise, stall if neither applies.  Only FIFO heads are
-examined for issue, so scheduling complexity is linear in the number of
-FIFOs rather than in the window size.
+examined for issue — the shared kernel helpers
+(:meth:`~repro.sim.core.TimingCore.issue_in_order` per FIFO head,
+:meth:`~repro.sim.core.TimingCore.head_issue_horizon` over the heads) —
+so scheduling complexity is linear in the number of FIFOs rather than in
+the window size.
 """
 
 from __future__ import annotations
@@ -15,13 +18,36 @@ from collections import deque
 from typing import List, Optional
 
 from ..uarch.funit import FunctionalUnitPool
-from .config import MachineConfig
-from .core import PARKED, TimingCore, WInst
+from .config import CoreKind, MachineConfig, depsteer_config
+from .core import TimingCore, WInst
+from .registry import CoreDescriptor, register_core
 from .workload import PreparedWorkload
+
+
+def _inject_fifo(core: "DependenceSteeringCore", rng) -> Optional[str]:
+    """Flip one occupied steering FIFO's head pointer (a rotation)."""
+    occupied = [fifo for fifo in core._fifos if fifo]
+    if not occupied:
+        return None
+    fifo = occupied[rng.randrange(len(occupied))]
+    direction = rng.choice((-1, 1))
+    fifo.rotate(direction)
+    return f"steering FIFO pointer bit flip (rotated {direction:+d})"
 
 
 class DependenceSteeringCore(TimingCore):
     """Out-of-order performance from in-order FIFOs plus dependence steering."""
+
+    fault_structures = ("scheduler",)
+    fault_injectors = {"scheduler": _inject_fifo}
+
+    @classmethod
+    def scheduler_comparators(cls, config: MachineConfig) -> int:
+        return 0  # only FIFO heads are examined; no wakeup CAM
+
+    @classmethod
+    def wakeup_energy_entries(cls, config: MachineConfig) -> int:
+        return config.clusters  # one head check per FIFO per completing tag
 
     def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
         super().__init__(workload, config)
@@ -75,65 +101,37 @@ class DependenceSteeringCore(TimingCore):
         capacity = self.config.cluster_entries
         total = 0
         for index, fifo in enumerate(self._fifos):
-            if len(fifo) > capacity:
-                yield f"FIFO {index} holds {len(fifo)}, capacity {capacity}"
             total += len(fifo)
-            previous = -1
-            for winst in fifo:
-                if winst.issue_cycle is not None:
-                    yield f"issued instruction seq={winst.seq} still in FIFO {index}"
-                if winst.cluster != index:
-                    yield (
-                        f"seq={winst.seq} steered to FIFO {winst.cluster} "
-                        f"but found in FIFO {index}"
-                    )
-                if winst.seq <= previous:
-                    yield f"FIFO {index} out of dispatch order at seq={winst.seq}"
-                previous = winst.seq
-        unissued = len(self.unissued_in_flight())
-        if total != unissued:
-            yield (
-                f"FIFO occupancy sum {total} != {unissued} "
-                f"dispatched-but-unissued instructions"
+            yield from self.fifo_invariants(
+                f"FIFO {index}", fifo, capacity, cluster=index
             )
+        yield from self.occupancy_sum_invariant("FIFO", total)
 
     # ------------------------------------------------------------------ issue
     def issue_horizon(self, cycle):
-        # Only FIFO heads are examined.  A head that is pending (producer
-        # outstanding) or parked on a store wakes via a completion-side
-        # event; a head with a certified issue_wake bound contributes that
-        # bound; a head free of both may act now.
-        wake = None
-        for fifo in self._fifos:
-            if fifo:
-                head = fifo[0]
-                if head.pending:
-                    continue
-                bound = head.issue_wake
-                if bound <= cycle:
-                    return cycle
-                if bound < PARKED and (wake is None or bound < wake):
-                    wake = bound
-        return wake
+        # Only FIFO heads are examined.
+        return self.head_issue_horizon(
+            cycle, (fifo[0] for fifo in self._fifos if fifo)
+        )
 
     def issue_stage(self, cycle: int) -> None:
+        # Each FIFO's head is examined once per cycle; a blocked head does
+        # not stop the scan across FIFOs (only within its own chain).
         budget = self.config.issue_width
-        try_issue = self.try_issue
         fus = self.fus
+        issue_in_order = self.issue_in_order
         for fifo in self._fifos:
             if budget == 0:
                 break
             if not fifo:
                 continue
-            winst = fifo[0]
-            # pending: a producer is outstanding, the dependence walk would
-            # fail.  issue_wake: a previous attempt certified the earliest
-            # cycle its failed check could pass; retrying before then would
-            # fail identically without touching any exported counter.
-            if winst.pending or winst.issue_wake > cycle:
-                continue
-            if try_issue(winst, cycle, fus):
-                fifo.popleft()
-                budget -= 1
-            else:
-                self._note_issue_block(winst, cycle)
+            budget -= issue_in_order(fifo, cycle, fus, 1)
+
+
+register_core(CoreDescriptor(
+    kind=CoreKind.DEP_STEER,
+    key="depsteer",
+    core_class=DependenceSteeringCore,
+    config_factory=depsteer_config,
+    description="dependence-steering FIFOs (Palacharla et al. style)",
+))

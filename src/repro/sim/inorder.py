@@ -3,21 +3,51 @@
 One issue queue; instructions issue strictly in program order, up to the
 issue width per cycle, stalling at the first instruction whose operands or
 resources are not ready.  The front end, memory system, and retirement are
-identical to the conventional machine.
+identical to the conventional machine.  The issue mechanics are the shared
+kernel helpers (:meth:`~repro.sim.core.TimingCore.issue_in_order` /
+:meth:`~repro.sim.core.TimingCore.head_issue_horizon`) applied to a single
+FIFO.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Optional
 
 from ..uarch.funit import FunctionalUnitPool
-from .config import MachineConfig
-from .core import PARKED, TimingCore, WInst
+from .config import CoreKind, MachineConfig, inorder_config
+from .core import TimingCore, WInst
+from .registry import CoreDescriptor, register_core
 from .workload import PreparedWorkload
+
+
+def _inject_queue(core: "InOrderCore", rng) -> Optional[str]:
+    """Flip the issue queue's head pointer (modeled as a rotation)."""
+    queue = core._queue
+    if len(queue) < 1:
+        return None
+    direction = rng.choice((-1, 1))
+    queue.rotate(direction)
+    return f"issue-queue pointer bit flip (rotated {direction:+d})"
 
 
 class InOrderCore(TimingCore):
     """Strictly in-order issue at the configured width."""
+
+    fault_structures = ("scheduler",)
+    fault_injectors = {"scheduler": _inject_queue}
+    #: no rename stage: architectural registers are read/written in place
+    renames_registers = False
+    #: recovery needs only the architectural map — no speculative values
+    checkpoints_value_entries = False
+
+    @classmethod
+    def scheduler_comparators(cls, config: MachineConfig) -> int:
+        return 0  # only the queue head is examined; no wakeup CAM
+
+    @classmethod
+    def wakeup_energy_entries(cls, config: MachineConfig) -> int:
+        return config.clusters  # one head check per completing tag
 
     def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
         super().__init__(workload, config)
@@ -39,47 +69,28 @@ class InOrderCore(TimingCore):
         return len(self._queue)
 
     def core_invariants(self, cycle: int):
-        if len(self._queue) > self.config.window_capacity:
-            yield (
-                f"issue queue holds {len(self._queue)} instructions, "
-                f"capacity {self.config.window_capacity}"
-            )
-        previous = -1
-        for winst in self._queue:
-            if winst.issue_cycle is not None:
-                yield f"issued instruction seq={winst.seq} still queued"
-            if winst.seq <= previous:
-                yield f"issue queue out of program order at seq={winst.seq}"
-            previous = winst.seq
+        yield from self.fifo_invariants(
+            "issue queue", self._queue, self.config.window_capacity
+        )
+        yield from self.occupancy_sum_invariant(
+            "issue queue", len(self._queue)
+        )
 
     def issue_horizon(self, cycle):
-        # Only the queue head can issue; while its producers are pending
-        # (or it is parked on a store) the issue stage cannot act until a
-        # completion-side event, and a certified issue_wake bound defers
-        # it to a known cycle.
+        # Only the queue head is examined for issue.
         queue = self._queue
-        if not queue:
-            return None
-        head = queue[0]
-        if head.pending:
-            return None
-        bound = head.issue_wake
-        if bound <= cycle:
-            return cycle
-        return None if bound >= PARKED else bound
+        return self.head_issue_horizon(cycle, (queue[0],) if queue else ())
 
     def issue_stage(self, cycle: int) -> None:
-        budget = self.config.issue_width
-        queue = self._queue
-        while budget > 0 and queue:
-            winst = queue[0]
-            # pending > 0 means an operand producer has not completed, so
-            # try_issue would fail its dependence walk; issue_wake defers
-            # a head whose earliest-possible-success cycle is certified.
-            if winst.pending or winst.issue_wake > cycle:
-                break
-            if not self.try_issue(winst, cycle, self.fus):
-                self._note_issue_block(winst, cycle)
-                break
-            queue.popleft()
-            budget -= 1
+        self.issue_in_order(
+            self._queue, cycle, self.fus, self.config.issue_width
+        )
+
+
+register_core(CoreDescriptor(
+    kind=CoreKind.IN_ORDER,
+    key="inorder",
+    core_class=InOrderCore,
+    config_factory=inorder_config,
+    description="strictly in-order issue (lower-bound paradigm)",
+))

@@ -89,10 +89,12 @@ class IntervalConfig:
             )
         if self.seed < 0:
             raise ValueError(f"interval seed must be >= 0, got {self.seed}")
-        if self.error_bound_pct <= 0:
+        # isfinite, not just > 0: inf passes a positivity test and nan
+        # fails *every* comparison, so ``nan <= 0`` would wave it through
+        if not math.isfinite(self.error_bound_pct) or self.error_bound_pct <= 0:
             raise ValueError(
-                f"interval error bound must be positive, "
-                f"got {self.error_bound_pct}"
+                f"interval error bound must be a positive finite "
+                f"percentage, got {self.error_bound_pct}"
             )
 
     def cache_token(self) -> Tuple:
@@ -132,6 +134,11 @@ class IntervalConfig:
                 raise ValueError(
                     f"bad interval spec {text!r}: unknown key {key!r} "
                     f"(expected windows/window/warmup/seed/bound)"
+                )
+            if key in values:
+                raise ValueError(
+                    f"bad interval spec {text!r}: duplicate key {key!r} "
+                    f"(the second value would silently win)"
                 )
             raw = raw.strip()
             try:

@@ -22,13 +22,42 @@ import heapq
 from typing import List, Optional, Tuple
 
 from ..uarch.funit import FunctionalUnitPool
-from .config import MachineConfig
-from .core import PARKED, TimingCore, WInst
+from .config import CoreKind, MachineConfig, ooo_config
+from .core import PARKED, TimingCore, WInst, flip_bit
+from .registry import CoreDescriptor, register_core
 from .workload import PreparedWorkload
+
+
+def _inject_scheduler(core: "OutOfOrderCore", rng) -> Optional[str]:
+    """Flip one bit of the distributed schedulers' bookkeeping state:
+    a select-priority tag in the ready heap, or an occupancy counter."""
+    load = core._scheduler_load
+    mode = rng.choice(("occupancy", "priority"))
+    if mode == "priority":
+        pool = core._ready
+        if pool:
+            index = rng.randrange(len(pool))
+            seq, winst = pool[index]
+            bit = rng.randrange(8)
+            pool[index] = (flip_bit(seq, bit), winst)
+            heapq.heapify(pool)
+            return (
+                f"scheduler select-priority bit {bit} on seq {winst.seq}"
+            )
+        # fall through to the always-live occupancy counters
+    index = rng.randrange(len(load))
+    bit = rng.randrange(max(1, core.config.cluster_entries.bit_length()))
+    load[index] = flip_bit(load[index], bit)
+    return f"scheduler {index} occupancy bit {bit} -> {load[index]}"
 
 
 class OutOfOrderCore(TimingCore):
     """The paper's baseline aggressive out-of-order machine."""
+
+    fault_structures = ("scheduler",)
+    fault_injectors = {"scheduler": _inject_scheduler}
+    # Broadcast wakeup, full rename, value-covering checkpoints: the
+    # TimingCore complexity/energy defaults describe exactly this machine.
 
     def __init__(self, workload: PreparedWorkload, config: MachineConfig) -> None:
         super().__init__(workload, config)
@@ -166,3 +195,12 @@ class OutOfOrderCore(TimingCore):
                     failed.append(item)
         for item in failed:
             heapq.heappush(ready, item)
+
+
+register_core(CoreDescriptor(
+    kind=CoreKind.OUT_OF_ORDER,
+    key="ooo",
+    core_class=OutOfOrderCore,
+    config_factory=ooo_config,
+    description="aggressive conventional out-of-order (paper baseline)",
+))

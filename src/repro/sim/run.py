@@ -3,30 +3,20 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Type
+from typing import Optional
 
-from .braidcore import BraidCore
-from .config import CoreKind, MachineConfig
+from .config import MachineConfig
 from .core import TimingCore
-from .depsteer import DependenceSteeringCore
-from .inorder import InOrderCore
-from .ooo import OutOfOrderCore
+from .registry import descriptor_for
 from .results import SimResult
 from .workload import PreparedWorkload
-
-_CORE_CLASSES: Dict[CoreKind, Type[TimingCore]] = {
-    CoreKind.OUT_OF_ORDER: OutOfOrderCore,
-    CoreKind.IN_ORDER: InOrderCore,
-    CoreKind.DEP_STEER: DependenceSteeringCore,
-    CoreKind.BRAID: BraidCore,
-}
 
 _ENV_VALIDATE = "REPRO_VALIDATE"
 
 
 def build_core(workload: PreparedWorkload, config: MachineConfig) -> TimingCore:
-    """Instantiate the timing core matching ``config.kind``."""
-    return _CORE_CLASSES[config.kind](workload, config)
+    """Instantiate the timing core registered for ``config.kind``."""
+    return descriptor_for(config.kind).core_class(workload, config)
 
 
 def _env_validation():

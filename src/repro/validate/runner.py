@@ -14,28 +14,28 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..sim.config import (
-    MachineConfig,
-    braid_config,
-    depsteer_config,
-    inorder_config,
-    ooo_config,
-)
+from ..sim.config import MachineConfig
+from ..sim.registry import core_registry
 from ..sim.run import build_core
 from ..sim.sampling import SamplingConfig, simulate_sampled
 from .fuzzing import FuzzReport, fuzz_translator
 from .invariants import InvariantChecker, InvariantViolation
 from .lockstep import DivergenceError, LockstepChecker
 
-#: core key -> (config factory, runs on the braided program)
-CORE_FACTORIES = {
-    "ooo": (ooo_config, False),
-    "inorder": (inorder_config, False),
-    "depsteer": (depsteer_config, False),
-    "braid": (braid_config, True),
-}
 
-DEFAULT_CORES: Tuple[str, ...] = ("ooo", "inorder", "depsteer", "braid")
+def _core_factories():
+    """core key -> (config factory, runs on the braided program), derived
+    from the core registry so every registered paradigm is validatable."""
+    return {
+        key: (descriptor.config_factory, descriptor.braided)
+        for key, descriptor in core_registry().items()
+    }
+
+
+#: core key -> (config factory, runs on the braided program)
+CORE_FACTORIES = _core_factories()
+
+DEFAULT_CORES: Tuple[str, ...] = tuple(CORE_FACTORIES)
 
 
 @dataclass

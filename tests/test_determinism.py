@@ -2,7 +2,8 @@
 
 The parallel sweep engine and the persistent artifact cache are pure
 plumbing — they must never change a single cycle or stall counter.  These
-tests pin that down for all four timing-core kinds over the quick suite:
+tests pin that down for every registered timing-core kind over the quick
+suite:
 
 * ``run_many`` with a worker pool reproduces the serial results exactly;
 * workloads rehydrated from the disk cache simulate identically to freshly
@@ -18,20 +19,14 @@ import pytest
 from repro.harness.artifacts import ArtifactCache
 from repro.harness.context import ExperimentContext
 from repro.harness.sweep import SweepPoint
-from repro.sim.config import (
-    braid_config,
-    depsteer_config,
-    inorder_config,
-    ooo_config,
-)
+from repro.sim.registry import core_registry
 
 QUICK = ("gcc", "mcf", "swim", "equake")
 
+# every registered paradigm — a new core inherits these guards for free
 CORES = {
-    "ooo": (ooo_config(8), False),
-    "inorder": (inorder_config(8), False),
-    "depsteer": (depsteer_config(8), False),
-    "braid": (braid_config(8), True),
+    key: (descriptor.config_factory(8), descriptor.braided)
+    for key, descriptor in core_registry().items()
 }
 
 

@@ -24,6 +24,7 @@ from repro.faults import (
     INJECTORS,
     InjectionResult,
     InjectorError,
+    injectors_for,
     plan_tasks,
     run_campaign,
     run_injection,
@@ -38,6 +39,7 @@ from repro.sim.config import (
     inorder_config,
     ooo_config,
 )
+from repro.sim.registry import core_registry
 from repro.sim.core import SimulationHang
 from repro.sim.run import build_core
 
@@ -106,12 +108,13 @@ class TestInjectorRegistry:
             conventional = structures_for(factory().kind)
             assert "scheduler" in conventional
             assert "beu_fifo" not in conventional
-        assert set(braid) <= set(INJECTORS)
+        # every braid structure resolves to an injector: commons from the
+        # shared table, paradigm-specific ones from the class declaration
+        assert set(braid) <= set(injectors_for(braid_config().kind))
 
     def test_storage_bits_cover_every_injectable_structure(self):
-        for factory in (ooo_config, inorder_config, depsteer_config,
-                        braid_config):
-            config = factory()
+        for descriptor in core_registry().values():
+            config = descriptor.config_factory()
             bits = storage_bits(config)
             for structure in structures_for(config.kind):
                 assert bits.get(structure, 0) > 0, (config.name, structure)

@@ -75,7 +75,8 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "VALIDATION PASSED" in out
-        assert "8/8 lockstep runs clean" in out
+        # 2 benchmarks x 5 registered cores
+        assert "10/10 lockstep runs clean" in out
         assert "translator fuzzing: PASS" in out
 
     def test_validate_core_selection(self, capsys):

@@ -1,0 +1,350 @@
+"""Kernel-contract conformance: every registered paradigm, one suite.
+
+The composable pipeline kernel (``TimingCore`` + the core registry)
+promises that a new paradigm is one component file plus one
+``register_core`` call — validation, fault injection, observability, and
+both timing kernels apply with zero per-layer edits.  This suite *is*
+that promise, executable: every test parametrizes over
+:func:`repro.sim.registry.core_registry`, so a core that registers is
+automatically held to
+
+* ticked-vs-event kernel bit-identity (plain and observer-attached),
+* resumable drain / fast-forward / re-run window equivalence,
+* the lockstep architectural oracle (exact and sampled),
+* a smoke fault injection on every structure it declares, classified
+  into the four-way outcome taxonomy,
+* the analysis-side declarations (storage bits, comparator and wakeup
+  formulas) agreeing with its declared fault structures,
+
+plus the loud-failure contracts of the registry and the injector table,
+and the ``IntervalConfig`` spec round-trip edge cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.analysis.complexity import STATE_BIT_WEIGHTS, storage_bits
+from repro.faults import (
+    FaultOutcome,
+    FaultSession,
+    InjectorError,
+    injectors_for,
+    run_injection,
+    structures_for,
+)
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.context import ExperimentContext
+from repro.obs.observer import Observer
+from repro.sim.config import CoreKind
+from repro.sim.core import TimingCore
+from repro.sim.interval import IntervalConfig
+from repro.sim.registry import (
+    CoreDescriptor,
+    CoreRegistryError,
+    core_registry,
+    descriptor_for,
+    descriptor_for_key,
+    register_core,
+)
+from repro.sim.run import build_core, simulate
+from repro.sim.sampling import SamplingConfig
+from repro.validate.runner import run_validation
+
+REGISTRY = core_registry()
+CORE_KEYS = list(REGISTRY)
+
+MAX_CYCLES = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        benchmarks=("gcc",),
+        max_instructions=8_000,
+        jobs=1,
+        cache=ArtifactCache(enabled=False),
+    )
+
+
+def _workload(ctx, descriptor):
+    return ctx.workload("gcc", braided=descriptor.braided)
+
+
+def fingerprint(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.issued,
+        dataclasses.asdict(result.stalls),
+        sorted(result.extra.items()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry contract
+# ---------------------------------------------------------------------------
+class TestRegistryContract:
+    def test_all_builtin_paradigms_registered(self):
+        assert CORE_KEYS == ["ooo", "inorder", "depsteer", "braid", "blockooo"]
+        assert {d.kind for d in REGISTRY.values()} == set(CoreKind)
+
+    def test_descriptor_lookups_agree(self):
+        for key, descriptor in REGISTRY.items():
+            assert descriptor_for(descriptor.kind) is descriptor
+            assert descriptor_for_key(key) is descriptor
+
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(CoreRegistryError, match="vliw"):
+            descriptor_for_key("vliw")
+
+    def test_duplicate_kind_rejected(self):
+        class Impostor(TimingCore):
+            pass
+
+        original = REGISTRY["ooo"]
+        with pytest.raises(CoreRegistryError, match="already registered"):
+            register_core(CoreDescriptor(
+                kind=original.kind,
+                key="ooo2",
+                core_class=Impostor,
+                config_factory=original.config_factory,
+            ))
+        # the failed registration must not have clobbered the real one
+        assert descriptor_for(original.kind) is original
+
+    def test_structure_without_injector_rejected(self, monkeypatch):
+        """The silent-AVF-zero guard: declaring a fault structure with no
+        matching injector must fail at registration, not classify
+        everything as masked at campaign time."""
+        import repro.sim.registry as registry_module
+
+        original = REGISTRY["ooo"]
+
+        class Unwired(TimingCore):
+            fault_structures = ("scheduler", "magic")
+            fault_injectors = dict(original.core_class.fault_injectors)
+
+        pruned = dict(registry_module._REGISTRY)
+        del pruned[original.kind]
+        monkeypatch.setattr(registry_module, "_REGISTRY", pruned)
+        with pytest.raises(CoreRegistryError, match="magic"):
+            register_core(CoreDescriptor(
+                kind=original.kind,
+                key="unwired",
+                core_class=Unwired,
+                config_factory=original.config_factory,
+            ))
+
+    def test_config_factory_matches_kind(self):
+        for key, descriptor in REGISTRY.items():
+            config = descriptor.config_factory(8)
+            assert config.kind is descriptor.kind, key
+
+
+# ---------------------------------------------------------------------------
+# analysis-side declarations
+# ---------------------------------------------------------------------------
+class TestDeclarations:
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_state_bits_cover_declared_structures(self, key):
+        descriptor = REGISTRY[key]
+        config = descriptor.config_factory(8)
+        paradigm_bits = descriptor.core_class.fault_state_bits(
+            config, STATE_BIT_WEIGHTS
+        )
+        assert set(paradigm_bits) == set(descriptor.core_class.fault_structures)
+        assert all(bits > 0 for bits in paradigm_bits.values())
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_complexity_formulas_are_sane(self, key):
+        descriptor = REGISTRY[key]
+        config = descriptor.config_factory(8)
+        assert descriptor.core_class.scheduler_comparators(config) >= 0
+        assert descriptor.core_class.wakeup_energy_entries(config) > 0
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_every_declared_structure_is_injectable_and_weighted(self, key):
+        descriptor = REGISTRY[key]
+        config = descriptor.config_factory(8)
+        injectors = injectors_for(config.kind)
+        bits = storage_bits(config)
+        for structure in structures_for(config.kind):
+            assert structure in injectors, (key, structure)
+            assert bits.get(structure, 0) > 0, (key, structure)
+
+
+# ---------------------------------------------------------------------------
+# kernel equivalence: the event kernel is a pure speed layer
+# ---------------------------------------------------------------------------
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_event_kernel_matches_ticked(self, key, ctx, monkeypatch):
+        descriptor = REGISTRY[key]
+        workload = _workload(ctx, descriptor)
+        config = descriptor.config_factory(8)
+        fast = fingerprint(build_core(workload, config).run())
+        with monkeypatch.context() as patched:
+            patched.setattr(TimingCore, "event_kernel", False)
+            slow = fingerprint(build_core(workload, config).run())
+        assert fast == slow, f"event kernel diverged on {key}"
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_hooked_twin_matches_plain(self, key, ctx):
+        """Attaching an observer must not change a single counter."""
+        descriptor = REGISTRY[key]
+        workload = _workload(ctx, descriptor)
+        config = descriptor.config_factory(8)
+        plain = fingerprint(build_core(workload, config).run())
+        core = build_core(workload, config)
+        observer = Observer(cpi=True, metrics=True)
+        observer.attach(core)
+        result = core.run()
+        observer.finalize(result)
+        assert fingerprint(result) == plain, f"observer perturbed {key}"
+        assert result.cpi_stack is not None
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_resume_windows_match_ticked(self, key, ctx, monkeypatch):
+        """Drain / fast-forward / re-run seams agree across kernels."""
+        descriptor = REGISTRY[key]
+        workload = _workload(ctx, descriptor)
+        config = descriptor.config_factory(8)
+        total = len(workload.trace)
+        mid = total // 2
+
+        def windowed_run():
+            core = build_core(workload, config)
+            core._fetch_limit = 200
+            cycle = core._run_until(200, 0, MAX_CYCLES)
+            cycle = core.drain_in_flight(cycle)
+            core.fast_forward(mid, cycle)
+            origin = core._retired_count - mid
+            core._fetch_limit = total
+            cycle = core._run_until(
+                origin + min(total, mid + 400), cycle, MAX_CYCLES
+            )
+            cycle = core.drain_in_flight(cycle)
+            return (
+                cycle,
+                core._retired_count - origin,
+                dataclasses.asdict(core.stalls),
+            )
+
+        fast = windowed_run()
+        with monkeypatch.context() as patched:
+            patched.setattr(TimingCore, "event_kernel", False)
+            slow = windowed_run()
+        assert fast == slow, f"windowed kernel diverged on {key}"
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_certified_idleness_entry_point(self, key, ctx):
+        """``_skip_idle`` on a drained core never skips past real work."""
+        descriptor = REGISTRY[key]
+        workload = _workload(ctx, descriptor)
+        core = build_core(workload, descriptor.config_factory(8))
+        result = core.run()
+        # fully drained: nothing in flight, so any horizon is certified
+        cycle = result.cycles + 1
+        assert core._skip_idle(cycle) >= cycle
+
+
+# ---------------------------------------------------------------------------
+# lockstep oracle and sampling
+# ---------------------------------------------------------------------------
+class TestOracleConformance:
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_lockstep_validation_passes(self, key, ctx):
+        report = run_validation(
+            ctx, ("gcc",), cores=(key,),
+            sampling=SamplingConfig(stride=4), fuzz_samples=0,
+        )
+        assert report.passed, report.render()
+        assert len(report.outcomes) == 2  # exact + sampled
+
+
+# ---------------------------------------------------------------------------
+# fault-injection conformance
+# ---------------------------------------------------------------------------
+class TestFaultConformance:
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_smoke_injection_every_declared_structure(self, key, ctx):
+        descriptor = REGISTRY[key]
+        workload = _workload(ctx, descriptor)
+        config = descriptor.config_factory(8)
+        baseline = simulate(workload, config).cycles
+        for structure in structures_for(config.kind):
+            result = run_injection(workload, config, structure, 7, baseline)
+            assert isinstance(result.outcome, FaultOutcome), (key, structure)
+
+    @pytest.mark.parametrize("key", CORE_KEYS)
+    def test_foreign_structure_rejected_at_attach(self, key, ctx):
+        descriptor = REGISTRY[key]
+        config = descriptor.config_factory(8)
+        own = set(structures_for(config.kind))
+        foreign = [
+            structure
+            for other in REGISTRY.values()
+            for structure in other.core_class.fault_structures
+            if structure not in own
+        ]
+        if not foreign:
+            pytest.skip(f"{key} declares every known structure")
+        workload = _workload(ctx, descriptor)
+        core = build_core(workload, config)
+        session = FaultSession(foreign[0], 0, random.Random(0))
+        with pytest.raises(InjectorError, match="does not exist"):
+            session.attach(core)
+
+
+# ---------------------------------------------------------------------------
+# IntervalConfig spec round-trip
+# ---------------------------------------------------------------------------
+class TestIntervalSpec:
+    def test_round_trip(self):
+        config = IntervalConfig(
+            windows=8, window=250, warmup=64, seed=3, error_bound_pct=12.5
+        )
+        assert IntervalConfig.parse(config.spec()) == config
+
+    def test_whitespace_tolerated(self):
+        config = IntervalConfig.parse("  windows = 4 ,  window = 100  ")
+        assert config.windows == 4 and config.window == 100
+
+    def test_unknown_key_names_the_key(self):
+        with pytest.raises(ValueError, match="unknown key 'stride'"):
+            IntervalConfig.parse("windows=4,stride=16")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate key 'windows'"):
+            IntervalConfig.parse("windows=4,windows=8")
+
+    @pytest.mark.parametrize("raw", ("inf", "nan", "1e400", "-1", "0"))
+    def test_non_finite_or_non_positive_bound_rejected(self, raw):
+        with pytest.raises(ValueError, match="error bound"):
+            IntervalConfig.parse(f"bound={raw}")
+
+    @pytest.mark.parametrize(
+        "spec, field",
+        (
+            ("windows=1", "windows"),
+            ("window=0", "window"),
+            ("warmup=-1", "warmup"),
+            ("seed=-2", "seed"),
+        ),
+    )
+    def test_out_of_range_values_name_the_field(self, spec, field):
+        with pytest.raises(ValueError, match=field):
+            IntervalConfig.parse(spec)
+
+    def test_non_numeric_value_names_the_field(self):
+        with pytest.raises(ValueError, match="windows"):
+            IntervalConfig.parse("windows=lots")
+
+    @pytest.mark.parametrize("text", ("", "default", "on", "1"))
+    def test_default_forms(self, text):
+        assert IntervalConfig.parse(text) == IntervalConfig()

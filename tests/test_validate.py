@@ -363,12 +363,12 @@ class TestRunner:
             ctx, ("gcc", "mcf"), sampling=SAMPLING, fuzz_samples=5
         )
         assert report.passed
-        # 2 benchmarks x 4 cores x (exact + sampled)
-        assert len(report.outcomes) == 16
+        # 2 benchmarks x 5 registered cores x (exact + sampled)
+        assert len(report.outcomes) == 20
         assert all(outcome.ok for outcome in report.outcomes)
         text = report.render()
         assert "VALIDATION PASSED" in text
-        assert "16/16 lockstep runs clean" in text
+        assert "20/20 lockstep runs clean" in text
 
     def test_invariant_sweep_counts_cycles(self, ctx):
         report = run_validation(
@@ -394,4 +394,6 @@ class TestRunner:
             run_validation(ctx, ("gcc",), cores=("ooo", "vliw"))
 
     def test_core_factories_cover_all_kinds(self):
-        assert set(CORE_FACTORIES) == {"ooo", "inorder", "depsteer", "braid"}
+        assert set(CORE_FACTORIES) == {
+            "ooo", "inorder", "depsteer", "braid", "blockooo"
+        }

@@ -237,7 +237,8 @@ class TestIssueHorizonPublishers:
         winst = make_winst(core)
         core._ready.append((winst.seq, winst))
         assert core.issue_horizon(50) == 50
-        assert not core.issue_idle(50)
+        # one certified-idleness entry point: _skip_idle must not skip
+        assert core._skip_idle(50) == 50
 
     def test_ooo_deferred_head_is_the_horizon(self, small_ctx):
         core = quiesce(build_core(small_ctx.workload("gcc"), ooo_config(8)))
