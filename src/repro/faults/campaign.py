@@ -24,9 +24,6 @@ bit-identical reports regardless of worker scheduling.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import random
 from dataclasses import dataclass, field
 from dataclasses import replace as config_replace
 from pathlib import Path
@@ -143,59 +140,40 @@ def _execute_task(task: InjectionTask) -> InjectionResult:
 class CampaignJournal:
     """Append-only JSONL journal; each record survives a parent SIGKILL.
 
-    Line 1 is a header carrying the campaign digest; resuming against a
-    journal written by a different grid is refused rather than silently
-    mixing incompatible records.  A torn final line (the crash caught a
-    write mid-record) is tolerated: that task simply reruns.
+    A thin layer over the shared
+    :class:`~repro.service.journal.JsonlJournal` durability idiom
+    (fsynced appends, digest-guarded header, torn-tail-tolerant load):
+    resuming against a journal written by a different grid is refused
+    rather than silently mixing incompatible records, and a torn final
+    line (the crash caught a write mid-record) just reruns that task.
     """
 
     def __init__(self, path: Path, digest: str, resume: bool) -> None:
+        from ..service.journal import JournalError, JsonlJournal
+
         self.path = Path(path)
         self.digest = digest
         self.completed: Dict[str, Dict] = {}
-        existing = self.path.exists() and self.path.stat().st_size > 0
-        if existing and resume:
-            self._load()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        mode = "a" if (existing and resume) else "w"
-        self._handle = open(self.path, mode, encoding="utf-8")
-        if mode == "w":
-            self._write_line(
-                {"kind": "faults-journal", "digest": digest,
-                 "version": CAMPAIGN_FORMAT_VERSION}
-            )
-
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-        if not lines:
-            return
         try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError:
-            raise CampaignError(
-                f"journal {self.path} has no readable header; "
-                f"delete it or drop --resume"
-            ) from None
-        if header.get("digest") != self.digest:
-            raise CampaignError(
-                f"journal {self.path} was written by a different campaign "
-                f"(digest {header.get('digest')!r} != {self.digest!r}); "
-                f"delete it or rerun with the original parameters"
+            self._journal = JsonlJournal(
+                self.path,
+                kind="faults-journal",
+                version=CAMPAIGN_FORMAT_VERSION,
+                digest=digest,
+                resume=resume,
             )
-        for line in lines[1:]:
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail from a mid-write crash: rerun it
+        except JournalError as error:
+            message = str(error)
+            if "digest" in message:
+                raise CampaignError(
+                    f"journal {self.path} was written by a different "
+                    f"campaign; {message}"
+                ) from None
+            raise CampaignError(message) from None
+        for record in self._journal.records:
             task_id = record.get("task")
             if task_id:
                 self.completed[task_id] = record
-
-    def _write_line(self, record: Dict) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
 
     def record(self, outcome: TaskOutcome) -> None:
         """Journal one settled task (the hardened runner's on_result)."""
@@ -211,10 +189,10 @@ class CampaignJournal:
             "error": outcome.error,
         }
         self.completed[outcome.task_id] = record
-        self._write_line(record)
+        self._journal.append(record)
 
     def close(self) -> None:
-        self._handle.close()
+        self._journal.close()
 
 
 # ------------------------------------------------------------------ report

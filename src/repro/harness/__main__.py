@@ -45,6 +45,15 @@ trace-event JSON (Perfetto / ``chrome://tracing``)::
     python -m repro.harness trace --bench mcf --core ooo --format chrome \
         --out mcf.trace.json
 
+``submit`` / ``serve`` / ``status`` drive the durable simulation service
+(:mod:`repro.service`): submissions are journaled crash-safe, identical
+requests dedup onto one run, and a supervisor schedules jobs onto the
+hardened worker fleet with quotas and full SIGKILL recovery::
+
+    python -m repro.harness submit simulate benchmark=gcc core=braid
+    python -m repro.harness serve --jobs 4 --drain-when-idle
+    python -m repro.harness status
+
 ``CS`` (an ordinary experiment id) prints CPI stall-attribution stacks;
 ``--format bars`` renders them as stacked bars.  ``--profile`` wraps the
 run (workers included) in cProfile and prints an aggregated top-N report.
@@ -291,7 +300,20 @@ def _run_trace(args, parser) -> int:
     return 0
 
 
+_SERVICE_COMMANDS = ("serve", "submit", "status")
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Service subcommands have their own argument grammar (subparsers,
+    # key=value params) — hand the whole line to the service CLI before
+    # the experiment parser can misread it.
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        from ..service.cli import main as service_main
+
+        return service_main(argv)
+
     from ..sim.registry import core_keys
 
     registered = ",".join(core_keys())

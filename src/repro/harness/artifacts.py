@@ -21,11 +21,17 @@ Layout and knobs:
 * every key embeds :data:`CACHE_FORMAT_VERSION` — bump it whenever the
   pickled artifact layout or the phase-one semantics change, and stale
   entries are simply never looked up again;
-* unreadable or truncated entries are deleted and recomputed, so a crashed
-  writer cannot poison later runs — each eviction logs a one-line warning
-  to stderr and is counted in ``stats()["corruptions"]``; writes go through
-  a temp file plus ``os.replace`` so concurrent workers only ever see
-  complete entries.
+* unreadable or truncated entries are *quarantined* (moved aside into
+  ``quarantine/`` for post-mortem, bounded to the newest few) and
+  recomputed, so a crashed writer cannot poison later runs — each logs a
+  one-line warning to stderr and is counted in ``stats()["corruptions"]``;
+  writes go through a temp file plus ``os.replace`` so concurrent workers
+  only ever see complete entries;
+* LRU eviction is safe under concurrent writers: before unlinking, each
+  candidate is re-checked against the scan — an entry republished or
+  touched since the scan is skipped, so eviction can race a writer
+  publishing the same slot without destroying the fresh entry
+  (``stats()["evictions"]`` counts what was actually removed).
 
 Besides phase-one artifacts the cache can hold finished timing results
 (``result_key``), used by the opt-in ``REPRO_RESULT_CACHE`` knob; result
@@ -59,6 +65,9 @@ _ENV_LIMIT = "REPRO_CACHE_LIMIT_MB"
 #: ``*.tmp`` files older than this are orphans from a killed writer; a
 #: younger one may belong to a concurrently-running worker, so leave it.
 _ORPHAN_TMP_AGE_SECONDS = 3600.0
+
+#: corrupt entries kept aside for post-mortem; older ones are dropped
+_QUARANTINE_KEEP = 32
 
 
 def default_cache_dir() -> Path:
@@ -105,6 +114,10 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.corruptions = 0
+        #: entries removed by the LRU bound (this process)
+        self.evictions = 0
+        #: corrupt entries moved into ``quarantine/`` (this process)
+        self.quarantined = 0
         #: stale ``*.tmp`` orphans removed when this cache was opened
         self.tmp_swept = 0
         if self.enabled:
@@ -161,20 +174,18 @@ class ArtifactCache:
             self.misses += 1
             return None
         except Exception as error:
-            # Truncated/incompatible pickle: evict so the slot heals itself —
-            # but never silently, so a recurring corruption (bad disk, two
-            # incompatible checkouts sharing one cache dir) stays visible.
+            # Truncated/incompatible pickle: quarantine so the slot heals
+            # itself — but never silently, so a recurring corruption (bad
+            # disk, two incompatible checkouts sharing one cache dir)
+            # stays visible *and* inspectable post-mortem.
             self.misses += 1
             self.corruptions += 1
             print(
-                f"[repro.harness] warning: evicting corrupt cache entry "
-                f"{path.name} ({type(error).__name__}: {error})",
+                f"[repro.harness] warning: quarantining corrupt cache "
+                f"entry {path.name} ({type(error).__name__}: {error})",
                 file=sys.stderr,
             )
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         try:
@@ -209,6 +220,36 @@ class ArtifactCache:
         except OSError:
             pass
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (atomic rename) instead of deleting.
+
+        The slot becomes a miss either way; keeping the bytes makes a
+        recurring corruption debuggable.  The quarantine directory is
+        bounded: only the newest :data:`_QUARANTINE_KEEP` stay.
+        """
+        quarantine = self.root / "quarantine"
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Fall back to plain eviction (e.g. quarantine on another fs).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            kept = sorted(
+                quarantine.glob("*.pkl"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+            for stale in kept[_QUARANTINE_KEEP:]:
+                stale.unlink()
+        except OSError:
+            pass
+
     # ------------------------------------------------------------- management
     def entries(self) -> List[Tuple[Path, int, float]]:
         """Every cache entry as ``(path, size_bytes, mtime)``."""
@@ -237,9 +278,20 @@ class ArtifactCache:
             "bytes": sum(size for _, size, _ in entries),
             "limit_bytes": self.limit_bytes,
             "corruptions": self.corruptions,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "tmp_swept": self.tmp_swept,
             "by_kind": by_kind,
         }
+
+    def publish_metrics(self, registry, prefix: str = "cache") -> None:
+        """Surface the cache counters through a ``MetricsRegistry``."""
+        registry.counter(f"{prefix}.hits", self.hits)
+        registry.counter(f"{prefix}.misses", self.misses)
+        registry.counter(f"{prefix}.corruptions", self.corruptions)
+        registry.counter(f"{prefix}.evictions", self.evictions)
+        registry.counter(f"{prefix}.quarantined", self.quarantined)
+        registry.counter(f"{prefix}.tmp_swept", self.tmp_swept)
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -265,15 +317,29 @@ class ArtifactCache:
         total = sum(size for _, size, _ in entries)
         evicted = 0
         # Oldest mtime first: reads touch entries, so this is LRU order.
-        for path, size, _ in sorted(entries, key=lambda item: item[2]):
+        for path, size, scanned_mtime in sorted(
+            entries, key=lambda item: item[2]
+        ):
             if total <= bound:
                 break
+            # Re-check against the scan before removing: a concurrent
+            # writer may have republished this slot (os.replace gives it
+            # a fresh mtime), or a reader may have touched it.  Either
+            # way it is no longer the cold entry the scan saw — skip it
+            # rather than destroy a fresh artifact.
+            try:
+                current = path.stat()
+            except OSError:
+                continue  # already gone: someone else evicted it
+            if current.st_mtime != scanned_mtime:
+                continue
             try:
                 path.unlink()
             except OSError:
                 continue
             total -= size
             evicted += 1
+            self.evictions += 1
         return evicted
 
     # ------------------------------------------------------------ key helpers

@@ -55,6 +55,7 @@ from typing import (
     Tuple,
 )
 
+from ..service.retry import PERMANENT, RetryPolicy
 from ..sim.results import SimResult
 from .sweep import SweepPoint
 
@@ -367,9 +368,12 @@ class TaskOutcome:
     ``status``:
 
     * ``"ok"`` — the worker function returned; ``result`` holds the value.
-    * ``"quarantined"`` — every attempt ended in an infrastructure failure
-      (worker death, wall-clock timeout, or an exception escaping the
-      worker function); ``error`` describes the last one.  Quarantine is
+    * ``"quarantined"`` — the task could not produce a result: either
+      every attempt ended in a retryable infrastructure failure (worker
+      death, wall-clock timeout, delivery failure), or one attempt
+      failed *permanently* (an ordinary exception escaping the worker
+      function — deterministic, so retrying is waste; ``permanent`` is
+      True).  ``error`` describes the last failure.  Quarantine is
       per-task: the campaign continues.
     """
 
@@ -379,6 +383,8 @@ class TaskOutcome:
     error: Optional[str] = None
     attempts: int = 0
     failures: List[str] = field(default_factory=list)
+    #: the final failure was classified permanent (task bug, not infra)
+    permanent: bool = False
 
     @property
     def ok(self) -> bool:
@@ -525,21 +531,26 @@ class _HardenedWorker:
 
 
 def _run_tasks_serial(
-    fn, tasks, max_attempts: int, on_result=None
+    fn, tasks, policy: RetryPolicy, on_result=None
 ) -> List[TaskOutcome]:
     """In-process fallback (jobs=1 / no fork): retries but no watchdog."""
     outcomes = []
     for task_id, payload in tasks:
         outcome = TaskOutcome(task_id=task_id, status="quarantined")
-        for attempt in range(1, max_attempts + 1):
+        for attempt in range(1, policy.max_attempts + 1):
             outcome.attempts = attempt
             try:
                 outcome.result = fn(payload)
-            except Exception as error:  # infrastructure failure: retry
-                outcome.failures.append(
-                    f"attempt {attempt}: {type(error).__name__}: {error}"
-                )
+            except Exception as error:
+                message = f"{type(error).__name__}: {error}"
+                outcome.failures.append(f"attempt {attempt}: {message}")
                 outcome.error = outcome.failures[-1]
+                if policy.classify_error(error) == PERMANENT:
+                    # Deterministic task error: retrying cannot help.
+                    outcome.permanent = True
+                    break
+                if attempt < policy.max_attempts:
+                    time.sleep(policy.delay(task_id, attempt))
             else:
                 outcome.status = "ok"
                 outcome.error = None
@@ -554,33 +565,57 @@ def run_tasks_hardened(
     fn: Callable[[Any], Any],
     tasks: Sequence[Tuple[str, Any]],
     jobs: int = 1,
-    timeout: float = 120.0,
+    timeout: Optional[float] = None,
     max_attempts: int = 3,
     backoff: float = 0.5,
     on_result: Optional[Callable[[TaskOutcome], None]] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[TaskOutcome]:
     """Run ``fn`` over ``tasks`` on workers that are allowed to die.
 
     ``tasks`` is a sequence of ``(task_id, payload)``; outcomes come back
-    in task order.  Guarantees the campaign runner needs:
+    in task order.  Guarantees the campaign runner and the service
+    supervisor need:
 
-    * **watchdog kill** — a task that exceeds ``timeout`` seconds of wall
+    * **watchdog kill** — a task that exceeds the policy deadline of wall
       clock gets its worker killed and respawned;
-    * **bounded retry with backoff** — infrastructure failures (worker
-      death, timeout, exception escaping ``fn``) are retried up to
-      ``max_attempts`` times, each retry delayed ``backoff * attempt``
-      seconds;
-    * **quarantine, not abort** — a task that exhausts its attempts is
-      marked ``"quarantined"`` and the remaining tasks keep running;
+    * **classified, bounded retry with backoff** — *retryable*
+      infrastructure failures (worker death, watchdog timeout, delivery
+      failure, OSError-family exceptions) are retried up to the policy's
+      attempt budget, each retry delayed by capped exponential backoff
+      with deterministic per-(task, attempt) jitter; *permanent* task
+      errors (any other exception escaping ``fn``) quarantine
+      immediately — they would fail identically every time;
+    * **quarantine, not abort** — a task that exhausts its attempts (or
+      fails permanently) is marked ``"quarantined"`` and the remaining
+      tasks keep running;
     * **incremental delivery** — ``on_result`` fires as each task settles
       (the campaign journal appends there), so a SIGKILL of the *parent*
       loses at most the in-flight tasks.
 
+    ``policy`` is the shared :class:`~repro.service.retry.RetryPolicy`;
+    the legacy ``timeout``/``max_attempts``/``backoff`` arguments build
+    one when it is omitted (``timeout`` defaults to 120 seconds).
+
     ``jobs=1`` (or a platform without the fork start method) runs tasks
-    serially in-process with the same retry/quarantine semantics but no
-    wall-clock watchdog — an in-simulator watchdog
+    serially in-process with the same classification/retry/quarantine
+    semantics but no wall-clock watchdog — an in-simulator watchdog
     (:class:`~repro.sim.core.SimulationHang`) still bounds hangs there.
     """
+    if policy is None:
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            backoff=backoff,
+            deadline=timeout if timeout is not None else 120.0,
+        )
+    elif timeout is not None:
+        policy = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            backoff=policy.backoff,
+            backoff_cap=policy.backoff_cap,
+            deadline=timeout,
+            seed=policy.seed,
+        )
     tasks = list(tasks)
     if not tasks:
         return []
@@ -594,7 +629,7 @@ def run_tasks_hardened(
             )
             jobs = 1
     if jobs <= 1:
-        return _run_tasks_serial(fn, tasks, max_attempts, on_result)
+        return _run_tasks_serial(fn, tasks, policy, on_result)
 
     jobs = min(jobs, len(tasks), os.cpu_count() or 1)
     jobs = max(jobs, 1)
@@ -613,11 +648,15 @@ def run_tasks_hardened(
         (0.0, index, 1) for index in range(len(tasks))
     ]
 
-    def settle(index: int, status: str, result=None, error=None) -> None:
+    def settle(
+        index: int, status: str, result=None, error=None,
+        permanent: bool = False,
+    ) -> None:
         outcome = partial[index]
         outcome.status = status
         outcome.result = result
         outcome.error = error
+        outcome.permanent = permanent
         outcomes[index] = outcome
         if on_result is not None:
             on_result(outcome)
@@ -625,10 +664,18 @@ def run_tasks_hardened(
     def fail_attempt(index: int, attempt: int, reason: str) -> None:
         outcome = partial[index]
         outcome.failures.append(f"attempt {attempt}: {reason}")
-        if attempt >= max_attempts:
+        task_id = tasks[index][0]
+        if policy.classify(reason) == PERMANENT:
+            # A deterministic task error reproduces on every retry;
+            # quarantine now instead of burning the attempt budget.
+            settle(
+                index, "quarantined", error=outcome.failures[-1],
+                permanent=True,
+            )
+        elif attempt >= policy.max_attempts:
             settle(index, "quarantined", error=outcome.failures[-1])
         else:
-            not_before = time.monotonic() + backoff * attempt
+            not_before = time.monotonic() + policy.delay(task_id, attempt)
             pending.append((not_before, index, attempt + 1))
 
     try:
@@ -650,7 +697,7 @@ def run_tasks_hardened(
                 partial[index].attempts = attempt
                 worker.task_queue.put((task_id, attempt, payload))
                 worker.assignment = (
-                    index, task_id, attempt, now + timeout
+                    index, task_id, attempt, now + policy.deadline
                 )
             # Drain delivered results (short sleep keeps deadlines
             # responsive when the inbox is empty).
@@ -687,7 +734,7 @@ def run_tasks_hardened(
                 reason = None
                 if now > deadline:
                     reason = (
-                        f"wall-clock timeout after {timeout:.1f}s "
+                        f"wall-clock timeout after {policy.deadline:.1f}s "
                         f"(worker killed)"
                     )
                 elif not worker.process.is_alive():
@@ -696,7 +743,7 @@ def run_tasks_hardened(
                 if reason is not None:
                     _note_once(
                         f"hardened task {task_id!r}: {reason}; "
-                        f"attempt {attempt}/{max_attempts}"
+                        f"attempt {attempt}/{policy.max_attempts}"
                     )
                     worker.kill()
                     workers[position] = _HardenedWorker(

@@ -1,0 +1,265 @@
+"""Service command line: ``serve``, ``submit``, ``status``.
+
+Routed from ``python -m repro.harness`` so operators keep one entry
+point::
+
+    python -m repro.harness submit simulate benchmark=gcc core=braid
+    python -m repro.harness submit sweep benchmarks=gcc,mcf --client ci
+    python -m repro.harness serve --jobs 4 --drain-when-idle
+    python -m repro.harness status
+    python -m repro.harness status --job j000001-1a2b3c4d
+
+``submit`` normalizes and validates params at the edge, then durably
+journals the request; an identical request coalesces onto the existing
+job and the CLI says so.  ``serve`` runs a supervisor against the store
+(SIGTERM drains gracefully; SIGKILL is recovered from the journal on the
+next start).  ``status`` opens the store read-only — safe to run while a
+supervisor is live.
+
+Param values on the ``submit`` line are parsed as JSON when they look
+like it (``runs=8``, ``scale=0.1``) and kept as strings otherwise
+(``benchmark=gcc``); comma-separated strings are the list syntax for
+``benchmarks=``/``cores=``/``structures=``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .jobstore import (
+    JobRequest,
+    JobStore,
+    QuotaExceeded,
+    ServiceError,
+    default_store_dir,
+    quota_from_env,
+)
+from .retry import RetryPolicy
+
+
+def _parse_params(pairs: List[str], parser) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            parser.error(
+                f"params must be key=value pairs, got {pair!r}"
+            )
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        if not key:
+            parser.error(f"params must be key=value pairs, got {pair!r}")
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[key] = value
+    return params
+
+
+def _store(args, readonly: bool = False) -> JobStore:
+    root = Path(args.store) if args.store else default_store_dir()
+    quota = args.quota if getattr(args, "quota", None) else quota_from_env()
+    return JobStore(root, quota=quota, readonly=readonly)
+
+
+def _cmd_submit(args, parser) -> int:
+    from .jobs import normalize_params
+
+    params = _parse_params(args.params, parser)
+    try:
+        params = normalize_params(args.kind, params)
+        store = _store(args)
+    except ServiceError as error:
+        parser.error(str(error))
+    try:
+        job_id, coalesced = store.submit(
+            JobRequest(kind=args.kind, params=params, client=args.client)
+        )
+    except QuotaExceeded as error:
+        print(f"rejected: {error}", file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        parser.error(str(error))
+    finally:
+        store.close()
+    verb = "coalesced onto" if coalesced else "queued as"
+    print(f"{verb} {job_id}")
+    return 0
+
+
+def _cmd_serve(args, parser) -> int:
+    from .supervisor import ServiceConfig, serve
+
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        backoff=args.backoff,
+        deadline=args.timeout,
+    )
+    config = ServiceConfig(
+        jobs=args.jobs,
+        batch=args.batch,
+        poll=args.poll,
+        drain_when_idle=args.drain_when_idle,
+        policy=policy,
+    )
+    try:
+        store = _store(args)
+    except ServiceError as error:
+        parser.error(str(error))
+    try:
+        summary = serve(store, config, handle_signals=True)
+    finally:
+        store.close()
+    counters = summary["counters"]
+    print(
+        f"served {summary['rounds']} round(s): "
+        f"{counters['completed']} done, {counters['failed']} failed, "
+        f"{counters['coalesced']} coalesced, {counters['active']} pending"
+    )
+    recovery = summary["recovery"]
+    if recovery["interrupted"] or recovery["lost_results"]:
+        print(
+            f"recovered {len(recovery['interrupted'])} interrupted job(s), "
+            f"healed {len(recovery['lost_results'])} lost result(s)"
+        )
+    return 0
+
+
+def _cmd_status(args, parser) -> int:
+    try:
+        store = _store(args, readonly=True)
+    except ServiceError as error:
+        parser.error(str(error))
+    try:
+        if args.job:
+            try:
+                job = store.job(args.job)
+            except ServiceError as error:
+                parser.error(str(error))
+            print(json.dumps(job.summary(), indent=1, sort_keys=True))
+            if job.status == "done":
+                result = store.result(args.job)
+                if result is None:
+                    print("result: unreadable (will heal on next serve)",
+                          file=sys.stderr)
+                else:
+                    print(json.dumps(result, indent=1, sort_keys=True))
+            return 0
+        counters = store.counters()
+        print(f"store: {store.root}")
+        for name in sorted(counters):
+            print(f"  {name:16s} {counters[name]}")
+        for job in sorted(store.jobs.values(), key=lambda j: j.seq):
+            line = (
+                f"  {job.job_id}  {job.status:8s} {job.kind:9s} "
+                f"client={job.client}"
+            )
+            if job.coalesced:
+                line += f" coalesced={job.coalesced}"
+            if job.error:
+                line += f"  [{job.error}]"
+            print(line)
+        return 0
+    finally:
+        store.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Durable simulation service: submit, serve, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p):
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="job-store directory (default: REPRO_SERVICE_DIR or "
+                 "~/.cache/repro/service)",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="durably enqueue one job (dedups identical requests)",
+    )
+    add_store(submit)
+    submit.add_argument(
+        "kind", choices=("simulate", "sweep", "faults"),
+        help="what to run",
+    )
+    submit.add_argument(
+        "params", nargs="*", metavar="KEY=VALUE",
+        help="job params, e.g. benchmark=gcc core=braid scale=0.2",
+    )
+    submit.add_argument(
+        "--client", default="default", metavar="NAME",
+        help="submitting client (quotas and fair-share are per client)",
+    )
+    submit.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="per-client active-job quota (overrides REPRO_SERVICE_QUOTA)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run a supervisor against the store",
+    )
+    add_store(serve)
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="hardened worker processes (default 1: serial in-process)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="jobs claimed per dispatch round (default 8)",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle poll interval while watching for submissions",
+    )
+    serve.add_argument(
+        "--drain-when-idle", action="store_true",
+        help="exit when the queue is empty instead of watching (batch mode)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-job wall-clock deadline before the watchdog kills the "
+             "worker (default 120)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per job before it is retired (default 3)",
+    )
+    serve.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base retry backoff, doubled per attempt with deterministic "
+             "jitter (default 0.5)",
+    )
+
+    status = sub.add_parser(
+        "status", help="inspect the store read-only (safe while serving)",
+    )
+    add_store(status)
+    status.add_argument(
+        "--job", default=None, metavar="ID",
+        help="show one job's record (and its result when done)",
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "submit": _cmd_submit,
+        "serve": _cmd_serve,
+        "status": _cmd_status,
+    }[args.command]
+    return handler(args, parser)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

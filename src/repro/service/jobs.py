@@ -1,0 +1,331 @@
+"""Job executors: how each job kind turns params into a JSON result.
+
+Three kinds, mirroring the harness's own entry points:
+
+* ``simulate`` — one benchmark on one registered core;
+* ``sweep`` — a benchmarks x cores grid of simulations;
+* ``faults`` — a small transient-fault campaign (serial inside the
+  worker; the *service* supplies the process-level hardening).
+
+Params are normalized and validated at submit time
+(:func:`normalize_params`), so the content-addressed request key treats
+``{"benchmark": "gcc"}`` and ``{"benchmark": "gcc", "scale": 0.2}`` as
+the same request, and a typo'd core name is rejected at the API edge
+instead of poisoning a worker.
+
+Result payloads contain only deterministic fields (no wall-clock, no
+host state): re-running a job after any crash reproduces the identical
+payload, which is the property the chaos harness pins bit-for-bit.
+
+Execution follows the campaign pattern: the supervisor prewarms
+phase-one artifacts into a module-global state before the hardened
+workers fork, so workers inherit warm caches copy-on-write; a worker
+that finds no state (or a different job mix) builds its own lazily from
+the persistent artifact cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .chaos import KILL_WORKER, chaos_point
+from .jobstore import JOB_KINDS, ServiceError
+
+#: service-job defaults: small enough that a mixed batch settles in
+#: seconds, large enough to exercise every pipeline structure
+DEFAULT_SCALE = 0.2
+DEFAULT_MAX_INSTRUCTIONS = 60_000
+DEFAULT_WIDTH = 8
+DEFAULT_FAULT_RUNS = 4
+
+
+def _core_table():
+    from ..validate.runner import CORE_FACTORIES
+
+    return CORE_FACTORIES
+
+
+def _known_benchmarks() -> Tuple[str, ...]:
+    from ..workloads.profiles import ALL_BENCHMARKS
+
+    return ALL_BENCHMARKS
+
+
+def _as_name_list(value: Any, field: str) -> List[str]:
+    if isinstance(value, str):
+        names = [part.strip() for part in value.split(",") if part.strip()]
+    elif isinstance(value, (list, tuple)):
+        names = [str(part).strip() for part in value if str(part).strip()]
+    else:
+        raise ServiceError(
+            f"{field} must be a name list (or comma-separated string), "
+            f"got {value!r}"
+        )
+    if not names:
+        raise ServiceError(f"{field} must name at least one entry")
+    return names
+
+
+def _check_benchmarks(names: List[str]) -> List[str]:
+    known = _known_benchmarks()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ServiceError(
+            f"unknown benchmark(s) {unknown}; choose from {sorted(known)}"
+        )
+    return names
+
+
+def _check_cores(names: List[str]) -> List[str]:
+    table = _core_table()
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        raise ServiceError(
+            f"unknown core(s) {unknown}; choose from {sorted(table)}"
+        )
+    return names
+
+
+def _number(params: Mapping, field: str, default, kind=float):
+    value = params.get(field, default)
+    try:
+        value = kind(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"{field} must be a {kind.__name__}, got {value!r}"
+        ) from None
+    if value <= 0:
+        raise ServiceError(f"{field} must be positive, got {value!r}")
+    return value
+
+
+def normalize_params(kind: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validated canonical params with defaults applied.
+
+    Normalizing *before* hashing is what makes dedup semantic: requests
+    that mean the same run coalesce even when one spells out a default
+    the other omitted.
+    """
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; choose from {', '.join(JOB_KINDS)}"
+        )
+    params = dict(params)
+    known = {
+        "simulate": {"benchmark", "core", "scale", "width",
+                     "max_instructions"},
+        "sweep": {"benchmarks", "cores", "scale", "width",
+                  "max_instructions"},
+        "faults": {"benchmarks", "cores", "structures", "runs", "seed",
+                   "scale"},
+    }[kind]
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ServiceError(
+            f"unknown {kind} param(s) {unknown}; known: {sorted(known)}"
+        )
+    out: Dict[str, Any] = {}
+    if kind == "simulate":
+        if "benchmark" not in params or "core" not in params:
+            raise ServiceError(
+                "simulate needs 'benchmark' and 'core' params"
+            )
+        out["benchmark"] = _check_benchmarks([str(params["benchmark"])])[0]
+        out["core"] = _check_cores([str(params["core"])])[0]
+        out["scale"] = _number(params, "scale", DEFAULT_SCALE)
+        out["width"] = _number(params, "width", DEFAULT_WIDTH, int)
+        out["max_instructions"] = _number(
+            params, "max_instructions", DEFAULT_MAX_INSTRUCTIONS, int
+        )
+    elif kind == "sweep":
+        if "benchmarks" not in params:
+            raise ServiceError("sweep needs a 'benchmarks' param")
+        out["benchmarks"] = _check_benchmarks(
+            _as_name_list(params["benchmarks"], "benchmarks")
+        )
+        cores = params.get("cores")
+        if cores is None:
+            out["cores"] = sorted(_core_table())
+        else:
+            out["cores"] = _check_cores(_as_name_list(cores, "cores"))
+        out["scale"] = _number(params, "scale", DEFAULT_SCALE)
+        out["width"] = _number(params, "width", DEFAULT_WIDTH, int)
+        out["max_instructions"] = _number(
+            params, "max_instructions", DEFAULT_MAX_INSTRUCTIONS, int
+        )
+    else:  # faults
+        if "benchmarks" not in params:
+            raise ServiceError("faults needs a 'benchmarks' param")
+        out["benchmarks"] = _check_benchmarks(
+            _as_name_list(params["benchmarks"], "benchmarks")
+        )
+        cores = params.get("cores", ["braid", "ooo"])
+        out["cores"] = _check_cores(_as_name_list(cores, "cores"))
+        structures = params.get("structures")
+        if structures is not None:
+            out["structures"] = _as_name_list(structures, "structures")
+        out["runs"] = _number(params, "runs", DEFAULT_FAULT_RUNS, int)
+        seed = params.get("seed", 0)
+        try:
+            out["seed"] = int(seed)
+        except (TypeError, ValueError):
+            raise ServiceError(f"seed must be an integer, got {seed!r}")
+        out["scale"] = _number(params, "scale", DEFAULT_SCALE)
+    return out
+
+
+# ----------------------------------------------------------------- execution
+#: per-process executor state: contexts keyed by (scale, max_instructions);
+#: forked hardened workers inherit the parent's warm copy
+_EXEC_STATE: Optional[Dict] = None
+
+
+def _context_for(scale: float, max_instructions: int):
+    """A warm ExperimentContext for one (scale, cap) pair, cached."""
+    global _EXEC_STATE
+    if _EXEC_STATE is None:
+        _EXEC_STATE = {"contexts": {}}
+    key = (scale, max_instructions)
+    context = _EXEC_STATE["contexts"].get(key)
+    if context is None:
+        from ..harness.context import ExperimentContext
+        from ..workloads.profiles import ALL_BENCHMARKS
+
+        context = ExperimentContext(
+            benchmarks=ALL_BENCHMARKS,
+            scale=scale,
+            max_instructions=max_instructions,
+            jobs=1,
+        )
+        _EXEC_STATE["contexts"][key] = context
+    return context
+
+
+def prepare(records) -> None:
+    """Parent-side prewarm: materialize every workload a batch needs.
+
+    Run before the hardened workers fork so they inherit the prepared
+    programs/compilations copy-on-write, exactly like the campaign
+    runner's ``_CAMPAIGN_STATE``.
+
+    Prewarm is advisory: a record it cannot warm (malformed params that
+    slipped past submit-time validation) is skipped here and produces
+    its real, classified error inside the hardened worker — a bad job
+    must fail *as a job*, never take the supervisor down.
+    """
+    table = _core_table()
+    for record in records:
+        try:
+            params = record.params
+            if record.kind == "simulate":
+                cells = [(params["benchmark"], params["core"])]
+                scale = params["scale"]
+                cap = params["max_instructions"]
+            elif record.kind == "sweep":
+                cells = [
+                    (bench, core)
+                    for bench in params["benchmarks"]
+                    for core in params["cores"]
+                ]
+                scale = params["scale"]
+                cap = params["max_instructions"]
+            else:  # faults: the campaign warms through the same context
+                cells = [
+                    (bench, core)
+                    for bench in params["benchmarks"]
+                    for core in params["cores"]
+                ]
+                scale = params["scale"]
+                cap = DEFAULT_MAX_INSTRUCTIONS
+            context = _context_for(scale, cap)
+            for bench, core in cells:
+                _, braided = table[core]
+                context.workload(bench, braided=braided)
+        except Exception:
+            continue
+
+
+def _simulate_cell(
+    context, benchmark: str, core: str, width: int
+) -> Dict[str, Any]:
+    factory, braided = _core_table()[core]
+    config = factory(width=width)
+    result = context.run(benchmark, config, braided=braided)
+    return {
+        "benchmark": benchmark,
+        "core": core,
+        "machine": config.name,
+        "width": width,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": round(result.ipc, 6),
+        "fidelity": result.fidelity,
+    }
+
+
+def _run_faults(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..faults import CampaignSpec, run_campaign
+    from pathlib import Path
+
+    context = _context_for(params["scale"], DEFAULT_MAX_INSTRUCTIONS)
+    spec = CampaignSpec(
+        benchmarks=tuple(params["benchmarks"]),
+        cores=tuple(params["cores"]),
+        structures=(
+            tuple(params["structures"]) if "structures" in params else None
+        ),
+        runs=params["runs"],
+        seed=params["seed"],
+        scale=params["scale"],
+        jobs=1,
+    )
+    # The campaign journals into a throwaway dir: the *service* journal
+    # is the durability layer here, and a retried job must not resume
+    # from a half-written inner journal.
+    with tempfile.TemporaryDirectory(prefix="repro-service-faults-") as tmp:
+        report = run_campaign(
+            context, spec, journal_path=Path(tmp) / "journal.jsonl",
+        )
+    outcomes: Dict[str, int] = {}
+    for result in report.results:
+        name = result.outcome.value
+        outcomes[name] = outcomes.get(name, 0) + 1
+    rendered = report.render()
+    return {
+        "classified": len(report.results),
+        "quarantined": len(report.quarantined),
+        "outcomes": dict(sorted(outcomes.items())),
+        "report_sha256": hashlib.sha256(
+            rendered.encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+def execute_job(payload: Tuple[str, str, Mapping[str, Any]]) -> Any:
+    """Worker-side entry: one job, start to JSON result.
+
+    ``payload`` is ``(job_id, kind, params)``; the chaos kill-worker
+    point fires first, so an injected worker death looks exactly like an
+    OOM kill landing before any work happened.
+    """
+    job_id, kind, params = payload
+    chaos_point(KILL_WORKER, job_id)
+    if kind == "simulate":
+        context = _context_for(params["scale"], params["max_instructions"])
+        return _simulate_cell(
+            context, params["benchmark"], params["core"], params["width"]
+        )
+    if kind == "sweep":
+        context = _context_for(params["scale"], params["max_instructions"])
+        return {
+            "cells": [
+                _simulate_cell(context, bench, core, params["width"])
+                for bench in params["benchmarks"]
+                for core in params["cores"]
+            ]
+        }
+    if kind == "faults":
+        return _run_faults(params)
+    raise ServiceError(f"unknown job kind {kind!r}")

@@ -1,0 +1,180 @@
+"""Crash-safe append-only JSONL journal, shared by campaign and job store.
+
+One durability idiom, used everywhere a record must survive SIGKILL:
+
+* every append is ``write + flush + fsync`` of one complete JSON line, so
+  a kill point leaves either the whole record or a torn final line — never
+  a half-applied state;
+* line 1 is a header naming the journal kind, format version, and an
+  optional content digest; resuming against a journal written by a
+  different producer is refused loudly instead of silently mixing records;
+* loading tolerates a torn tail: an unparseable line is skipped and
+  counted, and because every record is one idempotent event, the worst a
+  torn tail costs is redoing the work the lost record described.
+
+:class:`~repro.faults.campaign.CampaignJournal` and
+:class:`~repro.service.jobstore.JobStore` are both thin layers over this
+class; the torn-tail property test in ``tests/test_service_jobstore.py``
+truncates a journal at every byte offset of its final record and proves
+clean resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+class JournalError(RuntimeError):
+    """An unusable journal: missing/mismatched header or a dead handle."""
+
+
+class JsonlJournal:
+    """Append-only fsynced JSONL file with a digest-guarded header."""
+
+    def __init__(
+        self,
+        path: Path,
+        kind: str,
+        version: int,
+        digest: Optional[str] = None,
+        resume: bool = True,
+        readonly: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.version = version
+        self.digest = digest
+        self.readonly = readonly
+        #: records restored from disk (header excluded), journal order
+        self.records: List[Dict[str, Any]] = []
+        #: unparseable lines skipped during load (torn tail / bad disk)
+        self.skipped = 0
+        self._handle = None
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing and (resume or readonly):
+            self._load()
+        if readonly:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if (existing and resume) else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            header = {"kind": self.kind, "version": self.version}
+            if self.digest is not None:
+                header["digest"] = self.digest
+            self._write_line(header)
+        self._fsync_parent()
+
+    def _fsync_parent(self) -> None:
+        """Make the journal's directory entry itself durable."""
+        try:
+            fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise JournalError(
+                f"journal {self.path} has no readable header; "
+                f"delete it to start over"
+            ) from None
+        if header.get("kind") != self.kind:
+            raise JournalError(
+                f"journal {self.path} was written by {header.get('kind')!r}, "
+                f"not {self.kind!r}; refusing to mix records"
+            )
+        if header.get("version") != self.version:
+            raise JournalError(
+                f"journal {self.path} uses format version "
+                f"{header.get('version')!r}, this build writes "
+                f"{self.version!r}; delete it to start over"
+            )
+        if self.digest is not None and header.get("digest") != self.digest:
+            raise JournalError(
+                f"journal {self.path} belongs to a different producer "
+                f"(digest {header.get('digest')!r} != {self.digest!r}); "
+                f"delete it or rerun with the original parameters"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail from a mid-write kill (or a damaged line): the
+                # event is lost, the work it described simply reruns.
+                self.skipped += 1
+                continue
+            if isinstance(record, dict):
+                self.records.append(record)
+            else:
+                self.skipped += 1
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise JournalError(
+                f"journal {self.path} was opened read-only"
+            )
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (complete before this call returns)."""
+        self._write_line(record)
+        self.records.append(record)
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        self._handle = None
+
+
+def write_json_atomic(path: Path, payload: Any) -> None:
+    """Publish a JSON file via temp-file + fsync + atomic rename.
+
+    Any kill point leaves either the previous file or the complete new
+    one — the state-snapshot half of the journal/snapshot durability
+    pair.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Any]:
+    """Load a JSON file; None when missing or unreadable (caller decides)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,212 @@
+"""Supervisor: schedules durable jobs onto the hardened worker fleet.
+
+One loop: recover, then repeatedly claim a fair-share batch of queued
+jobs and dispatch it through
+:func:`~repro.harness.parallel.run_tasks_hardened` — the same
+crash-hardened runner the fault campaigns use, now driven by the shared
+:class:`~repro.service.retry.RetryPolicy` so worker deaths and watchdog
+timeouts retry with capped deterministic backoff while permanent task
+errors fail fast.
+
+Durability protocol per job (each step is one fsynced journal event):
+
+1. ``start`` is journaled *before* the job reaches a worker — a
+   supervisor killed mid-dispatch leaves the job ``running``, and
+   :meth:`~repro.service.jobstore.JobStore.recover` requeues it on the
+   next start;
+2. on success the result payload is published atomically *before*
+   ``done`` is journaled — a journaled result always exists on disk;
+3. failures journal ``failed`` with the classified permanence, or
+   ``requeue`` when the result-store write itself failed transiently
+   (simulated disk-quota exhaustion in the chaos harness).
+
+SIGTERM/SIGINT request a graceful drain: the in-flight batch settles,
+the queue is left untouched, a ``drain`` event and a fresh ``state.json``
+snapshot are written, and the exit is clean.  SIGKILL needs no protocol
+at all — that is the point of the journal.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..harness.parallel import run_tasks_hardened
+from ..obs.metrics import MetricsRegistry
+from .chaos import FAIL_WRITE, KILL_SUPERVISOR, chaos_point
+from .jobstore import JobRecord, JobStore
+from .jobs import execute_job, prepare
+from .retry import RETRYABLE, RetryPolicy
+
+
+@dataclass
+class ServiceConfig:
+    """Operator knobs for one supervisor."""
+
+    #: hardened worker processes (1 = serial in-process, no watchdog)
+    jobs: int = 1
+    #: max jobs claimed per dispatch round (drain granularity)
+    batch: int = 8
+    #: idle poll interval in seconds when watching for new submissions
+    poll: float = 0.5
+    #: exit when the queue is empty instead of watching (batch mode)
+    drain_when_idle: bool = False
+    #: shared retry policy (classification, backoff, per-job deadline)
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+
+
+class Supervisor:
+    """Drives one :class:`JobStore` until drained or told to stop."""
+
+    def __init__(self, store: JobStore, config: ServiceConfig) -> None:
+        self.store = store
+        self.config = config
+        self.telemetry = MetricsRegistry()
+        self._drain_requested = False
+        #: settled-job count, continued across restarts so the chaos
+        #: kill-supervisor threshold is a property of the *store*, not
+        #: of one process's lifetime
+        counters = store.counters()
+        self._settled = counters["completed"] + counters["failed"]
+        self._base_attempts: Dict[str, int] = {}
+
+    # --------------------------------------------------------------- signals
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        signal.signal(signal.SIGTERM, self._handle_signal)
+        signal.signal(signal.SIGINT, self._handle_signal)
+
+    def _handle_signal(self, signum, frame) -> None:
+        self.request_drain()
+
+    def request_drain(self) -> None:
+        self._drain_requested = True
+
+    # ------------------------------------------------------------- main loop
+    def run(self) -> Dict[str, Any]:
+        """Serve until drained (or, in batch mode, until the queue dries)."""
+        recovery = self.store.recover()
+        for name in ("interrupted", "lost_results"):
+            self.telemetry.counter(
+                f"service.recovered_{name}", len(recovery[name])
+            )
+        rounds = 0
+        while not self._drain_requested:
+            batch = self._claim_batch()
+            if not batch:
+                if self.config.drain_when_idle:
+                    break
+                time.sleep(self.config.poll)
+                continue
+            rounds += 1
+            prepare(batch)
+            run_tasks_hardened(
+                execute_job,
+                [
+                    (job.job_id, (job.job_id, job.kind, dict(job.params)))
+                    for job in batch
+                ],
+                jobs=self.config.jobs,
+                policy=self.config.policy,
+                on_result=self._settle,
+            )
+        drained = self._drain_requested
+        self.store.journal.append({"event": "drain", "graceful": True})
+        self.store.write_state()
+        self.store.publish_metrics(self.telemetry)
+        counters = self.store.counters()
+        return {
+            "rounds": rounds,
+            "drained": drained,
+            "recovery": recovery,
+            "counters": counters,
+        }
+
+    # -------------------------------------------------------------- dispatch
+    def _claim_batch(self) -> List[JobRecord]:
+        """Claim up to ``batch`` runnable jobs, retiring exhausted ones.
+
+        A queued job whose accumulated attempts already exhaust the
+        retry budget (it kept getting requeued by transient settle
+        failures) is failed here, non-permanently, instead of looping
+        forever.
+        """
+        policy = self.config.policy
+        batch: List[JobRecord] = []
+        for job in self.store.runnable():
+            if len(batch) >= self.config.batch:
+                break
+            if job.attempts >= policy.max_attempts:
+                self.store.fail(
+                    job.job_id,
+                    error=(
+                        f"retry budget exhausted after {job.attempts} "
+                        f"attempt(s): {job.error or 'transient failures'}"
+                    ),
+                    permanent=False,
+                    attempts=job.attempts,
+                )
+                self._count_settled()
+                continue
+            self._base_attempts[job.job_id] = job.attempts
+            self.store.claim(job.job_id)
+            batch.append(job)
+        return batch
+
+    def _settle(self, outcome) -> None:
+        """Journal one settled task (the hardened runner's on_result)."""
+        job_id = outcome.task_id
+        attempts = self._base_attempts.pop(job_id, 0) + outcome.attempts
+        policy = self.config.policy
+        if outcome.ok:
+            try:
+                chaos_point(FAIL_WRITE, job_id)
+                self.store.complete(job_id, outcome.result, attempts)
+                self.telemetry.counter("service.jobs_completed")
+                self._count_settled()
+            except OSError as error:
+                message = f"result store write failed: {error}"
+                if (
+                    policy.classify(message) == RETRYABLE
+                    and attempts < policy.max_attempts
+                ):
+                    # Not settled: the job goes back in the queue.
+                    self.store.requeue(job_id, message, attempts)
+                    self.telemetry.counter("service.jobs_requeued")
+                else:
+                    self.store.fail(
+                        job_id, message, permanent=False, attempts=attempts
+                    )
+                    self.telemetry.counter("service.jobs_failed")
+                    self._count_settled()
+        else:
+            self.store.fail(
+                job_id,
+                outcome.error or "unknown failure",
+                permanent=outcome.permanent,
+                attempts=attempts,
+            )
+            self.telemetry.counter("service.jobs_failed")
+            self._count_settled()
+
+    def _count_settled(self) -> None:
+        self._settled += 1
+        # Chaos kill-supervisor point: fires (once) when the settled
+        # count reaches the configured threshold — between journal
+        # appends, never inside one, which is exactly the crash window
+        # the journal protocol must (and does) survive.
+        chaos_point(KILL_SUPERVISOR, str(self._settled))
+
+
+def serve(
+    store: JobStore,
+    config: Optional[ServiceConfig] = None,
+    handle_signals: bool = False,
+) -> Dict[str, Any]:
+    """Convenience wrapper: build a supervisor, run it, return the summary."""
+    supervisor = Supervisor(store, config or ServiceConfig())
+    if handle_signals:
+        supervisor.install_signal_handlers()
+    return supervisor.run()

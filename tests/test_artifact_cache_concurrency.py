@@ -1,0 +1,172 @@
+"""ArtifactCache under concurrency and corruption (repro.harness.artifacts).
+
+The service uses one cache directory as a shared result store, so two
+properties matter beyond the single-process happy path: LRU eviction
+racing a writer republishing the same slot must never destroy the fresh
+entry, and a corrupt entry must be quarantined (inspectable, bounded)
+rather than silently deleted.  The multi-process stress test drives
+both from many writers at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.harness.artifacts import _QUARANTINE_KEEP, ArtifactCache
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+needs_fork = pytest.mark.skipif(
+    not _has_fork(), reason="requires the fork start method"
+)
+
+
+def key_for(index: int) -> tuple:
+    return ("stress", 1, index)
+
+
+def _hammer(args):
+    """One worker: interleaved puts, gets, and evictions."""
+    root, worker, rounds, limit = args
+    cache = ArtifactCache(root=root, enabled=True, limit_bytes=limit)
+    for i in range(rounds):
+        index = (worker * rounds + i) % 8
+        cache.put(key_for(index), {"index": index, "payload": "x" * 2048})
+        value = cache.get(key_for(index))
+        if value is not None and value["index"] != index:
+            return f"worker {worker}: wrong payload for slot {index}"
+        cache.enforce_limit(limit)
+    return None
+
+
+class TestEvictionRace:
+    def test_eviction_reverifies_mtime_before_unlink(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put(key_for(0), "old-cold")
+        cache.put(key_for(1), "hot")
+        old = time.time() - 3600
+        os.utime(cache.path_for(key_for(0)), (old, old))
+        stale_scan = cache.entries()
+        # Between the scan and the unlink, a concurrent writer
+        # republishes the cold slot (fresh mtime via os.replace).
+        cache.put(key_for(0), "republished-fresh")
+        monkeypatch.setattr(cache, "entries", lambda: stale_scan)
+        evicted = cache.enforce_limit(limit_bytes=1)
+        # The republished entry was skipped, not destroyed.
+        assert cache.get(key_for(0)) == "republished-fresh"
+        assert evicted >= 1  # the genuinely-cold entry still went
+        assert cache.evictions == evicted
+
+    def test_eviction_tolerates_entries_already_removed(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put(key_for(0), "a")
+        cache.put(key_for(1), "b")
+        stale_scan = cache.entries()
+        cache.path_for(key_for(0)).unlink()  # concurrent evictor won
+        monkeypatch.setattr(cache, "entries", lambda: stale_scan)
+        evicted = cache.enforce_limit(limit_bytes=1)
+        assert evicted >= 0  # no exception is the contract
+
+    def test_eviction_is_lru_by_touch(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        for index in range(3):
+            cache.put(key_for(index), "v" * 512)
+            stamp = time.time() - 1000 + index
+            os.utime(cache.path_for(key_for(index)), (stamp, stamp))
+        cache.get(key_for(0))  # touch: now the hottest
+        entry_size = cache.path_for(key_for(0)).stat().st_size
+        cache.enforce_limit(limit_bytes=entry_size)
+        assert cache.get(key_for(0)) is not None
+        assert cache.get(key_for(1)) is None
+
+
+class TestQuarantine:
+    def _corrupt(self, cache, index):
+        path = cache.path_for(key_for(index))
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+        return path
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put(key_for(0), "fine")
+        path = self._corrupt(cache, 0)
+        assert cache.get(key_for(0)) is None
+        assert not path.exists()
+        moved = tmp_path / "quarantine" / path.name
+        assert moved.exists()  # bytes kept for post-mortem
+        assert cache.corruptions == 1 and cache.quarantined == 1
+        # The slot healed: a re-put then reads back.
+        cache.put(key_for(0), "healed")
+        assert cache.get(key_for(0)) == "healed"
+
+    def test_quarantine_directory_is_bounded(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        for index in range(_QUARANTINE_KEEP + 5):
+            cache.put(key_for(index), "v")
+            self._corrupt(cache, index)
+            assert cache.get(key_for(index)) is None
+        kept = list((tmp_path / "quarantine").glob("*.pkl"))
+        assert len(kept) <= _QUARANTINE_KEEP
+
+    def test_quarantined_entries_do_not_count_as_cache_entries(
+        self, tmp_path
+    ):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put(key_for(0), "fine")
+        self._corrupt(cache, 0)
+        cache.get(key_for(0))
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["quarantined"] == 1 and stats["evictions"] == 0
+
+    def test_stats_and_metrics_expose_the_counters(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.put(key_for(0), "v")
+        cache.get(key_for(0))
+        cache.get(key_for(1))
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry, prefix="cache")
+        assert registry.counters["cache.hits"] == 1
+        assert registry.counters["cache.misses"] == 1
+        for name in ("corruptions", "evictions", "quarantined",
+                     "tmp_swept"):
+            assert registry.counters[f"cache.{name}"] == 0
+
+
+@needs_fork
+class TestMultiProcessStress:
+    def test_concurrent_put_get_evict_never_corrupts(self, tmp_path):
+        workers = 4
+        rounds = 40
+        limit = 8 * 1024  # small enough that eviction fires constantly
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(workers) as pool:
+            failures = pool.map(
+                _hammer,
+                [(tmp_path, worker, rounds, limit)
+                 for worker in range(workers)],
+            )
+        assert [f for f in failures if f] == []
+        # Whatever survived the stampede still loads cleanly.
+        survivor = ArtifactCache(root=tmp_path, enabled=True)
+        for index in range(8):
+            value = survivor.get(key_for(index))
+            assert value is None or value["index"] == index
+        assert survivor.corruptions == 0

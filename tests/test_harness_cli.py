@@ -107,3 +107,59 @@ class TestValidateCommand:
     def test_validate_cannot_mix_with_experiments(self):
         with pytest.raises(SystemExit):
             main(["validate", "T1"])
+
+
+class TestServiceCommands:
+    """submit/serve/status route through the harness entry point."""
+
+    def _submit(self, store, extra=()):
+        return main([
+            "submit", "simulate", "benchmark=gcc", "core=braid",
+            "scale=0.05", "max_instructions=3000",
+            "--store", str(store), *extra,
+        ])
+
+    def test_submit_serve_status_round_trip(self, capsys, tmp_path):
+        store = tmp_path / "svc"
+        assert self._submit(store) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("queued as j000001-")
+        job_id = out.split()[-1]
+
+        # An identical request from another client dedups.
+        assert self._submit(store, ("--client", "other")) == 0
+        assert "coalesced onto " + job_id in capsys.readouterr().out
+
+        assert main([
+            "serve", "--store", str(store), "--drain-when-idle",
+            "--timeout", "60",
+        ]) == 0
+        assert "1 done, 0 failed, 1 coalesced" in capsys.readouterr().out
+
+        assert main(["status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "done" in out
+
+        assert main(["status", "--store", str(store), "--job", job_id]) == 0
+        out = capsys.readouterr().out
+        assert '"status": "done"' in out and '"cycles"' in out
+
+    def test_submit_rejects_bad_params(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["submit", "simulate", "benchmark=gcc",
+                  "core=not-a-core", "--store", str(tmp_path / "s")])
+        with pytest.raises(SystemExit):
+            main(["submit", "simulate", "no-equals-sign",
+                  "--store", str(tmp_path / "s")])
+
+    def test_submit_enforces_quota(self, capsys, tmp_path):
+        store = tmp_path / "svc"
+        assert self._submit(store, ("--quota", "1")) == 0
+        capsys.readouterr()
+        code = main([
+            "submit", "simulate", "benchmark=mcf", "core=braid",
+            "scale=0.05", "max_instructions=3000",
+            "--store", str(store), "--quota", "1",
+        ])
+        assert code == 1
+        assert "quota" in capsys.readouterr().err

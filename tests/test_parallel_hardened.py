@@ -48,6 +48,10 @@ def _raise_value_error(payload):
     raise ValueError(f"boom on {payload}")
 
 
+def _raise_os_error(payload):
+    raise OSError(f"transient infra failure on {payload}")
+
+
 def _die_immediately(payload):
     os._exit(11)
 
@@ -81,15 +85,31 @@ class TestSerialPath:
         assert [o.result for o in outcomes] == [2, 4, 6]
         assert all(o.ok and o.attempts == 1 for o in outcomes)
 
-    def test_exception_retried_then_quarantined(self):
+    def test_permanent_exception_fails_fast(self):
+        # A ValueError is a *task* error, not an infrastructure failure:
+        # the retry policy classifies it permanent and retrying would
+        # just repeat it, so the task quarantines after one attempt.
         outcomes = run_tasks_hardened(
             _raise_value_error, [("a", 1)], jobs=1, max_attempts=3
         )
         outcome = outcomes[0]
         assert outcome.status == "quarantined" and not outcome.ok
+        assert outcome.permanent
+        assert outcome.attempts == 1
+        assert len(outcome.failures) == 1
+        assert "ValueError" in outcome.error
+
+    def test_retryable_exception_retried_then_quarantined(self):
+        outcomes = run_tasks_hardened(
+            _raise_os_error, [("a", 1)], jobs=1, max_attempts=3,
+            backoff=0.01,
+        )
+        outcome = outcomes[0]
+        assert outcome.status == "quarantined" and not outcome.ok
+        assert not outcome.permanent
         assert outcome.attempts == 3
         assert len(outcome.failures) == 3
-        assert "ValueError" in outcome.error
+        assert "OSError" in outcome.error
 
     def test_quarantine_does_not_abort_later_tasks(self):
         outcomes = run_tasks_hardened(
