@@ -45,7 +45,8 @@ trace-event JSON (Perfetto / ``chrome://tracing``)::
     python -m repro.harness trace --bench mcf --core ooo --format chrome \
         --out mcf.trace.json
 
-``submit`` / ``serve`` / ``status`` drive the durable simulation service
+``submit`` / ``serve`` / ``status`` / ``events`` / ``metrics`` drive the
+durable simulation service
 (:mod:`repro.service`): submissions are journaled crash-safe, identical
 requests dedup onto one run, and a supervisor schedules jobs onto the
 hardened worker fleet with quotas and full SIGKILL recovery::
@@ -300,7 +301,7 @@ def _run_trace(args, parser) -> int:
     return 0
 
 
-_SERVICE_COMMANDS = ("serve", "submit", "status")
+_SERVICE_COMMANDS = ("serve", "submit", "status", "events", "metrics")
 
 
 def main(argv=None) -> int:

@@ -243,6 +243,7 @@ class ExperimentContext:
         braided: bool = False,
         perfect: bool = False,
         internal_limit: int = 8,
+        progress=None,
     ) -> SimResult:
         point = SweepPoint(name, config, braided, perfect, internal_limit)
         result = self._results.get(point)
@@ -270,6 +271,7 @@ class ExperimentContext:
                 result = simulate(
                     workload, config, sampling=self.sampling,
                     fidelity=self.fidelity, interval=self.interval,
+                    progress=progress,
                 )
                 if disk_key is not None:
                     self.cache.put(disk_key, result)

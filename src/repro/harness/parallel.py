@@ -470,6 +470,10 @@ def _hardened_worker(fn, task_queue, inbox) -> None:
         if item is None:
             return
         task_id, attempt, payload = item
+        # Publish the attempt number where the task function (and the
+        # service progress publisher) can read it without a signature
+        # change: ProgressPublisher.from_env consumes it.
+        os.environ["REPRO_TASK_ATTEMPT"] = str(attempt)
         try:
             result = fn(payload)
             message = (task_id, attempt, "ok", result, None)
@@ -485,6 +489,21 @@ def _hardened_worker(fn, task_queue, inbox) -> None:
                  f"result delivery failed: "
                  f"{type(error).__name__}: {error}"),
             )
+
+
+@dataclass
+class _Assignment:
+    """One in-flight task on one hardened worker."""
+
+    index: int
+    task_id: str
+    attempt: int
+    #: monotonic kill deadline (extended while heartbeats show progress)
+    deadline: float
+    #: monotonic dispatch time (bounds total extension)
+    dispatched: float
+    #: last heartbeat snapshot seen at a deadline check
+    last_beat: Optional[Dict[str, Any]] = None
 
 
 class _HardenedWorker:
@@ -505,8 +524,7 @@ class _HardenedWorker:
             daemon=True,
         )
         self.process.start()
-        #: (index, task_id, attempt, monotonic deadline) or None when idle
-        self.assignment: Optional[Tuple[int, str, int, float]] = None
+        self.assignment: Optional[_Assignment] = None
 
     def kill(self) -> None:
         try:
@@ -539,6 +557,7 @@ def _run_tasks_serial(
         outcome = TaskOutcome(task_id=task_id, status="quarantined")
         for attempt in range(1, policy.max_attempts + 1):
             outcome.attempts = attempt
+            os.environ["REPRO_TASK_ATTEMPT"] = str(attempt)
             try:
                 outcome.result = fn(payload)
             except Exception as error:
@@ -561,6 +580,51 @@ def _run_tasks_serial(
     return outcomes
 
 
+def _describe_beat(snapshot: Optional[Dict]) -> str:
+    """Heartbeat description for watchdog notes and error messages."""
+    from ..service.telemetry import describe_progress
+
+    return describe_progress(snapshot)
+
+
+def _deadline_extension_ok(
+    assignment: _Assignment,
+    snapshot: Optional[Dict],
+    now: float,
+    deadline: float,
+    hang_grace: float,
+    extension_cap: float,
+) -> bool:
+    """Is this deadline miss a *slow but progressing* task, not a hang?
+
+    Requires a heartbeat no older than ``hang_grace`` seconds whose
+    progress key (cells, instructions, cycles) advanced since the last
+    deadline check, and total wall clock still inside ``extension_cap``
+    deadlines — a publisher that keeps heartbeating identical state (or
+    stops) is treated as hung.
+    """
+    from ..service.telemetry import heartbeat_age
+
+    if snapshot is None:
+        return False
+    if now - assignment.dispatched + deadline > deadline * extension_cap:
+        return False
+    age = heartbeat_age(snapshot)
+    if age is None or age > hang_grace:
+        return False
+
+    def key(beat: Optional[Dict]) -> Tuple[int, int, int]:
+        if beat is None:
+            return (-1, -1, -1)
+        return (
+            int(beat.get("cells_done", 0) or 0),
+            int(beat.get("instructions", 0) or 0),
+            int(beat.get("cycles", 0) or 0),
+        )
+
+    return key(snapshot) > key(assignment.last_beat)
+
+
 def run_tasks_hardened(
     fn: Callable[[Any], Any],
     tasks: Sequence[Tuple[str, Any]],
@@ -570,6 +634,9 @@ def run_tasks_hardened(
     backoff: float = 0.5,
     on_result: Optional[Callable[[TaskOutcome], None]] = None,
     policy: Optional[RetryPolicy] = None,
+    progress_probe: Optional[Callable[[str], Optional[Dict]]] = None,
+    hang_grace: float = 2.0,
+    extension_cap: float = 4.0,
 ) -> List[TaskOutcome]:
     """Run ``fn`` over ``tasks`` on workers that are allowed to die.
 
@@ -596,6 +663,18 @@ def run_tasks_hardened(
     ``policy`` is the shared :class:`~repro.service.retry.RetryPolicy`;
     the legacy ``timeout``/``max_attempts``/``backoff`` arguments build
     one when it is omitted (``timeout`` defaults to 120 seconds).
+
+    ``progress_probe`` (optional, ``task_id -> heartbeat snapshot dict
+    or None`` — the service passes
+    :func:`~repro.service.telemetry.progress_probe`) lets the watchdog
+    distinguish *hung* from *slow but progressing* at the deadline: a
+    task whose last heartbeat is at most ``hang_grace`` seconds old
+    **and** shows forward progress since the previous check gets its
+    deadline extended by one ``policy.deadline``, up to
+    ``extension_cap`` deadlines of total wall clock — after which (or
+    with a stale/absent heartbeat) the worker is killed, and the error
+    text records the last heartbeat age and reported progress so the
+    retired job is diagnosable post-mortem.
 
     ``jobs=1`` (or a platform without the fork start method) runs tasks
     serially in-process with the same classification/retry/quarantine
@@ -696,8 +775,9 @@ def run_tasks_hardened(
                 task_id, payload = tasks[index]
                 partial[index].attempts = attempt
                 worker.task_queue.put((task_id, attempt, payload))
-                worker.assignment = (
-                    index, task_id, attempt, now + policy.deadline
+                worker.assignment = _Assignment(
+                    index=index, task_id=task_id, attempt=attempt,
+                    deadline=now + policy.deadline, dispatched=now,
                 )
             # Drain delivered results (short sleep keeps deadlines
             # responsive when the inbox is empty).
@@ -708,10 +788,10 @@ def run_tasks_hardened(
                 for worker in workers:
                     if (
                         worker.assignment is not None
-                        and worker.assignment[1] == task_id
-                        and worker.assignment[2] == attempt
+                        and worker.assignment.task_id == task_id
+                        and worker.assignment.attempt == attempt
                     ):
-                        index = worker.assignment[0]
+                        index = worker.assignment.index
                         worker.assignment = None
                         if status == "ok":
                             settle(index, "ok", result=result)
@@ -730,16 +810,40 @@ def run_tasks_hardened(
                             mp_context, fn, inbox
                         )
                     continue
-                index, task_id, attempt, deadline = worker.assignment
+                assignment = worker.assignment
+                task_id = assignment.task_id
+                attempt = assignment.attempt
                 reason = None
-                if now > deadline:
+                snapshot = None
+                if now > assignment.deadline:
+                    if progress_probe is not None:
+                        snapshot = progress_probe(task_id)
+                    if _deadline_extension_ok(
+                        assignment, snapshot, now, policy.deadline,
+                        hang_grace, extension_cap,
+                    ):
+                        assignment.deadline = now + policy.deadline
+                        assignment.last_beat = snapshot
+                        _note_once(
+                            f"hardened task {task_id!r}: slow but "
+                            f"progressing ({_describe_beat(snapshot)}); "
+                            f"deadline extended"
+                        )
+                        continue
+                    elapsed = now - assignment.dispatched
                     reason = (
-                        f"wall-clock timeout after {policy.deadline:.1f}s "
+                        f"wall-clock timeout after {elapsed:.1f}s "
+                        f"(worker killed; {_describe_beat(snapshot)})"
+                        if progress_probe is not None else
+                        f"wall-clock timeout after {elapsed:.1f}s "
                         f"(worker killed)"
                     )
                 elif not worker.process.is_alive():
                     code = worker.process.exitcode
                     reason = f"worker died mid-task (exit code {code})"
+                    if progress_probe is not None:
+                        snapshot = progress_probe(task_id)
+                        reason += f"; {_describe_beat(snapshot)}"
                 if reason is not None:
                     _note_once(
                         f"hardened task {task_id!r}: {reason}; "
@@ -749,7 +853,7 @@ def run_tasks_hardened(
                     workers[position] = _HardenedWorker(
                         mp_context, fn, inbox
                     )
-                    fail_attempt(index, attempt, reason)
+                    fail_attempt(assignment.index, attempt, reason)
     finally:
         for worker in workers:
             worker.stop()

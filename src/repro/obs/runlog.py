@@ -32,6 +32,9 @@ class RunLog:
 
     def __init__(self, path: Optional[Path]) -> None:
         self.path = Path(path) if path is not None else None
+        #: unparseable lines skipped by the last :meth:`read` (torn tail
+        #: from a killed writer, damaged disk, or a foreign line)
+        self.skipped = 0
 
     @property
     def enabled(self) -> bool:
@@ -74,18 +77,34 @@ class RunLog:
             pass
 
     def read(self) -> List[Dict[str, Any]]:
-        """All parseable events (torn or foreign lines are skipped)."""
-        if self.path is None or not self.path.exists():
+        """All parseable events; torn or foreign lines are skipped + counted.
+
+        Same tolerance contract as
+        :meth:`repro.service.journal.JsonlJournal._load`: a half-written
+        record (the writer was killed mid-``os.write``, or the disk
+        damaged a line) costs that one event, never the log.  The number
+        of lines lost is exposed as :attr:`skipped` so growing loss is
+        visible instead of silent.
+        """
+        self.skipped = 0
+        if self.path is None:
+            return []
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
             return []
         events: List[Dict[str, Any]] = []
-        for line in self.path.read_text(encoding="utf-8").splitlines():
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 event = json.loads(line)
             except ValueError:
+                self.skipped += 1
                 continue
             if isinstance(event, dict):
                 events.append(event)
+            else:
+                self.skipped += 1
         return events

@@ -15,6 +15,12 @@ monolithic process that must never die.  SIGKILL the supervisor
 mid-campaign, restart it, and the service resumes from the journal with
 no lost or duplicated results, bit-identical to an uninterrupted run.
 
+Observability (:mod:`~repro.service.telemetry`) rides the same
+primitives: every journal event carries wall + monotonic timestamps the
+state fold ignores, workers publish atomic heartbeat files the watchdog
+and the live ``status --follow`` table read back, and the supervisor
+exports Prometheus metrics and a health file each round.
+
 Light modules (:mod:`~repro.service.retry`, :mod:`~repro.service.journal`,
 :mod:`~repro.service.jobstore`, :mod:`~repro.service.chaos`) are imported
 eagerly; the supervisor and executors — which pull in the whole harness —
@@ -26,7 +32,7 @@ cycle.
 from __future__ import annotations
 
 from .chaos import ChaosSpec
-from .journal import JournalError, JsonlJournal
+from .journal import JournalError, JournalFollower, JsonlJournal
 from .jobstore import (
     JobRecord,
     JobRequest,
@@ -36,19 +42,30 @@ from .jobstore import (
     request_key,
 )
 from .retry import RetryPolicy
+from .telemetry import (
+    ProgressPublisher,
+    job_timeline,
+    read_health,
+    read_progress,
+)
 
 __all__ = [
     "ChaosSpec",
     "JournalError",
+    "JournalFollower",
     "JsonlJournal",
     "JobRecord",
     "JobRequest",
     "JobStore",
+    "ProgressPublisher",
     "QuotaExceeded",
     "RetryPolicy",
     "ServiceError",
     "Supervisor",
     "ServiceConfig",
+    "job_timeline",
+    "read_health",
+    "read_progress",
     "request_key",
 ]
 

@@ -1,4 +1,5 @@
-"""Service command line: ``serve``, ``submit``, ``status``.
+"""Service command line: ``serve``, ``submit``, ``status``, ``events``,
+``metrics``.
 
 Routed from ``python -m repro.harness`` so operators keep one entry
 point::
@@ -7,14 +8,22 @@ point::
     python -m repro.harness submit sweep benchmarks=gcc,mcf --client ci
     python -m repro.harness serve --jobs 4 --drain-when-idle
     python -m repro.harness status
-    python -m repro.harness status --job j000001-1a2b3c4d
+    python -m repro.harness status --job j000001-1a2b3c4d --json
+    python -m repro.harness status --follow
+    python -m repro.harness events j000001-1a2b3c4d
+    python -m repro.harness metrics --json
 
 ``submit`` normalizes and validates params at the edge, then durably
 journals the request; an identical request coalesces onto the existing
 job and the CLI says so.  ``serve`` runs a supervisor against the store
 (SIGTERM drains gracefully; SIGKILL is recovered from the journal on the
 next start).  ``status`` opens the store read-only — safe to run while a
-supervisor is live.
+supervisor is live; ``--follow`` tails the journal incrementally (a
+:class:`~repro.service.journal.JournalFollower`, not a full re-read per
+tick) and renders a live job table with worker progress bars.
+``events`` prints a job's timestamped timeline and the durations it
+implies; ``metrics`` prints the supervisor's Prometheus exposition (or
+renders one on the fly from the store when no supervisor has published).
 
 Param values on the ``submit`` line are parsed as JSON when they look
 like it (``runs=8``, ``scale=0.1``) and kept as strings otherwise
@@ -27,10 +36,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .jobstore import (
+    RUNNING,
+    JobRecord,
     JobRequest,
     JobStore,
     QuotaExceeded,
@@ -39,6 +51,7 @@ from .jobstore import (
     quota_from_env,
 )
 from .retry import RetryPolicy
+from .telemetry import describe_progress, read_health, read_progress
 
 
 def _parse_params(pairs: List[str], parser) -> Dict[str, Any]:
@@ -105,6 +118,8 @@ def _cmd_serve(args, parser) -> int:
         poll=args.poll,
         drain_when_idle=args.drain_when_idle,
         policy=policy,
+        heartbeat=args.heartbeat,
+        hang_grace=args.hang_grace,
     )
     try:
         store = _store(args)
@@ -129,41 +144,296 @@ def _cmd_serve(args, parser) -> int:
     return 0
 
 
+def _job_line(job: JobRecord, progress_dir: Optional[Path] = None) -> str:
+    line = (
+        f"  {job.job_id}  {job.status:8s} {job.kind:9s} "
+        f"client={job.client}"
+    )
+    if job.coalesced:
+        line += f" coalesced={job.coalesced}"
+    if job.status == RUNNING and progress_dir is not None:
+        beat = read_progress(progress_dir, job.job_id)
+        if beat is not None:
+            line += f"  {_progress_bar(beat)}"
+    if job.error:
+        line += f"  [{job.error}]"
+    return line
+
+
+def _progress_bar(beat: Dict[str, Any], width: int = 20) -> str:
+    """``[#####...............]  23% eta 4s`` from one heartbeat."""
+    total = int(beat.get("instructions_total") or 0)
+    done = int(beat.get("instructions") or 0)
+    cells_total = max(1, int(beat.get("cells_total") or 1))
+    cells_done = int(beat.get("cells_done") or 0)
+    cell_frac = (done / total) if total > 0 else 0.0
+    frac = max(0.0, min(1.0, (cells_done + cell_frac) / cells_total))
+    filled = int(round(frac * width))
+    bar = "#" * filled + "." * (width - filled)
+    out = f"[{bar}] {frac * 100:3.0f}%"
+    eta = beat.get("eta_seconds")
+    if isinstance(eta, (int, float)):
+        out += f" eta {eta:.0f}s"
+    return out
+
+
+def _status_document(store: JobStore) -> Dict[str, Any]:
+    """The machine-readable ``status --json`` payload."""
+    jobs = {}
+    for job in sorted(store.jobs.values(), key=lambda j: j.seq):
+        summary = job.summary()
+        if job.status == RUNNING:
+            summary["progress"] = store.progress(job.job_id)
+        jobs[job.job_id] = summary
+    return {
+        "store": str(store.root),
+        "counters": store.counters(),
+        "jobs": jobs,
+        "health": read_health(store.health_path),
+    }
+
+
 def _cmd_status(args, parser) -> int:
     try:
         store = _store(args, readonly=True)
     except ServiceError as error:
         parser.error(str(error))
     try:
+        if args.follow:
+            return _follow_status(args, store)
         if args.job:
             try:
                 job = store.job(args.job)
             except ServiceError as error:
                 parser.error(str(error))
-            print(json.dumps(job.summary(), indent=1, sort_keys=True))
+            doc = job.summary()
+            if job.status == RUNNING:
+                doc["progress"] = store.progress(job.job_id)
+            result = store.result(args.job) if job.status == "done" else None
+            if args.json:
+                doc["timeline"] = {
+                    key: value
+                    for key, value in store.timeline(args.job).items()
+                    if key != "events"
+                }
+                doc["result"] = result
+                print(json.dumps(doc, indent=1, sort_keys=True))
+                return 0
+            print(json.dumps(doc, indent=1, sort_keys=True))
             if job.status == "done":
-                result = store.result(args.job)
                 if result is None:
                     print("result: unreadable (will heal on next serve)",
                           file=sys.stderr)
                 else:
                     print(json.dumps(result, indent=1, sort_keys=True))
             return 0
+        if args.json:
+            print(json.dumps(_status_document(store), indent=1,
+                             sort_keys=True))
+            return 0
         counters = store.counters()
         print(f"store: {store.root}")
         for name in sorted(counters):
             print(f"  {name:16s} {counters[name]}")
         for job in sorted(store.jobs.values(), key=lambda j: j.seq):
-            line = (
-                f"  {job.job_id}  {job.status:8s} {job.kind:9s} "
-                f"client={job.client}"
-            )
-            if job.coalesced:
-                line += f" coalesced={job.coalesced}"
-            if job.error:
-                line += f"  [{job.error}]"
-            print(line)
+            print(_job_line(job, store.progress_dir))
         return 0
+    finally:
+        store.close()
+
+
+class _JournalView:
+    """Incremental fold over followed journal events.
+
+    Borrows :meth:`JobStore._apply` verbatim — the one fold in the
+    codebase — so the live ``--follow`` table cannot drift from store
+    semantics, while each refresh costs only the *new* bytes the
+    :class:`~repro.service.journal.JournalFollower` delivers.
+    """
+
+    _apply = JobStore._apply
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, JobRecord] = {}
+        self._by_key: Dict[str, str] = {}
+        self._clients: List[str] = []
+        self._counters: Dict[str, int] = {
+            "submitted": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "requeued": 0,
+            "recovered": 0,
+            "orphaned_events": 0,
+        }
+        self._seq = 0
+
+
+def _render_follow(view: _JournalView, progress_dir: Path,
+                   health_path: Path) -> str:
+    lines = []
+    health = read_health(health_path)
+    if health is None:
+        lines.append("supervisor: no health file yet")
+    else:
+        state = "draining" if health.get("draining") else "serving"
+        lines.append(
+            f"supervisor: pid {health.get('pid')} {state}, "
+            f"round {health.get('round')}, "
+            f"up {health.get('uptime_seconds', 0):.1f}s"
+        )
+    by_status: Dict[str, int] = {}
+    for job in view.jobs.values():
+        by_status[job.status] = by_status.get(job.status, 0) + 1
+    lines.append(
+        "jobs: " + ", ".join(
+            f"{by_status.get(name, 0)} {name}"
+            for name in ("queued", "running", "done", "failed")
+        )
+    )
+    for job in sorted(view.jobs.values(), key=lambda j: j.seq):
+        lines.append(_job_line(job, progress_dir))
+    return "\n".join(lines)
+
+
+def _follow_status(args, store: JobStore) -> int:
+    """Live job table: incremental journal tail + heartbeat files."""
+    follower = store.journal.follow()
+    progress_dir = store.progress_dir
+    health_path = store.health_path
+    store.close()
+    view = _JournalView()
+    deadline = (
+        time.monotonic() + args.follow_for
+        if args.follow_for is not None else None
+    )
+    tty = sys.stdout.isatty()
+    try:
+        while True:
+            for record in follower.poll():
+                view._apply(record)
+            frame = _render_follow(view, progress_dir, health_path)
+            if tty:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            else:
+                frame += "\n---"
+            print(frame)
+            sys.stdout.flush()
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _format_event(record: Dict[str, Any]) -> str:
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)):
+        stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+        stamp += f".{int((ts % 1) * 1000):03d}"
+    else:
+        stamp = "--:--:--.---"
+    name = record.get("event", "?")
+    detail = ""
+    if name == "submit":
+        detail = f"kind={record.get('kind')} client={record.get('client')}"
+    elif name == "start":
+        detail = f"attempt={record.get('attempt')}"
+    elif name == "done":
+        detail = f"attempts={record.get('attempts')}"
+    elif name in ("failed", "requeue"):
+        detail = record.get("error") or ""
+    elif name == "recover":
+        detail = record.get("reason") or ""
+    elif name == "coalesce":
+        detail = f"client={record.get('client')}"
+    elif name == "drain":
+        detail = f"graceful={record.get('graceful')}"
+    job = record.get("job", "")
+    return f"{stamp}  {name:8s} {job}  {detail}".rstrip()
+
+
+def _cmd_events(args, parser) -> int:
+    try:
+        store = _store(args, readonly=True)
+    except ServiceError as error:
+        parser.error(str(error))
+    try:
+        if args.job is None:
+            events = [
+                record for record in store.journal.records
+                if "event" in record
+            ]
+            if args.json:
+                print(json.dumps(events, indent=1, sort_keys=True))
+                return 0
+            for record in events:
+                print(_format_event(record))
+            return 0
+        try:
+            timeline = store.timeline(args.job)
+        except ServiceError as error:
+            parser.error(str(error))
+        if args.json:
+            print(json.dumps(timeline, indent=1, sort_keys=True))
+            return 0
+        print(f"timeline for {args.job}:")
+        for record in timeline["events"]:
+            print(f"  {_format_event(record)}")
+        if timeline["queue_wait"] is not None:
+            print(f"queue wait: {timeline['queue_wait']:.3f}s")
+        if timeline["run_time"] is not None:
+            print(f"run time:   {timeline['run_time']:.3f}s")
+        if timeline["retry_latencies"]:
+            gaps = ", ".join(
+                f"{gap:.3f}s" for gap in timeline["retry_latencies"]
+            )
+            print(f"retry latencies: {gaps}")
+        beat = store.progress(args.job)
+        if beat is not None:
+            print(f"progress: {describe_progress(beat)}")
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_metrics(args, parser) -> int:
+    from ..obs.metrics import parse_prometheus, prometheus_errors
+
+    try:
+        store = _store(args, readonly=True)
+    except ServiceError as error:
+        parser.error(str(error))
+    try:
+        live = False
+        try:
+            text = store.metrics_path.read_text(encoding="utf-8")
+        except OSError:
+            # No supervisor has published yet: render one on the fly so
+            # the command is useful against a cold store.
+            from ..obs.metrics import MetricsRegistry
+            from .telemetry import latency_histograms
+
+            registry = MetricsRegistry()
+            store.publish_metrics(registry)
+            registry.histograms.update(
+                latency_histograms(store.journal.records)
+            )
+            text = registry.render_prometheus()
+            live = True
+        errors = prometheus_errors(text)
+        for error in errors:
+            print(f"invalid exposition: {error}", file=sys.stderr)
+        if args.json:
+            doc = {
+                "source": "rendered" if live else str(store.metrics_path),
+                "metrics": parse_prometheus(text) if not errors else None,
+                "health": read_health(store.health_path),
+            }
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            sys.stdout.write(text)
+        return 1 if errors else 0
     finally:
         store.close()
 
@@ -237,6 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="base retry backoff, doubled per attempt with deterministic "
              "jitter (default 0.5)",
     )
+    serve.add_argument(
+        "--heartbeat", type=float, default=0.25, metavar="SECONDS",
+        help="worker progress-heartbeat interval; 0 disables heartbeats "
+             "(default 0.25)",
+    )
+    serve.add_argument(
+        "--hang-grace", type=float, default=None, metavar="SECONDS",
+        help="heartbeat age past which a deadline miss counts as hung "
+             "rather than slow-but-progressing (default: 8x heartbeat, "
+             "min 2s)",
+    )
 
     status = sub.add_parser(
         "status", help="inspect the store read-only (safe while serving)",
@@ -245,6 +526,49 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--job", default=None, metavar="ID",
         help="show one job's record (and its result when done)",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (summary, per-job progress, health)",
+    )
+    status.add_argument(
+        "--follow", action="store_true",
+        help="live job table: tail the journal incrementally and render "
+             "worker progress bars until interrupted",
+    )
+    status.add_argument(
+        "--interval", type=float, default=0.25, metavar="SECONDS",
+        help="refresh interval for --follow (default 0.25)",
+    )
+    status.add_argument(
+        "--follow-for", type=float, default=None, metavar="SECONDS",
+        help="stop following after this many seconds (default: forever)",
+    )
+
+    events = sub.add_parser(
+        "events",
+        help="timestamped journal timeline (one job, or the whole store)",
+    )
+    add_store(events)
+    events.add_argument(
+        "job", nargs="?", default=None, metavar="ID",
+        help="job to show (with derived queue-wait/run-time/retry "
+             "durations); omit for the full event stream",
+    )
+    events.add_argument(
+        "--json", action="store_true",
+        help="machine-readable timeline",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="Prometheus exposition published by the supervisor "
+             "(validated; rendered live when no supervisor has run)",
+    )
+    add_store(metrics)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="parsed samples plus the supervisor health file",
     )
 
     return parser
@@ -257,6 +581,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "serve": _cmd_serve,
         "status": _cmd_status,
+        "events": _cmd_events,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args, parser)
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .chaos import KILL_WORKER, chaos_point
 from .jobstore import JOB_KINDS, ServiceError
+from .telemetry import ProgressPublisher
 
 #: service-job defaults: small enough that a mixed batch settles in
 #: seconds, large enough to exercise every pipeline structure
@@ -248,11 +249,19 @@ def prepare(records) -> None:
 
 
 def _simulate_cell(
-    context, benchmark: str, core: str, width: int
+    context, benchmark: str, core: str, width: int, progress=None
 ) -> Dict[str, Any]:
     factory, braided = _core_table()[core]
     config = factory(width=width)
-    result = context.run(benchmark, config, braided=braided)
+    result = context.run(benchmark, config, braided=braided,
+                         progress=progress)
+    if progress is not None:
+        # Cache hits skip the simulation loop entirely; force one final
+        # heartbeat either way so the cell always reports completion.
+        progress.publish(
+            result.instructions, result.instructions, result.cycles,
+            force=True,
+        )
     return {
         "benchmark": benchmark,
         "core": core,
@@ -309,23 +318,46 @@ def execute_job(payload: Tuple[str, str, Mapping[str, Any]]) -> Any:
     ``payload`` is ``(job_id, kind, params)``; the chaos kill-worker
     point fires first, so an injected worker death looks exactly like an
     OOM kill landing before any work happened.
+
+    When the supervisor has armed ``REPRO_PROGRESS_DIR``, simulation
+    instructions stream per-job heartbeats through the resumable run
+    seam; heartbeats never change the result payload (pure telemetry,
+    written to a side file), so chaos bit-identity is unaffected.
     """
     job_id, kind, params = payload
     chaos_point(KILL_WORKER, job_id)
+    progress = ProgressPublisher.from_env(job_id)
     if kind == "simulate":
         context = _context_for(params["scale"], params["max_instructions"])
+        if progress is not None:
+            progress.start_cell(
+                f"{params['benchmark']}/{params['core']}", 0, 1
+            )
         return _simulate_cell(
-            context, params["benchmark"], params["core"], params["width"]
+            context, params["benchmark"], params["core"], params["width"],
+            progress=progress,
         )
     if kind == "sweep":
         context = _context_for(params["scale"], params["max_instructions"])
-        return {
-            "cells": [
-                _simulate_cell(context, bench, core, params["width"])
-                for bench in params["benchmarks"]
-                for core in params["cores"]
-            ]
-        }
+        cells = [
+            (bench, core)
+            for bench in params["benchmarks"]
+            for core in params["cores"]
+        ]
+        results = []
+        for done, (bench, core) in enumerate(cells):
+            if progress is not None:
+                progress.start_cell(f"{bench}/{core}", done, len(cells))
+            results.append(
+                _simulate_cell(context, bench, core, params["width"],
+                               progress=progress)
+            )
+        return {"cells": results}
     if kind == "faults":
+        if progress is not None:
+            # Fault campaigns run many tiny inner sims; heartbeat once at
+            # start so the watchdog can at least date the attempt.
+            progress.start_cell("campaign", 0, 1)
+            progress.publish(0, 0, 0, force=True)
         return _run_faults(params)
     raise ServiceError(f"unknown job kind {kind!r}")

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..harness.artifacts import ArtifactCache
 from .journal import JournalError, JsonlJournal, read_json, write_json_atomic
+from .telemetry import event_stamp, job_timeline, read_progress
 
 #: bump when event semantics or the result payload layout change
 SERVICE_FORMAT_VERSION = 1
@@ -291,8 +292,15 @@ class JobStore:
     def _append(self, record: Dict[str, Any]) -> None:
         if self.readonly:
             raise ServiceError("job store opened read-only")
-        self.journal.append(record)
-        self._apply(record)
+        # Every journaled event is stamped with wall + monotonic time and
+        # the writing pid.  The fold above reads none of those fields —
+        # pinned by a property test — so timestamps feed the latency
+        # telemetry without touching dedup keys, recovery semantics, or
+        # chaos bit-identity.
+        stamped = dict(record)
+        stamped.update(event_stamp())
+        self.journal.append(stamped)
+        self._apply(stamped)
 
     # ------------------------------------------------------------ submission
     def submit(self, request: JobRequest) -> Tuple[str, bool]:
@@ -488,6 +496,35 @@ class JobStore:
         except KeyError:
             raise ServiceError(f"unknown job {job_id!r}") from None
 
+    # ------------------------------------------------------------- telemetry
+    @property
+    def progress_dir(self) -> Path:
+        """Per-job heartbeat files (atomic JSON, written by workers)."""
+        return self.root / "progress"
+
+    @property
+    def health_path(self) -> Path:
+        """The supervisor's liveness file (atomic JSON, one per round)."""
+        return self.root / "health.json"
+
+    @property
+    def metrics_path(self) -> Path:
+        """Prometheus text-exposition export (atomic, one per round)."""
+        return self.root / "metrics.prom"
+
+    def progress(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job's last worker heartbeat, or None (never raises)."""
+        return read_progress(self.progress_dir, job_id)
+
+    def timeline(self, job_id: str) -> Dict[str, Any]:
+        """Timestamped journal events + derived durations for one job."""
+        self.job(job_id)  # loud on unknown ids
+        return job_timeline(self.journal.records, job_id)
+
+    def drain(self, graceful: bool = True) -> None:
+        """Journal a (timestamped) drain marker at supervisor shutdown."""
+        self._append({"event": "drain", "graceful": graceful})
+
     def counters(self) -> Dict[str, int]:
         out = dict(self._counters)
         out["torn_lines"] = self.journal.skipped
@@ -504,13 +541,18 @@ class JobStore:
         """Atomic-rename snapshot for operators (journal stays the truth)."""
         if self.readonly:
             return
+        jobs = {}
+        for job_id in sorted(self.jobs):
+            summary = self.jobs[job_id].summary()
+            if self.jobs[job_id].status == RUNNING:
+                # Fold the worker's last heartbeat into the snapshot so
+                # state.json answers "stuck or slow?" on its own.
+                summary["progress"] = self.progress(job_id)
+            jobs[job_id] = summary
         write_json_atomic(self.root / "state.json", {
             "version": SERVICE_FORMAT_VERSION,
             "counters": self.counters(),
-            "jobs": {
-                job_id: self.jobs[job_id].summary()
-                for job_id in sorted(self.jobs)
-            },
+            "jobs": jobs,
         })
 
     def state_snapshot(self) -> Optional[Dict[str, Any]]:

@@ -82,7 +82,11 @@ class JsonlJournal:
             os.close(fd)
 
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
+        # errors="replace": a line of damaged bytes must cost that one
+        # record (it fails the JSON parse below and is counted), never
+        # the whole journal.
+        with open(self.path, "r", encoding="utf-8",
+                  errors="replace") as handle:
             lines = handle.read().splitlines()
         if not lines:
             return
@@ -137,6 +141,11 @@ class JsonlJournal:
         self._write_line(record)
         self.records.append(record)
 
+    def follow(self) -> "JournalFollower":
+        """An incremental tail reader over this journal's file."""
+        return JournalFollower(self.path, kind=self.kind,
+                               version=self.version)
+
     def close(self) -> None:
         if self._handle is None:
             return
@@ -145,6 +154,118 @@ class JsonlJournal:
         except OSError:
             pass
         self._handle = None
+
+
+class JournalFollower:
+    """Incremental ``tail -f`` reader for a :class:`JsonlJournal` file.
+
+    Each :meth:`poll` returns the complete records appended since the
+    last poll, never blocking and never raising on in-flight writes:
+
+    * a **torn tail** (bytes after the last newline — the writer is
+      mid-``write`` or was killed inside one) is left unconsumed; the
+      offset only ever advances past complete lines, so the record is
+      delivered whole on a later poll or never;
+    * a complete-but-unparseable line (damaged middle) is consumed,
+      counted in :attr:`skipped`, and skipped;
+    * **rotation/truncation** (the file shrank, or its header line
+      changed — someone deleted and recreated the store) is detected by
+      re-reading the header each poll; the follower resets to the new
+      file's beginning and counts it in :attr:`rotations` rather than
+      serving records from a stale offset.
+
+    ``kind``/``version`` mismatches in a header raise
+    :class:`JournalError` loudly, same as :class:`JsonlJournal` resume —
+    following the wrong journal is an operator error, not a tail state.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        kind: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.version = version
+        #: byte offset of the first unconsumed byte (past the header)
+        self.offset = 0
+        #: complete-but-unparseable lines consumed and dropped
+        self.skipped = 0
+        #: times the file was detected replaced or truncated
+        self.rotations = 0
+        self._header_line: Optional[bytes] = None
+        self._inode: Optional[int] = None
+
+    def _check_header(self, line: bytes) -> None:
+        try:
+            header = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise JournalError(
+                f"journal {self.path} has no readable header"
+            ) from None
+        if not isinstance(header, dict):
+            raise JournalError(f"journal {self.path} has no readable header")
+        if self.kind is not None and header.get("kind") != self.kind:
+            raise JournalError(
+                f"journal {self.path} was written by "
+                f"{header.get('kind')!r}, not {self.kind!r}; "
+                f"refusing to follow"
+            )
+        if self.version is not None and header.get("version") != self.version:
+            raise JournalError(
+                f"journal {self.path} uses format version "
+                f"{header.get('version')!r}, this build reads "
+                f"{self.version!r}; refusing to follow"
+            )
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Complete records appended since the last poll (possibly [])."""
+        try:
+            with open(self.path, "rb") as handle:
+                head = handle.readline()
+                if not head.endswith(b"\n"):
+                    # The header itself is still being written (or the
+                    # file is empty): nothing is consumable yet.
+                    return []
+                stat = os.fstat(handle.fileno())
+                rotated = (
+                    head != self._header_line
+                    or stat.st_ino != self._inode  # replaced, same header
+                    or stat.st_size < self.offset  # truncated in place
+                )
+                if rotated:
+                    if self._header_line is not None:
+                        self.rotations += 1
+                    self._check_header(head)
+                    self._header_line = head
+                    self._inode = stat.st_ino
+                    self.offset = len(head)
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        records: List[Dict[str, Any]] = []
+        consumed = 0
+        while True:
+            newline = chunk.find(b"\n", consumed)
+            if newline < 0:
+                break  # torn tail (if any) stays unconsumed
+            line = chunk[consumed:newline]
+            consumed = newline + 1
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.skipped += 1
+        self.offset += consumed
+        return records
 
 
 def write_json_atomic(path: Path, payload: Any) -> None:
@@ -160,6 +281,29 @@ def write_json_atomic(path: Path, payload: Any) -> None:
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_text_atomic(path: Path, text: str) -> None:
+    """Publish a text file via temp-file + fsync + atomic rename.
+
+    Same kill-safety contract as :func:`write_json_atomic`; used for the
+    supervisor's Prometheus exposition file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)

@@ -28,6 +28,7 @@ at all — that is the point of the journal.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 from dataclasses import dataclass, field
@@ -38,7 +39,15 @@ from ..obs.metrics import MetricsRegistry
 from .chaos import FAIL_WRITE, KILL_SUPERVISOR, chaos_point
 from .jobstore import JobRecord, JobStore
 from .jobs import execute_job, prepare
+from .journal import write_text_atomic
 from .retry import RETRYABLE, RetryPolicy
+from .telemetry import (
+    ENV_PROGRESS_DIR,
+    ENV_PROGRESS_INTERVAL,
+    latency_histograms,
+    progress_probe,
+    write_health,
+)
 
 
 @dataclass
@@ -55,6 +64,17 @@ class ServiceConfig:
     drain_when_idle: bool = False
     #: shared retry policy (classification, backoff, per-job deadline)
     policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: seconds between worker progress heartbeats (0 disables heartbeats,
+    #: metrics/health publishing stays on)
+    heartbeat: float = 0.25
+    #: heartbeat age (seconds) past which a deadline miss counts as hung
+    #: rather than slow-but-progressing; None derives 8x the heartbeat
+    hang_grace: Optional[float] = None
+
+    def effective_hang_grace(self) -> float:
+        if self.hang_grace is not None:
+            return self.hang_grace
+        return max(2.0, 8.0 * self.heartbeat)
 
 
 class Supervisor:
@@ -71,6 +91,8 @@ class Supervisor:
         counters = store.counters()
         self._settled = counters["completed"] + counters["failed"]
         self._base_attempts: Dict[str, int] = {}
+        self._started = time.monotonic()
+        self._rounds = 0
 
     # --------------------------------------------------------------- signals
     def install_signal_handlers(self) -> None:
@@ -92,37 +114,118 @@ class Supervisor:
             self.telemetry.counter(
                 f"service.recovered_{name}", len(recovery[name])
             )
-        rounds = 0
-        while not self._drain_requested:
-            batch = self._claim_batch()
-            if not batch:
-                if self.config.drain_when_idle:
-                    break
-                time.sleep(self.config.poll)
-                continue
-            rounds += 1
-            prepare(batch)
-            run_tasks_hardened(
-                execute_job,
-                [
-                    (job.job_id, (job.job_id, job.kind, dict(job.params)))
-                    for job in batch
-                ],
-                jobs=self.config.jobs,
-                policy=self.config.policy,
-                on_result=self._settle,
-            )
+        probe = None
+        if self.config.heartbeat > 0:
+            probe = progress_probe(self.store.progress_dir)
+        saved_env = self._arm_progress()
+        self.publish_observability()
+        try:
+            while not self._drain_requested:
+                batch = self._claim_batch()
+                if not batch:
+                    if self.config.drain_when_idle:
+                        break
+                    time.sleep(self.config.poll)
+                    # Idle rounds still refresh metrics + the health
+                    # heartbeat, so liveness is observable while waiting.
+                    self.publish_observability()
+                    continue
+                self._rounds += 1
+                prepare(batch)
+                run_tasks_hardened(
+                    execute_job,
+                    [
+                        (job.job_id,
+                         (job.job_id, job.kind, dict(job.params)))
+                        for job in batch
+                    ],
+                    jobs=self.config.jobs,
+                    policy=self.config.policy,
+                    on_result=self._settle,
+                    progress_probe=probe,
+                    hang_grace=self.config.effective_hang_grace(),
+                )
+                self.publish_observability()
+        finally:
+            self._disarm_progress(saved_env)
         drained = self._drain_requested
-        self.store.journal.append({"event": "drain", "graceful": True})
+        self.store.drain(graceful=True)
         self.store.write_state()
+        self.publish_observability(draining=True)
+        # Fold the final store counters into the supervisor's own
+        # registry for the in-process caller — after the exposition
+        # above, which derives them fresh and must not see them twice.
         self.store.publish_metrics(self.telemetry)
         counters = self.store.counters()
         return {
-            "rounds": rounds,
+            "rounds": self._rounds,
             "drained": drained,
             "recovery": recovery,
             "counters": counters,
         }
+
+    # ----------------------------------------------------------- telemetry
+    def _arm_progress(self) -> Dict[str, Optional[str]]:
+        """Point workers' heartbeat publishers at the store's progress dir.
+
+        Workers fork from this process (or run inside it when
+        ``jobs=1``), so the environment is the one channel that reaches
+        both without a task-payload change.  Returns the prior values so
+        the caller can restore them (in-process tests, nested serves).
+        """
+        saved = {
+            ENV_PROGRESS_DIR: os.environ.get(ENV_PROGRESS_DIR),
+            ENV_PROGRESS_INTERVAL: os.environ.get(ENV_PROGRESS_INTERVAL),
+        }
+        if self.config.heartbeat > 0:
+            self.store.progress_dir.mkdir(parents=True, exist_ok=True)
+            os.environ[ENV_PROGRESS_DIR] = str(self.store.progress_dir)
+            os.environ[ENV_PROGRESS_INTERVAL] = str(self.config.heartbeat)
+        else:
+            os.environ.pop(ENV_PROGRESS_DIR, None)
+        return saved
+
+    @staticmethod
+    def _disarm_progress(saved: Dict[str, Optional[str]]) -> None:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A fresh registry: store + cache counters, supervisor event
+        counts, and the journal-derived latency histograms."""
+        registry = MetricsRegistry()
+        self.store.publish_metrics(registry)
+        for name, value in self.telemetry.counters.items():
+            registry.counter(name, value)
+        registry.counter("service.supervisor_rounds", self._rounds)
+        registry.histograms.update(
+            latency_histograms(self.store.journal.records)
+        )
+        return registry
+
+    def publish_observability(self, draining: bool = False) -> None:
+        """Atomically refresh ``metrics.prom`` and ``health.json``.
+
+        Telemetry publication must never take the supervisor down: a
+        full disk here degrades observability, not durability.
+        """
+        try:
+            write_text_atomic(
+                self.store.metrics_path,
+                self.metrics_registry().render_prometheus(),
+            )
+            write_health(
+                self.store.health_path,
+                round_number=self._rounds,
+                started=self._started,
+                counters=self.store.counters(),
+                draining=draining,
+            )
+        except OSError:
+            pass
 
     # -------------------------------------------------------------- dispatch
     def _claim_batch(self) -> List[JobRecord]:

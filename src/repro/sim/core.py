@@ -410,10 +410,30 @@ class TimingCore:
         return 0
 
     # ------------------------------------------------------------------- run
-    def run(self, max_cycles: int = 100_000_000) -> SimResult:
-        """Simulate until every trace instruction retires; returns the result."""
+    def run(
+        self, max_cycles: int = 100_000_000, progress=None
+    ) -> SimResult:
+        """Simulate until every trace instruction retires; returns the result.
+
+        ``progress`` (optional) is called as ``progress(retired, total,
+        cycle)`` every ``progress.chunk`` retired instructions (default
+        4096), threaded through the resumable :meth:`_run_until` seam:
+        consecutive calls with increasing targets compose into exactly
+        the single-call trajectory, so a progress-observed run is
+        bit-identical to an unobserved one and the hot loop itself stays
+        untouched (the throttling, if any, lives in the callback).
+        """
         total = len(self.trace)
-        cycle = self._run_until(total, 0, max_cycles)
+        if progress is None:
+            cycle = self._run_until(total, 0, max_cycles)
+        else:
+            chunk = max(1, int(getattr(progress, "chunk", 4096)))
+            cycle = 0
+            progress(0, total, 0)
+            while self._retired_count < total:
+                target = min(total, self._retired_count + chunk)
+                cycle = self._run_until(target, cycle, max_cycles)
+                progress(self._retired_count, total, cycle)
         result = SimResult(
             benchmark=self.workload.name,
             machine=self.config.name,

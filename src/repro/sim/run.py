@@ -45,6 +45,7 @@ def simulate(
     observe=None,
     fidelity: Optional[str] = None,
     interval=None,
+    progress=None,
 ) -> SimResult:
     """Run ``workload`` on the machine described by ``config``.
 
@@ -71,6 +72,12 @@ def simulate(
     layer — CPI stall attribution, pipeline tracing, telemetry — and
     publishes its data onto the returned result.  ``None`` (the default)
     keeps the timing loop on the unhooked fast path.
+
+    ``progress`` (a callable, see :meth:`TimingCore.run
+    <repro.sim.core.TimingCore.run>`) receives periodic
+    ``(retired, total, cycle)`` callbacks on the exact tier — the
+    service's worker heartbeats ride it.  Sampled/interval tiers run
+    their own window schedules and ignore it.
     """
     if validation is None:
         validation = _env_validation()
@@ -115,9 +122,9 @@ def simulate(
     if observe is not None:
         observe.attach(core)
     if max_cycles is not None:
-        result = core.run(max_cycles=max_cycles)
+        result = core.run(max_cycles=max_cycles, progress=progress)
     else:
-        result = core.run()
+        result = core.run(progress=progress)
     if session is not None:
         session.finish(expect_full=True)
     if observe is not None:

@@ -1,0 +1,186 @@
+"""Incremental journal tailing (repro.service.journal.JournalFollower).
+
+The follower powers ``status --follow`` and ``events`` against a *live*
+journal, so it must never block on, choke on, or mis-deliver the states
+a concurrent fsync-append writer (or its death) can leave behind: torn
+tails, damaged middles, and wholesale file replacement.  The truncation
+test mirrors the store's torn-tail property test — every byte offset of
+the final record is a valid file state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.journal import JournalError, JournalFollower, JsonlJournal
+
+
+def make_journal(path, n=3, kind="service-journal", version=1):
+    journal = JsonlJournal(path, kind=kind, version=version)
+    for index in range(n):
+        journal.append({"event": "submit", "seq": index})
+    return journal
+
+
+class TestIncremental:
+    def test_first_poll_delivers_everything(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=3)
+        follower = journal.follow()
+        records = follower.poll()
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        journal.close()
+
+    def test_later_polls_deliver_only_new_records(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=2)
+        follower = journal.follow()
+        follower.poll()
+        assert follower.poll() == []
+        journal.append({"event": "start", "seq": 2})
+        records = follower.poll()
+        assert len(records) == 1 and records[0]["seq"] == 2
+        journal.close()
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        follower = JournalFollower(tmp_path / "absent.jsonl")
+        assert follower.poll() == []
+
+    def test_offset_counts_bytes_not_records(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=2)
+        follower = journal.follow()
+        follower.poll()
+        assert follower.offset == os.path.getsize(journal.path)
+        journal.close()
+
+
+class TestTornTail:
+    def test_torn_tail_stays_unconsumed_until_complete(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=1)
+        journal.close()
+        follower = JournalFollower(tmp_path / "j.jsonl")
+        assert len(follower.poll()) == 1
+        # A writer mid-append: half a record, no newline yet.
+        line = json.dumps({"event": "done", "seq": 9}) + "\n"
+        with open(tmp_path / "j.jsonl", "ab") as handle:
+            handle.write(line[: len(line) // 2].encode())
+        assert follower.poll() == []
+        assert follower.skipped == 0
+        with open(tmp_path / "j.jsonl", "ab") as handle:
+            handle.write(line[len(line) // 2:].encode())
+        records = follower.poll()
+        assert len(records) == 1 and records[0]["seq"] == 9
+
+    def test_truncate_at_every_byte_never_raises(self, tmp_path):
+        """Every prefix of a journal is a pollable file state."""
+        source = tmp_path / "full.jsonl"
+        journal = make_journal(source, n=3)
+        journal.close()
+        blob = source.read_bytes()
+        header_len = blob.index(b"\n") + 1
+        target = tmp_path / "j.jsonl"
+        for cut in range(len(blob) + 1):
+            target.write_bytes(blob[:cut])
+            follower = JournalFollower(target)
+            records = follower.poll()
+            # Only whole records, in order, never an exception.
+            assert [r["seq"] for r in records] == list(range(len(records)))
+            if cut < header_len:
+                assert records == []
+            assert follower.skipped == 0
+
+    def test_header_mid_write_is_not_yet_followable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"kind": "service-jour')
+        follower = JournalFollower(path, kind="service-journal", version=1)
+        assert follower.poll() == []
+        assert follower.rotations == 0
+
+
+class TestDamage:
+    def test_damaged_middle_is_skipped_and_counted(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=1)
+        journal.close()
+        with open(tmp_path / "j.jsonl", "ab") as handle:
+            handle.write(b"\x00\xff garbage \x00\n")
+        journal = JsonlJournal(
+            tmp_path / "j.jsonl", kind="service-journal", version=1
+        )
+        journal.append({"event": "done", "seq": 1})
+        journal.close()
+        follower = JournalFollower(tmp_path / "j.jsonl")
+        records = follower.poll()
+        assert [r["seq"] for r in records] == [0, 1]
+        assert follower.skipped == 1
+
+    def test_non_dict_line_is_counted_not_delivered(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", n=1)
+        journal.close()
+        with open(tmp_path / "j.jsonl", "ab") as handle:
+            handle.write(b'[1, 2, 3]\n')
+        follower = JournalFollower(tmp_path / "j.jsonl")
+        assert len(follower.poll()) == 1
+        assert follower.skipped == 1
+
+
+class TestRotation:
+    def test_replaced_file_resets_to_new_beginning(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = make_journal(path, n=2)
+        journal.close()
+        follower = JournalFollower(path)
+        assert len(follower.poll()) == 2
+        # Operator deletes the store and starts over: same path, same
+        # header bytes, brand-new file.
+        os.unlink(path)
+        journal = JsonlJournal(path, kind="service-journal", version=1)
+        journal.append({"event": "submit", "seq": 100})
+        records = follower.poll()
+        assert [r["seq"] for r in records] == [100]
+        assert follower.rotations == 1
+        journal.close()
+
+    def test_truncated_in_place_resets(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = make_journal(path, n=3)
+        journal.close()
+        follower = JournalFollower(path)
+        assert len(follower.poll()) == 3
+        blob = path.read_bytes()
+        header_len = blob.index(b"\n") + 1
+        first_record_end = blob.index(b"\n", header_len) + 1
+        path.write_bytes(blob[:first_record_end])
+        records = follower.poll()
+        assert [r["seq"] for r in records] == [0]
+        assert follower.rotations == 1
+
+    def test_kind_mismatch_raises_loudly(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", kind="campaign")
+        journal.close()
+        follower = JournalFollower(
+            tmp_path / "j.jsonl", kind="service-journal", version=1
+        )
+        with pytest.raises(JournalError, match="refusing to follow"):
+            follower.poll()
+
+    def test_version_mismatch_raises_loudly(self, tmp_path):
+        journal = make_journal(tmp_path / "j.jsonl", version=99)
+        journal.close()
+        follower = JournalFollower(
+            tmp_path / "j.jsonl", kind="service-journal", version=1
+        )
+        with pytest.raises(JournalError, match="format version"):
+            follower.poll()
+
+    def test_rotation_to_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = make_journal(path, n=1)
+        journal.close()
+        follower = JournalFollower(path, kind="service-journal", version=1)
+        follower.poll()
+        os.unlink(path)
+        other = JsonlJournal(path, kind="campaign", version=1)
+        other.close()
+        with pytest.raises(JournalError):
+            follower.poll()
